@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E6: end-to-end frame processing latency of the
+//! perception pipeline (detection-only vs detection + localization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispot_bench::{simulate_static_source, SAMPLE_RATE};
+use ispot_core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (audio, array) = simulate_static_source(45.0, 20.0, 4, 8192, 9);
+    let config = PipelineConfig::default();
+    let mut detection_only =
+        AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 4).unwrap();
+    let mut full = AcousticPerceptionPipeline::with_array(config, SAMPLE_RATE, &array).unwrap();
+    let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
+
+    let mut group = c.benchmark_group("pipeline_frame");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("detection_only", |b| {
+        b.iter(|| black_box(detection_only.process_frame(black_box(&frame), 0).unwrap()))
+    });
+    group.bench_function("detection_and_localization", |b| {
+        b.iter(|| black_box(full.process_frame(black_box(&frame), 0).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

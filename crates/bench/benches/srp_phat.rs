@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E4: conventional vs low-complexity SRP-PHAT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispot_bench::{simulate_static_source, SAMPLE_RATE};
+use ispot_ssl::srp_fast::SrpPhatFast;
+use ispot_ssl::srp_phat::{SrpConfig, SrpPhat};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_srp(c: &mut Criterion) {
+    let (audio, array) = simulate_static_source(60.0, 20.0, 6, 8192, 3);
+    let config = SrpConfig::default();
+    let conventional = SrpPhat::new(config, &array, SAMPLE_RATE).unwrap();
+    let fast = SrpPhatFast::new(config, &array, SAMPLE_RATE).unwrap();
+    let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
+
+    let mut group = c.benchmark_group("srp_phat_map");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("conventional_frequency_steering", |b| {
+        b.iter(|| black_box(conventional.compute_map(black_box(&frame)).unwrap()))
+    });
+    group.bench_function("low_complexity_lag_domain", |b| {
+        b.iter(|| black_box(fast.compute_map(black_box(&frame)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_srp);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment E7 — a trace of the co-design workflow loop (paper Fig. 4).
+//!
+//! Prints one line per design-space iteration: the candidate configuration, its model
+//! size, estimated latency and accuracy, and whether the trade-off judgment accepts it.
+//! The last section shows the bottleneck analysis and the roofline placement of the
+//! selected design — the "report" output of the workflow.
+
+use ispot_bench::{cross3d_baseline_graph, print_header, print_row};
+use ispot_codesign::dse::{AnalyticEvaluator, CoDesignLoop, DesignSpace};
+use ispot_codesign::platform::EdgePlatform;
+
+fn main() {
+    print_header(
+        "E7 - hardware-algorithm co-design loop trace",
+        "Fig. 4: bottleneck analysis -> finetuning -> cost model -> trade-off -> update",
+    );
+    let baseline_graph = cross3d_baseline_graph();
+    let platform = EdgePlatform::raspberry_pi4();
+    let accuracy_floor = 0.85;
+    let space = DesignSpace::default();
+    let mut evaluator = AnalyticEvaluator::new(baseline_graph.clone(), 0.93);
+    let dse = CoDesignLoop::new(platform.clone(), space, accuracy_floor).expect("valid loop");
+    let report = dse.run(&mut evaluator).expect("exploration succeeds");
+
+    println!("\n[bottleneck analysis of the baseline]");
+    let mut ops: Vec<_> = baseline_graph.ops().iter().collect();
+    ops.sort_by_key(|o| std::cmp::Reverse(o.macs()));
+    for op in ops.iter().take(5) {
+        print_row(
+            &op.name,
+            format!(
+                "{:.1} MMAC  {:.2} ms",
+                op.macs() as f64 / 1e6,
+                platform.op_latency_ms(op)
+            ),
+        );
+    }
+
+    println!("\n[iteration trace: feature/channel/prune/bits -> size, latency, accuracy, verdict]");
+    println!(
+        "  {:<32} {:>10} {:>12} {:>10} {:>10}",
+        "design point", "size (MB)", "latency (ms)", "accuracy", "feasible"
+    );
+    for it in &report.iterations {
+        let p = it.point;
+        println!(
+            "  f={:.2} c={:.2} p={:.2} b={:<4} {:>10.2} {:>12.2} {:>10.3} {:>10}",
+            p.feature_scale,
+            p.channel_scale,
+            p.prune_ratio,
+            p.quantize_bits.map(|b| b.to_string()).unwrap_or_else(|| "f32".into()),
+            it.model_bytes as f64 / 1e6,
+            it.latency_ms,
+            it.accuracy,
+            it.accuracy >= accuracy_floor
+        );
+    }
+
+    println!("\n[trade-off judgment]");
+    print_row("accuracy floor", accuracy_floor);
+    print_row("selected point", format!("{:?}", report.best.point));
+    print_row("speedup over baseline", format!("{:.2}x", report.speedup()));
+    print_row(
+        "model size reduction",
+        format!("{:.1} %", 100.0 * report.size_reduction()),
+    );
+
+    println!("\n[roofline placement of the selected design (top 5 ops by latency)]");
+    let best_graph = report.best.point.apply_to(&baseline_graph).expect("apply");
+    let mut points = platform.roofline(&best_graph);
+    points.sort_by(|a, b| {
+        (b.achieved_gmacs / b.attainable_gmacs)
+            .total_cmp(&(a.achieved_gmacs / a.attainable_gmacs))
+    });
+    print_row(
+        "platform ridge point (MAC/byte)",
+        format!("{:.2}", platform.ridge_point()),
+    );
+    for p in points.iter().take(5) {
+        print_row(
+            &p.op_name,
+            format!(
+                "intensity {:.2} MAC/B, achieved {:.2} / attainable {:.2} GMAC/s",
+                p.operational_intensity, p.achieved_gmacs, p.attainable_gmacs
+            ),
+        );
+    }
+}

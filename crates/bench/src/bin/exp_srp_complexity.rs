@@ -1,0 +1,63 @@
+//! Experiment E4 — low-complexity SRP-PHAT versus the conventional implementation.
+//!
+//! Paper claim (Sec. IV-B): the hardware-driven analysis and the low-complexity SRP
+//! literature inspire "a mathematically equivalent SRP-PHAT algorithm with ~10x latency
+//! boost and ~50% coefficients reduce". This binary measures both implementations on
+//! identical simulated frames and reports latency, speedup, coefficient counts and the
+//! numerical equivalence of the produced maps.
+
+use ispot_bench::{print_header, print_row, simulate_static_source, SAMPLE_RATE};
+use ispot_codesign::profiler::HostProfiler;
+use ispot_ssl::srp_fast::SrpPhatFast;
+use ispot_ssl::srp_phat::{SrpConfig, SrpPhat};
+
+fn main() {
+    print_header(
+        "E4 - low-complexity SRP-PHAT vs conventional frequency-domain steering",
+        "~10x latency boost and ~50% coefficient reduction, mathematically equivalent",
+    );
+    let (audio, array) = simulate_static_source(60.0, 20.0, 6, 8192, 11);
+    let config = SrpConfig::default();
+    let conventional = SrpPhat::new(config, &array, SAMPLE_RATE).expect("conventional SRP");
+    let fast = SrpPhatFast::new(config, &array, SAMPLE_RATE).expect("fast SRP");
+    let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
+
+    let profiler = HostProfiler::new(2, 10);
+    let conv_time = profiler.measure("conventional", || {
+        conventional.compute_map(&frame).expect("map")
+    });
+    let fast_time = profiler.measure("fast", || fast.compute_map(&frame).expect("map"));
+
+    let map_a = conventional.compute_map(&frame).expect("map");
+    let map_b = fast.compute_map(&frame).expect("map");
+
+    print_row("microphones / pairs", format!("{} / {}", array.len(), 15));
+    print_row("grid directions", config.num_directions);
+    print_row("frame length (samples)", config.frame_len);
+    println!();
+    print_row(
+        "conventional latency per map (ms)",
+        format!("{:.3}", conv_time.mean_ms),
+    );
+    print_row("fast latency per map (ms)", format!("{:.3}", fast_time.mean_ms));
+    print_row(
+        "latency speedup (paper: ~10x)",
+        format!("{:.1}x", conv_time.mean_ms / fast_time.mean_ms),
+    );
+    println!();
+    print_row(
+        "conventional coefficients per pair",
+        conventional.coefficients_per_pair(),
+    );
+    print_row("fast coefficients per pair", fast.coefficients_per_pair());
+    print_row(
+        "coefficient reduction (paper: ~50%)",
+        format!("{:.1} %", 100.0 * fast.coefficient_reduction()),
+    );
+    println!();
+    print_row("map correlation (equivalence)", format!("{:.4}", map_a.correlation(&map_b)));
+    print_row(
+        "peak azimuth conventional / fast (deg)",
+        format!("{:.1} / {:.1}", map_a.peak().1, map_b.peak().1),
+    );
+}

@@ -1,0 +1,86 @@
+//! Error type for the co-design workflow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the co-design workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodesignError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The design space contains no candidates satisfying the constraints.
+    NoFeasibleCandidate {
+        /// The accuracy floor that could not be met.
+        accuracy_floor: f64,
+    },
+    /// A candidate evaluation failed.
+    EvaluationFailed {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodesignError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            CodesignError::NoFeasibleCandidate { accuracy_floor } => write!(
+                f,
+                "no design point satisfies the accuracy floor of {accuracy_floor}"
+            ),
+            CodesignError::EvaluationFailed { reason } => {
+                write!(f, "candidate evaluation failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CodesignError {}
+
+impl CodesignError {
+    /// Convenience constructor for [`CodesignError::InvalidConfig`].
+    pub fn invalid_config(name: &'static str, reason: impl Into<String>) -> Self {
+        CodesignError::InvalidConfig {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CodesignError::EvaluationFailed`].
+    pub fn evaluation_failed(reason: impl Into<String>) -> Self {
+        CodesignError::EvaluationFailed {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodesignError::invalid_config("bits", "too small")
+            .to_string()
+            .contains("bits"));
+        assert!(CodesignError::NoFeasibleCandidate { accuracy_floor: 0.9 }
+            .to_string()
+            .contains("0.9"));
+        assert!(CodesignError::evaluation_failed("boom")
+            .to_string()
+            .contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodesignError>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the end-to-end pipeline.
+
+use ispot_dsp::DspError;
+use ispot_sed::SedError;
+use ispot_ssl::SslError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the end-to-end acoustic-perception pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The multichannel input does not match the configured channel count.
+    ChannelMismatch {
+        /// Expected number of channels.
+        expected: usize,
+        /// Supplied number of channels.
+        actual: usize,
+    },
+    /// A DSP stage failed.
+    Dsp(DspError),
+    /// The detection stage failed.
+    Detection(SedError),
+    /// The localization stage failed.
+    Localization(SslError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidConfig { name, reason } => {
+                write!(f, "invalid pipeline configuration `{name}`: {reason}")
+            }
+            PipelineError::ChannelMismatch { expected, actual } => {
+                write!(f, "channel mismatch: expected {expected}, got {actual}")
+            }
+            PipelineError::Dsp(e) => write!(f, "dsp error: {e}"),
+            PipelineError::Detection(e) => write!(f, "detection error: {e}"),
+            PipelineError::Localization(e) => write!(f, "localization error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Dsp(e) => Some(e),
+            PipelineError::Detection(e) => Some(e),
+            PipelineError::Localization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for PipelineError {
+    fn from(e: DspError) -> Self {
+        PipelineError::Dsp(e)
+    }
+}
+
+impl From<SedError> for PipelineError {
+    fn from(e: SedError) -> Self {
+        PipelineError::Detection(e)
+    }
+}
+
+impl From<SslError> for PipelineError {
+    fn from(e: SslError) -> Self {
+        PipelineError::Localization(e)
+    }
+}
+
+impl PipelineError {
+    /// Convenience constructor for [`PipelineError::InvalidConfig`].
+    pub fn invalid_config(name: &'static str, reason: impl Into<String>) -> Self {
+        PipelineError::InvalidConfig {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(PipelineError::invalid_config("frame_len", "zero")
+            .to_string()
+            .contains("frame_len"));
+        let e: PipelineError = SedError::EmptyDataset.into();
+        assert!(Error::source(&e).is_some());
+        let e: PipelineError = SslError::invalid_config("x", "y").into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

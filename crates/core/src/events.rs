@@ -1,0 +1,74 @@
+//! Perception events emitted by the pipeline.
+
+use ispot_sed::EventClass;
+use serde::{Deserialize, Serialize};
+
+/// One detection (optionally with localization) produced for an analysis frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionEvent {
+    /// Index of the analysis frame that produced the event.
+    pub frame_index: usize,
+    /// Time of the frame start in seconds from the beginning of the stream.
+    pub time_s: f64,
+    /// Detected sound class.
+    pub class: EventClass,
+    /// Detector confidence in `[0, 1]` (softmax probability or template similarity).
+    pub confidence: f64,
+    /// Instantaneous azimuth estimate in degrees, if localization ran.
+    pub azimuth_deg: Option<f64>,
+    /// Kalman-smoothed azimuth in degrees, if tracking ran.
+    pub tracked_azimuth_deg: Option<f64>,
+}
+
+impl PerceptionEvent {
+    /// Returns true if this event reports an emergency sound (not background).
+    pub fn is_alert(&self) -> bool {
+        self.class.is_event()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        match (self.tracked_azimuth_deg, self.azimuth_deg) {
+            (Some(tracked), _) => format!(
+                "t={:.2}s {} (conf {:.2}) at {:+.1} deg (tracked)",
+                self.time_s, self.class, self.confidence, tracked
+            ),
+            (None, Some(az)) => format!(
+                "t={:.2}s {} (conf {:.2}) at {:+.1} deg",
+                self.time_s, self.class, self.confidence, az
+            ),
+            (None, None) => format!(
+                "t={:.2}s {} (conf {:.2})",
+                self.time_s, self.class, self.confidence
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_flag_and_summary() {
+        let event = PerceptionEvent {
+            frame_index: 3,
+            time_s: 0.38,
+            class: EventClass::WailSiren,
+            confidence: 0.91,
+            azimuth_deg: Some(-34.0),
+            tracked_azimuth_deg: Some(-32.5),
+        };
+        assert!(event.is_alert());
+        let s = event.summary();
+        assert!(s.contains("wail") && s.contains("tracked"));
+        let background = PerceptionEvent {
+            class: EventClass::Background,
+            azimuth_deg: None,
+            tracked_azimuth_deg: None,
+            ..event
+        };
+        assert!(!background.is_alert());
+        assert!(!background.summary().contains("deg"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # ispot-core
+//!
+//! The end-to-end real-time acoustic-perception pipeline of the I-SPOT project: the
+//! system sketched in Fig. 1 of the paper, assembled from the substrate crates.
+//!
+//! A [`pipeline::AcousticPerceptionPipeline`] consumes multichannel microphone frames
+//! and produces [`events::PerceptionEvent`]s — "a wail siren at −35°, approaching" —
+//! by chaining:
+//!
+//! 1. a park-mode wake [`trigger`] (always-on, ultra-low-power energy detector),
+//! 2. an emergency-sound detector (`ispot-sed`),
+//! 3. the low-complexity SRP-PHAT localizer (`ispot-ssl`),
+//! 4. an azimuth Kalman tracker,
+//!
+//! with per-stage latency accounting ([`latency`]) and two operating [`mode`]s: the
+//! fully functional low-latency **drive** mode and the trigger-based low-power **park**
+//! mode (Sec. II, requirement 3 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_core::prelude::*;
+//! use ispot_roadsim::prelude::*;
+//! use ispot_sed::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fs = 16_000.0;
+//! // One second of a wail siren passing the array.
+//! let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
+//! let scene = SceneBuilder::new(fs)
+//!     .source(SoundSource::new(siren, Trajectory::fixed(Position::new(15.0, 10.0, 1.0))))
+//!     .array(MicrophoneArray::circular(4, 0.15, Position::new(0.0, 0.0, 1.0)))
+//!     .reflection(false)
+//!     .air_absorption(false)
+//!     .build()?;
+//! let audio = Simulator::new(scene)?.run()?;
+//! let config = PipelineConfig { frame_len: 2048, hop: 1024, ..PipelineConfig::default() };
+//! let mut pipeline = AcousticPerceptionPipeline::new(config, audio.sample_rate(), 4)?;
+//! let events = pipeline.process_recording(&audio)?;
+//! assert!(events.iter().any(|e| e.class.is_event()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod events;
+pub mod latency;
+pub mod mode;
+pub mod pipeline;
+pub mod stream;
+pub mod trigger;
+
+pub use error::PipelineError;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::error::PipelineError;
+    pub use crate::events::PerceptionEvent;
+    pub use crate::latency::{LatencyReport, StageLatency};
+    pub use crate::mode::OperatingMode;
+    pub use crate::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+    pub use crate::stream::StreamRunner;
+    pub use crate::trigger::EnergyTrigger;
+}

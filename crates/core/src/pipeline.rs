@@ -1,0 +1,480 @@
+//! The end-to-end acoustic-perception pipeline.
+
+use crate::error::PipelineError;
+use crate::events::PerceptionEvent;
+use crate::latency::LatencyReport;
+use crate::mode::OperatingMode;
+use crate::trigger::{EnergyTrigger, TriggerConfig};
+use ispot_roadsim::engine::MultichannelAudio;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_sed::baseline::SpectralTemplateDetector;
+use ispot_sed::EventClass;
+use ispot_ssl::srp_fast::SrpPhatFast;
+use ispot_ssl::srp_phat::SrpConfig;
+use ispot_ssl::tracking::AzimuthKalmanTracker;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`AcousticPerceptionPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Hop between analysis frames in samples.
+    pub hop: usize,
+    /// Operating mode (drive or park).
+    pub mode: OperatingMode,
+    /// Number of azimuth grid directions for localization.
+    pub num_directions: usize,
+    /// Minimum detector confidence for an event to be reported.
+    pub confidence_threshold: f64,
+    /// Park-mode trigger configuration.
+    pub trigger: TriggerConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            frame_len: 2048,
+            hop: 1024,
+            mode: OperatingMode::Drive,
+            num_directions: 181,
+            confidence_threshold: 0.2,
+            trigger: TriggerConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.frame_len == 0 || self.hop == 0 {
+            return Err(PipelineError::invalid_config(
+                "frame_len/hop",
+                "must be positive",
+            ));
+        }
+        if self.num_directions == 0 {
+            return Err(PipelineError::invalid_config(
+                "num_directions",
+                "must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.confidence_threshold) {
+            return Err(PipelineError::invalid_config(
+                "confidence_threshold",
+                "must be within [0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The complete detection + localization + tracking pipeline.
+///
+/// Built either for detection only ([`AcousticPerceptionPipeline::new`], when the array
+/// geometry is unknown) or with localization ([`AcousticPerceptionPipeline::with_array`]).
+#[derive(Debug)]
+pub struct AcousticPerceptionPipeline {
+    config: PipelineConfig,
+    sample_rate: f64,
+    num_channels: usize,
+    detector: SpectralTemplateDetector,
+    localizer: Option<SrpPhatFast>,
+    tracker: AzimuthKalmanTracker,
+    trigger: EnergyTrigger,
+    latency: LatencyReport,
+    frames_processed: usize,
+    frames_analyzed: usize,
+}
+
+impl AcousticPerceptionPipeline {
+    /// Creates a detection-only pipeline for `num_channels` input channels (channels
+    /// are averaged before detection; localization is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the detector cannot be
+    /// built.
+    pub fn new(
+        config: PipelineConfig,
+        sample_rate: f64,
+        num_channels: usize,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if num_channels == 0 {
+            return Err(PipelineError::invalid_config(
+                "num_channels",
+                "must be positive",
+            ));
+        }
+        Ok(AcousticPerceptionPipeline {
+            config,
+            sample_rate,
+            num_channels,
+            detector: SpectralTemplateDetector::new(sample_rate)?,
+            localizer: None,
+            tracker: AzimuthKalmanTracker::new(1.0, 36.0),
+            trigger: EnergyTrigger::new(config.trigger),
+            latency: LatencyReport::new(),
+            frames_processed: 0,
+            frames_analyzed: 0,
+        })
+    }
+
+    /// Creates a full pipeline (detection + localization + tracking) for the given
+    /// microphone array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration, detector or localizer is invalid.
+    pub fn with_array(
+        config: PipelineConfig,
+        sample_rate: f64,
+        array: &MicrophoneArray,
+    ) -> Result<Self, PipelineError> {
+        let mut pipeline = Self::new(config, sample_rate, array.len())?;
+        if array.len() >= 2 {
+            let srp_config = SrpConfig {
+                frame_len: config.frame_len,
+                num_directions: config.num_directions,
+                freq_max_hz: (sample_rate / 2.0 - 200.0).max(1000.0),
+                ..SrpConfig::default()
+            };
+            pipeline.localizer = Some(SrpPhatFast::new(srp_config, array, sample_rate)?);
+        }
+        Ok(pipeline)
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Returns the operating mode.
+    pub fn mode(&self) -> OperatingMode {
+        self.config.mode
+    }
+
+    /// Switches the operating mode (e.g. drive ↔ park), resetting the trigger and the
+    /// tracker.
+    pub fn set_mode(&mut self, mode: OperatingMode) {
+        self.config.mode = mode;
+        self.trigger.reset();
+        self.tracker.reset();
+    }
+
+    /// Returns true if localization is available (array geometry known, ≥ 2 mics).
+    pub fn localization_available(&self) -> bool {
+        self.localizer.is_some()
+    }
+
+    /// Per-stage latency statistics accumulated so far.
+    pub fn latency_report(&self) -> &LatencyReport {
+        &self.latency
+    }
+
+    /// Number of frames received.
+    pub fn frames_processed(&self) -> usize {
+        self.frames_processed
+    }
+
+    /// Number of frames on which the full analysis ran (in park mode this is the
+    /// number of trigger wake-ups).
+    pub fn frames_analyzed(&self) -> usize {
+        self.frames_analyzed
+    }
+
+    /// Fraction of frames on which the full analysis ran — 1.0 in drive mode, the
+    /// trigger duty cycle in park mode.
+    pub fn analysis_duty_cycle(&self) -> f64 {
+        if self.frames_processed == 0 {
+            0.0
+        } else {
+            self.frames_analyzed as f64 / self.frames_processed as f64
+        }
+    }
+
+    /// Processes one multichannel frame (`frame[channel][sample]`, every channel
+    /// exactly `frame_len` samples) and returns an event if an emergency sound was
+    /// detected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count or frame length is wrong, or an analysis
+    /// stage fails.
+    pub fn process_frame(
+        &mut self,
+        frame: &[&[f64]],
+        frame_index: usize,
+    ) -> Result<Option<PerceptionEvent>, PipelineError> {
+        if frame.len() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: frame.len(),
+            });
+        }
+        for ch in frame {
+            if ch.len() != self.config.frame_len {
+                return Err(PipelineError::invalid_config(
+                    "frame",
+                    format!(
+                        "every channel must have {} samples, got {}",
+                        self.config.frame_len,
+                        ch.len()
+                    ),
+                ));
+            }
+        }
+        self.frames_processed += 1;
+        // Mono mixdown feeds the trigger and the detector.
+        let mono: Vec<f64> = (0..self.config.frame_len)
+            .map(|i| frame.iter().map(|c| c[i]).sum::<f64>() / frame.len() as f64)
+            .collect();
+        // Park mode: gate the expensive stages behind the always-on trigger.
+        if self.config.mode == OperatingMode::Park {
+            let fired = self
+                .latency
+                .time("trigger", || self.trigger.process_frame(&mono));
+            if !fired {
+                self.latency.count_frame();
+                return Ok(None);
+            }
+        }
+        self.frames_analyzed += 1;
+        let detector = &self.detector;
+        let (class, confidence) = self
+            .latency
+            .time("detection", || detector.predict_with_confidence(&mono))?;
+        let time_s = frame_index as f64 * self.config.hop as f64 / self.sample_rate;
+        if !class.is_event() || confidence < self.config.confidence_threshold {
+            self.latency.count_frame();
+            return Ok(None);
+        }
+        let mut azimuth_deg = None;
+        let mut tracked = None;
+        if self.config.mode.localization_enabled() {
+            if let Some(localizer) = &self.localizer {
+                let estimate = self
+                    .latency
+                    .time("localization", || localizer.localize(frame))?;
+                azimuth_deg = Some(estimate.azimuth_deg());
+                let state = self
+                    .latency
+                    .time("tracking", || self.tracker.update(estimate.azimuth_deg()));
+                tracked = Some(state.azimuth_deg);
+            }
+        }
+        self.latency.count_frame();
+        Ok(Some(PerceptionEvent {
+            frame_index,
+            time_s,
+            class,
+            confidence,
+            azimuth_deg,
+            tracked_azimuth_deg: tracked,
+        }))
+    }
+
+    /// Processes a whole multichannel recording with the configured frame/hop,
+    /// returning every emitted event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the recording's channel count does not match or any frame
+    /// fails to process.
+    pub fn process_recording(
+        &mut self,
+        audio: &MultichannelAudio,
+    ) -> Result<Vec<PerceptionEvent>, PipelineError> {
+        if audio.num_channels() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: audio.num_channels(),
+            });
+        }
+        let len = audio.len();
+        let frame_len = self.config.frame_len;
+        let hop = self.config.hop;
+        let mut events = Vec::new();
+        if len < frame_len {
+            return Ok(events);
+        }
+        let num_frames = (len - frame_len) / hop + 1;
+        for f in 0..num_frames {
+            let start = f * hop;
+            let frame: Vec<&[f64]> = audio
+                .channels()
+                .iter()
+                .map(|c| &c[start..start + frame_len])
+                .collect();
+            if let Some(event) = self.process_frame(&frame, f)? {
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
+
+    /// Detector class events not gated by the pipeline: classifies a mono clip
+    /// directly (useful for diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clip is shorter than one detector frame.
+    pub fn classify_clip(&self, audio: &[f64]) -> Result<EventClass, PipelineError> {
+        Ok(self.detector.predict(audio)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::{NoiseKind, NoiseSource};
+    use ispot_roadsim::geometry::Position;
+    use ispot_roadsim::scene::SceneBuilder;
+    use ispot_roadsim::source::SoundSource;
+    use ispot_roadsim::trajectory::Trajectory;
+    use ispot_roadsim::engine::Simulator;
+    use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
+
+    fn simulate_siren(azimuth_deg: f64, num_mics: usize, duration_s: f64) -> (MultichannelAudio, MicrophoneArray) {
+        let fs = 16_000.0;
+        let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(duration_s);
+        let az = azimuth_deg.to_radians();
+        let array = MicrophoneArray::circular(num_mics, 0.2, Position::new(0.0, 0.0, 1.0));
+        let scene = SceneBuilder::new(fs)
+            .source(SoundSource::new(
+                siren,
+                Trajectory::fixed(Position::new(20.0 * az.cos(), 20.0 * az.sin(), 1.0)),
+            ))
+            .array(array.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        (Simulator::new(scene).unwrap().run().unwrap(), array)
+    }
+
+    #[test]
+    fn detects_and_localizes_a_static_siren() {
+        let (audio, array) = simulate_siren(45.0, 6, 1.0);
+        let mut pipeline = AcousticPerceptionPipeline::with_array(
+            PipelineConfig::default(),
+            audio.sample_rate(),
+            &array,
+        )
+        .unwrap();
+        assert!(pipeline.localization_available());
+        let events = pipeline.process_recording(&audio).unwrap();
+        assert!(!events.is_empty(), "no events detected");
+        let alert = events.iter().find(|e| e.is_alert()).expect("an alert event");
+        assert!(alert.class.is_event());
+        let az = alert.azimuth_deg.expect("localization ran");
+        assert!(
+            ispot_ssl::metrics::angular_error_deg(az, 45.0) < 20.0,
+            "azimuth {az}"
+        );
+        assert!(pipeline.latency_report().frames() > 0);
+        assert!(pipeline.analysis_duty_cycle() > 0.99);
+    }
+
+    #[test]
+    fn background_noise_produces_no_alerts() {
+        let fs = 16_000.0;
+        let noise: Vec<f64> = NoiseSource::new(NoiseKind::Brown, 5)
+            .take(16_000)
+            .map(|x| x * 0.05)
+            .collect();
+        let channels = MultichannelAudio::new(vec![noise.clone(), noise], fs);
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let events = pipeline.process_recording(&channels).unwrap();
+        assert!(
+            events.iter().all(|e| !e.is_alert()),
+            "false alerts on background noise"
+        );
+    }
+
+    #[test]
+    fn park_mode_gates_analysis_behind_the_trigger() {
+        let fs = 16_000.0;
+        // 1 s of near silence followed by 1 s of loud siren.
+        let mut signal: Vec<f64> = NoiseSource::new(NoiseKind::White, 3)
+            .take(16_000)
+            .map(|x| x * 0.001)
+            .collect();
+        signal.extend(SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0));
+        let audio = MultichannelAudio::new(vec![signal], fs);
+        let config = PipelineConfig {
+            mode: OperatingMode::Park,
+            ..PipelineConfig::default()
+        };
+        let mut pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let events = pipeline.process_recording(&audio).unwrap();
+        // The expensive analysis only ran on a fraction of the frames...
+        assert!(pipeline.analysis_duty_cycle() < 0.8);
+        assert!(pipeline.frames_analyzed() < pipeline.frames_processed());
+        // ...but the siren was still reported, without localization in park mode.
+        assert!(events.iter().any(|e| e.is_alert()));
+        assert!(events.iter().all(|e| e.azimuth_deg.is_none()));
+    }
+
+    #[test]
+    fn channel_and_length_validation() {
+        let fs = 16_000.0;
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let ch = vec![0.0; 2048];
+        let one: Vec<&[f64]> = vec![&ch];
+        assert!(matches!(
+            pipeline.process_frame(&one, 0),
+            Err(PipelineError::ChannelMismatch { .. })
+        ));
+        let short = vec![0.0; 100];
+        let bad: Vec<&[f64]> = vec![&ch, &short];
+        assert!(pipeline.process_frame(&bad, 0).is_err());
+        let audio = MultichannelAudio::new(vec![vec![0.0; 4096]; 3], fs);
+        assert!(pipeline.process_recording(&audio).is_err());
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let fs = 16_000.0;
+        for bad in [
+            PipelineConfig {
+                frame_len: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                hop: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                confidence_threshold: 2.0,
+                ..PipelineConfig::default()
+            },
+        ] {
+            assert!(AcousticPerceptionPipeline::new(bad, fs, 2).is_err());
+        }
+        assert!(AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 0).is_err());
+    }
+
+    #[test]
+    fn mode_switch_resets_duty_cycle_tracking() {
+        let fs = 16_000.0;
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        assert_eq!(pipeline.mode(), OperatingMode::Drive);
+        pipeline.set_mode(OperatingMode::Park);
+        assert_eq!(pipeline.mode(), OperatingMode::Park);
+        assert!(!pipeline.localization_available());
+    }
+
+    #[test]
+    fn classify_clip_exposes_the_detector() {
+        let fs = 16_000.0;
+        let pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let horn = ispot_sed::sirens::synthesize_event(ispot_sed::EventClass::CarHorn, fs, 1.0);
+        let class = pipeline.classify_clip(&horn).unwrap();
+        assert_eq!(class, ispot_sed::EventClass::CarHorn);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by all DSP operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by DSP building blocks.
+///
+/// Every fallible public function in this crate returns [`DspError`]. The variants carry
+/// enough information to diagnose the failing call without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// The input buffer length does not match what the operation expects.
+    LengthMismatch {
+        /// Length the operation expected.
+        expected: usize,
+        /// Length that was supplied.
+        actual: usize,
+    },
+    /// A size parameter (FFT size, window length, hop, ...) is invalid.
+    InvalidSize {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: usize,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A scalar parameter (frequency, gain, delay, ...) is out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The operation needs more samples than are available.
+    InsufficientData {
+        /// Number of samples required.
+        required: usize,
+        /// Number of samples available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::InvalidSize {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid size for `{name}`: {value} ({constraint})"),
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::InsufficientData {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient data: {required} samples required, {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+impl DspError {
+    /// Convenience constructor for [`DspError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        DspError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            DspError::LengthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            DspError::InvalidSize {
+                name: "fft_size",
+                value: 3,
+                constraint: "must be a power of two",
+            },
+            DspError::invalid_parameter("cutoff", "must be below Nyquist"),
+            DspError::InsufficientData {
+                required: 10,
+                available: 2,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

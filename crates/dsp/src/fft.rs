@@ -1,0 +1,402 @@
+//! Fast Fourier transforms.
+//!
+//! The I-SPOT pipeline relies on FFTs for spectrogram extraction, GCC-PHAT computation
+//! and fast convolution. [`Fft`] implements an iterative radix-2 Cooley–Tukey transform
+//! for power-of-two sizes and falls back to the Bluestein (chirp-z) algorithm for
+//! arbitrary sizes, so callers never need to care about the length.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use std::f64::consts::PI;
+
+/// A fast Fourier transform plan for a fixed size.
+///
+/// The plan precomputes twiddle factors; reuse it across calls for best performance.
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::{fft::Fft, Complex};
+///
+/// # fn main() -> Result<(), ispot_dsp::DspError> {
+/// let fft = Fft::new(8);
+/// let x: Vec<Complex> = (0..8).map(|n| Complex::new(n as f64, 0.0)).collect();
+/// let spec = fft.forward(&x)?;
+/// let back = fft.inverse(&spec)?;
+/// for (a, b) in x.iter().zip(back.iter()) {
+///     assert!((a.re - b.re).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    size: usize,
+    /// Twiddle factors for the radix-2 path (only populated for power-of-two sizes).
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation table (radix-2 path).
+    bitrev: Vec<usize>,
+    /// Inner power-of-two FFT used by the Bluestein path.
+    bluestein: Option<Box<BluesteinPlan>>,
+}
+
+#[derive(Debug, Clone)]
+struct BluesteinPlan {
+    inner: Fft,
+    /// Chirp sequence a_n = exp(-i*pi*n^2/N).
+    chirp: Vec<Complex>,
+    /// FFT of the zero-padded conjugate chirp.
+    chirp_spectrum: Vec<Complex>,
+}
+
+impl Fft {
+    /// Creates a transform plan for `size` points.
+    ///
+    /// Any `size >= 1` is supported. Power-of-two sizes use the radix-2 algorithm;
+    /// other sizes use Bluestein's algorithm on top of a padded power-of-two plan.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "fft size must be at least 1");
+        if size.is_power_of_two() {
+            let mut twiddles = Vec::with_capacity(size / 2);
+            for k in 0..size / 2 {
+                twiddles.push(Complex::cis(-2.0 * PI * k as f64 / size as f64));
+            }
+            let bits = size.trailing_zeros();
+            let bitrev = if bits == 0 {
+                vec![0]
+            } else {
+                (0..size)
+                    .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (size - 1))
+                    .collect()
+            };
+            Fft {
+                size,
+                twiddles,
+                bitrev,
+                bluestein: None,
+            }
+        } else {
+            let padded = (2 * size - 1).next_power_of_two();
+            let inner = Fft::new(padded);
+            let mut chirp = Vec::with_capacity(size);
+            for n in 0..size {
+                // Use modular arithmetic on n^2 to keep the angle numerically small.
+                let sq = (n * n) % (2 * size);
+                chirp.push(Complex::cis(-PI * sq as f64 / size as f64));
+            }
+            let mut b = vec![Complex::ZERO; padded];
+            b[0] = chirp[0].conj();
+            for n in 1..size {
+                b[n] = chirp[n].conj();
+                b[padded - n] = chirp[n].conj();
+            }
+            let chirp_spectrum = inner.forward(&b).expect("padded length matches plan");
+            Fft {
+                size,
+                twiddles: Vec::new(),
+                bitrev: Vec::new(),
+                bluestein: Some(Box::new(BluesteinPlan {
+                    inner,
+                    chirp,
+                    chirp_spectrum,
+                })),
+            }
+        }
+    }
+
+    /// Returns the transform size this plan was created for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns true if the plan size is zero (never true in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Computes the forward DFT of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn forward(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        self.check_len(input.len())?;
+        let mut buf = input.to_vec();
+        self.transform_in_place(&mut buf, false);
+        Ok(buf)
+    }
+
+    /// Computes the inverse DFT of `input`, including the `1/N` normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn inverse(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        self.check_len(input.len())?;
+        let mut buf = input.to_vec();
+        self.transform_in_place(&mut buf, true);
+        let scale = 1.0 / self.size as f64;
+        for v in &mut buf {
+            *v = v.scale(scale);
+        }
+        Ok(buf)
+    }
+
+    /// Computes the forward DFT of a real-valued signal.
+    ///
+    /// Returns the full `N`-point complex spectrum (callers interested only in the
+    /// non-redundant half can take the first `N/2 + 1` bins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex>, DspError> {
+        self.check_len(input.len())?;
+        let buf: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        self.forward(&buf)
+    }
+
+    /// Computes the inverse DFT and returns only the real part.
+    ///
+    /// This is the natural companion of [`Fft::forward_real`] for signals known to be
+    /// real valued (e.g. cross-correlation via the frequency domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn inverse_real(&self, input: &[Complex]) -> Result<Vec<f64>, DspError> {
+        Ok(self.inverse(input)?.into_iter().map(|c| c.re).collect())
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), DspError> {
+        if len != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+
+    fn transform_in_place(&self, buf: &mut [Complex], inverse: bool) {
+        if let Some(plan) = &self.bluestein {
+            self.bluestein_transform(plan, buf, inverse);
+            return;
+        }
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i];
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Iterative radix-2 butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let even = buf[start + k];
+                    let odd = buf[start + k + half] * w;
+                    buf[start + k] = even + odd;
+                    buf[start + k + half] = even - odd;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    fn bluestein_transform(&self, plan: &BluesteinPlan, buf: &mut [Complex], inverse: bool) {
+        let n = self.size;
+        let padded = plan.inner.len();
+        // a_n = x_n * chirp_n (conjugate chirp for the inverse transform).
+        let mut a = vec![Complex::ZERO; padded];
+        for i in 0..n {
+            let c = if inverse {
+                plan.chirp[i].conj()
+            } else {
+                plan.chirp[i]
+            };
+            a[i] = buf[i] * c;
+        }
+        let mut fa = plan.inner.forward(&a).expect("length matches inner plan");
+        if inverse {
+            // The precomputed spectrum corresponds to conj(chirp); for the inverse
+            // transform we need the spectrum of the chirp itself, which is the
+            // conjugate-symmetric counterpart. Recompute cheaply via conjugation trick:
+            // FFT(conj(b)) = conj(reverse(FFT(b))) — instead just convolve with
+            // conj(chirp) by conjugating in time domain below.
+            let mut b = vec![Complex::ZERO; padded];
+            b[0] = plan.chirp[0];
+            for i in 1..n {
+                b[i] = plan.chirp[i];
+                b[padded - i] = plan.chirp[i];
+            }
+            let fb = plan.inner.forward(&b).expect("length matches inner plan");
+            for i in 0..padded {
+                fa[i] = fa[i] * fb[i];
+            }
+        } else {
+            for i in 0..padded {
+                fa[i] = fa[i] * plan.chirp_spectrum[i];
+            }
+        }
+        let conv = plan.inner.inverse(&fa).expect("length matches inner plan");
+        for i in 0..n {
+            let c = if inverse {
+                plan.chirp[i].conj()
+            } else {
+                plan.chirp[i]
+            };
+            buf[i] = conv[i] * c;
+        }
+    }
+}
+
+/// Returns the frequency (in Hz) of FFT bin `k` for a transform of `n` points at
+/// sampling rate `fs`, mapping bins above `n/2` to negative frequencies.
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::fft::bin_frequency;
+/// assert_eq!(bin_frequency(0, 8, 8000.0), 0.0);
+/// assert_eq!(bin_frequency(1, 8, 8000.0), 1000.0);
+/// assert_eq!(bin_frequency(7, 8, 8000.0), -1000.0);
+/// ```
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    let k = k % n;
+    if k <= n / 2 {
+        k as f64 * fs / n as f64
+    } else {
+        (k as f64 - n as f64) * fs / n as f64
+    }
+}
+
+/// Naive O(N^2) DFT, used as a reference in tests and for very small transforms.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            acc += x * Complex::cis(-2.0 * PI * (k * t) as f64 / n as f64);
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "mismatch: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let fft = Fft::new(n);
+        assert_close(&fft.forward(&x).unwrap(), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_non_power_of_two() {
+        for n in [3usize, 5, 6, 7, 12, 15, 31] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let fft = Fft::new(n);
+            assert_close(&fft.forward(&x).unwrap(), &dft_naive(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_signal() {
+        for n in [8usize, 10, 64, 100] {
+            let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+            let fft = Fft::new(n);
+            let back = fft.inverse(&fft.forward(&x).unwrap()).unwrap();
+            assert_close(&back, &x, 1e-7);
+        }
+    }
+
+    #[test]
+    fn single_tone_has_single_peak() {
+        let n = 256;
+        let fs = 16_000.0;
+        let f0 = 1000.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let spec = Fft::new(n).forward_real(&x).unwrap();
+        let peak = spec
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .unwrap()
+            .0;
+        assert_eq!(peak, (f0 / fs * n as f64).round() as usize);
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), 0.0))
+            .collect();
+        let spec = Fft::new(n).forward(&x).unwrap();
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let fft = Fft::new(8);
+        let err = fft.forward(&[Complex::ZERO; 4]).unwrap_err();
+        assert_eq!(
+            err,
+            DspError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let fft = Fft::new(1);
+        let x = [Complex::new(3.25, -1.5)];
+        assert_eq!(fft.forward(&x).unwrap(), x.to_vec());
+    }
+
+    #[test]
+    fn bin_frequency_maps_negative_half() {
+        assert_eq!(bin_frequency(4, 8, 800.0), 400.0);
+        assert_eq!(bin_frequency(5, 8, 800.0), -300.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Level, energy and SNR utilities.
+//!
+//! The dataset generator of Sec. IV-A mixes event and noise signals at a prescribed
+//! signal-to-noise ratio in the range [−30, 0] dB; [`mix_at_snr`] implements exactly
+//! that protocol.
+
+use crate::error::DspError;
+
+/// Converts a linear amplitude ratio to decibels (`20*log10`).
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::level::linear_to_db;
+/// assert!((linear_to_db(10.0) - 20.0).abs() < 1e-12);
+/// ```
+pub fn linear_to_db(linear: f64) -> f64 {
+    20.0 * linear.max(1e-300).log10()
+}
+
+/// Converts decibels to a linear amplitude ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts a power ratio to decibels (`10*log10`).
+pub fn power_to_db(power: f64) -> f64 {
+    10.0 * power.max(1e-300).log10()
+}
+
+/// Returns the mean power (mean of squared samples) of `signal`, 0 for empty input.
+pub fn signal_power(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64
+}
+
+/// Returns the root-mean-square level of `signal`.
+pub fn rms(signal: &[f64]) -> f64 {
+    signal_power(signal).sqrt()
+}
+
+/// Returns the peak absolute value of `signal`.
+pub fn peak(signal: &[f64]) -> f64 {
+    signal.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Measures the actual SNR (in dB) between a clean `signal` and a `noise` recording of
+/// the same length.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if lengths differ, or
+/// [`DspError::InvalidParameter`] if either input is silent.
+pub fn measure_snr(signal: &[f64], noise: &[f64]) -> Result<f64, DspError> {
+    if signal.len() != noise.len() {
+        return Err(DspError::LengthMismatch {
+            expected: signal.len(),
+            actual: noise.len(),
+        });
+    }
+    let ps = signal_power(signal);
+    let pn = signal_power(noise);
+    if ps <= 0.0 || pn <= 0.0 {
+        return Err(DspError::invalid_parameter(
+            "signal",
+            "both signal and noise must be non-silent",
+        ));
+    }
+    Ok(power_to_db(ps / pn))
+}
+
+/// Mixes `signal` with `noise` so that the resulting signal-to-noise ratio equals
+/// `snr_db`, following the dataset-generation protocol of the paper (the event signal
+/// keeps its level; the noise is rescaled).
+///
+/// The output length is the length of `signal`; `noise` is tiled or truncated as
+/// needed.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if either input is silent or empty.
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::level::{measure_snr, mix_at_snr};
+///
+/// # fn main() -> Result<(), ispot_dsp::DspError> {
+/// let signal: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let noise: Vec<f64> = (0..1000).map(|i| ((i * 37 % 100) as f64 / 50.0) - 1.0).collect();
+/// let (mix, scaled_noise) = mix_at_snr(&signal, &noise, -10.0)?;
+/// assert_eq!(mix.len(), signal.len());
+/// let snr = measure_snr(&signal, &scaled_noise)?;
+/// assert!((snr - -10.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mix_at_snr(signal: &[f64], noise: &[f64], snr_db: f64) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    if signal.is_empty() {
+        return Err(DspError::invalid_parameter("signal", "must not be empty"));
+    }
+    if noise.is_empty() {
+        return Err(DspError::invalid_parameter("noise", "must not be empty"));
+    }
+    let ps = signal_power(signal);
+    if ps <= 0.0 {
+        return Err(DspError::invalid_parameter("signal", "must not be silent"));
+    }
+    // Tile/truncate noise to the signal length.
+    let tiled: Vec<f64> = (0..signal.len()).map(|i| noise[i % noise.len()]).collect();
+    let pn = signal_power(&tiled);
+    if pn <= 0.0 {
+        return Err(DspError::invalid_parameter("noise", "must not be silent"));
+    }
+    // Desired noise power: ps / 10^(snr/10).
+    let target_pn = ps / 10f64.powf(snr_db / 10.0);
+    let gain = (target_pn / pn).sqrt();
+    let scaled: Vec<f64> = tiled.iter().map(|x| x * gain).collect();
+    let mix: Vec<f64> = signal.iter().zip(&scaled).map(|(s, n)| s + n).collect();
+    Ok((mix, scaled))
+}
+
+/// Normalizes `signal` to a target peak absolute value, returning the scaled copy.
+/// A silent signal is returned unchanged.
+pub fn normalize_peak(signal: &[f64], target_peak: f64) -> Vec<f64> {
+    let p = peak(signal);
+    if p <= 0.0 {
+        return signal.to_vec();
+    }
+    let g = target_peak / p;
+    signal.iter().map(|x| x * g).collect()
+}
+
+/// Computes the short-time energy of `signal` over non-overlapping frames of
+/// `frame_len` samples. The trailing partial frame is ignored.
+pub fn frame_energy(signal: &[f64], frame_len: usize) -> Vec<f64> {
+    if frame_len == 0 {
+        return Vec::new();
+    }
+    signal
+        .chunks_exact(frame_len)
+        .map(|frame| frame.iter().map(|x| x * x).sum::<f64>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        for v in [0.1, 1.0, 3.5, 100.0] {
+            assert!((db_to_linear(linear_to_db(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rms_of_unit_sine_is_inv_sqrt2() {
+        let x: Vec<f64> = (0..10_000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin())
+            .collect();
+        assert!((rms(&x) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mix_at_snr_achieves_requested_snr() {
+        let signal: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.07).sin()).collect();
+        let noise: Vec<f64> = (0..1500).map(|i| ((i * 17 % 31) as f64 / 15.0) - 1.0).collect();
+        for snr in [-30.0, -20.0, -10.0, 0.0, 10.0] {
+            let (_, scaled) = mix_at_snr(&signal, &noise, snr).unwrap();
+            let measured = measure_snr(&signal, &scaled).unwrap();
+            assert!((measured - snr).abs() < 1e-9, "snr {snr}: got {measured}");
+        }
+    }
+
+    #[test]
+    fn mix_rejects_silent_inputs() {
+        let sig = vec![0.0; 100];
+        let noise = vec![1.0; 100];
+        assert!(mix_at_snr(&sig, &noise, 0.0).is_err());
+        assert!(mix_at_snr(&noise, &sig, 0.0).is_err());
+        assert!(mix_at_snr(&[], &noise, 0.0).is_err());
+    }
+
+    #[test]
+    fn measure_snr_rejects_length_mismatch() {
+        assert!(measure_snr(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn normalize_peak_scales_to_target() {
+        let x = vec![0.1, -0.5, 0.2];
+        let y = normalize_peak(&x, 1.0);
+        assert!((peak(&y) - 1.0).abs() < 1e-12);
+        // Silent input is untouched.
+        assert_eq!(normalize_peak(&[0.0; 4], 1.0), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn frame_energy_counts_full_frames_only() {
+        let x = vec![1.0; 10];
+        let e = frame_energy(&x, 4);
+        assert_eq!(e, vec![4.0, 4.0]);
+        assert!(frame_energy(&x, 0).is_empty());
+    }
+
+    #[test]
+    fn peak_and_power_of_empty_signal_are_zero() {
+        assert_eq!(peak(&[]), 0.0);
+        assert_eq!(signal_power(&[]), 0.0);
+    }
+}

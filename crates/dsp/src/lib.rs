@@ -1,0 +1,80 @@
+//! # ispot-dsp
+//!
+//! Digital signal processing substrate for the I-SPOT acoustic-perception stack.
+//!
+//! This crate provides every low-level building block used by the road-acoustics
+//! simulator (`ispot-roadsim`), the feature extractors (`ispot-features`) and the
+//! localization front-ends (`ispot-ssl`):
+//!
+//! * complex arithmetic ([`Complex`]) and fast Fourier transforms ([`fft`])
+//! * short-time Fourier transform ([`stft`]) and analysis [`window`]s
+//! * FIR ([`fir`]), biquad ([`biquad`]) and general IIR ([`iir`]) filters
+//! * fractional, variable-length [`delay`] lines (the core of the Doppler model)
+//! * [`interp`]olation, [`resample`]rs, [`convolution`]
+//! * signal [`generator`]s (tones, sweeps, noise) and [`level`] / SNR utilities
+//! * a simple [`ring`] buffer for streaming use
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_dsp::{fft::Fft, window::Window, generator::Sine};
+//!
+//! # fn main() -> Result<(), ispot_dsp::DspError> {
+//! // Generate a 440 Hz tone, window it and look at its spectrum.
+//! let fs = 16_000.0;
+//! let tone: Vec<f64> = Sine::new(440.0, fs).take(1024).collect();
+//! let win = Window::hann(1024);
+//! let frame = win.apply(&tone);
+//! let spectrum = Fft::new(1024).forward_real(&frame)?;
+//! let peak_bin = spectrum
+//!     .iter()
+//!     .take(512) // non-redundant half of the real-signal spectrum
+//!     .enumerate()
+//!     .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+//!     .map(|(i, _)| i)
+//!     .unwrap();
+//! assert_eq!(peak_bin, (440.0 / fs * 1024.0).round() as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod biquad;
+pub mod complex;
+pub mod convolution;
+pub mod delay;
+pub mod error;
+pub mod fft;
+pub mod fir;
+pub mod generator;
+pub mod iir;
+pub mod interp;
+pub mod level;
+pub mod resample;
+pub mod ring;
+pub mod stft;
+pub mod window;
+
+pub use complex::Complex;
+pub use error::DspError;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::biquad::{Biquad, BiquadCascade, BiquadDesign};
+    pub use crate::complex::Complex;
+    pub use crate::convolution::{convolve, fft_convolve, ConvMode};
+    pub use crate::delay::{DelayLine, InterpolationKind};
+    pub use crate::error::DspError;
+    pub use crate::fft::Fft;
+    pub use crate::fir::{FirDesign, FirFilter};
+    pub use crate::generator::{Chirp, NoiseKind, NoiseSource, Sine, Sweep};
+    pub use crate::iir::IirFilter;
+    pub use crate::interp::Interpolator;
+    pub use crate::level::{db_to_linear, linear_to_db, mix_at_snr, rms, signal_power};
+    pub use crate::resample::LinearResampler;
+    pub use crate::ring::RingBuffer;
+    pub use crate::stft::{Stft, StftBuilder};
+    pub use crate::window::{Window, WindowKind};
+}

@@ -1,0 +1,203 @@
+//! Sample-rate conversion.
+
+use crate::error::DspError;
+use crate::fir::{FirDesign, FirFilter};
+use crate::interp::Interpolator;
+
+/// A simple arbitrary-ratio resampler using fractional-position interpolation.
+///
+/// For modest ratio changes (as needed when matching source material sample rates to
+/// the 16 kHz processing rate used throughout I-SPOT) this is accurate enough; for
+/// large downsampling factors use [`decimate`] which includes an anti-aliasing filter.
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::resample::LinearResampler;
+///
+/// # fn main() -> Result<(), ispot_dsp::DspError> {
+/// let resampler = LinearResampler::new(8000.0, 16000.0)?;
+/// let input: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let output = resampler.resample(&input);
+/// assert_eq!(output.len(), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearResampler {
+    ratio: f64,
+    interpolator: Interpolator,
+}
+
+impl LinearResampler {
+    /// Creates a resampler converting from `fs_in` to `fs_out` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either rate is not positive.
+    pub fn new(fs_in: f64, fs_out: f64) -> Result<Self, DspError> {
+        if fs_in <= 0.0 || fs_out <= 0.0 {
+            return Err(DspError::invalid_parameter(
+                "fs_in/fs_out",
+                "sampling rates must be positive",
+            ));
+        }
+        Ok(LinearResampler {
+            ratio: fs_in / fs_out,
+            interpolator: Interpolator::Lagrange3,
+        })
+    }
+
+    /// Selects the interpolation method (default: third-order Lagrange).
+    pub fn with_interpolator(mut self, interpolator: Interpolator) -> Self {
+        self.interpolator = interpolator;
+        self
+    }
+
+    /// Returns the conversion ratio `fs_in / fs_out`.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Resamples a whole buffer.
+    pub fn resample(&self, input: &[f64]) -> Vec<f64> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let out_len = (input.len() as f64 / self.ratio).round() as usize;
+        (0..out_len)
+            .map(|n| self.interpolator.interpolate(input, n as f64 * self.ratio))
+            .collect()
+    }
+}
+
+/// Downsamples `input` by an integer `factor` with a windowed-sinc anti-aliasing
+/// low-pass filter.
+///
+/// # Errors
+///
+/// Returns an error if `factor` is zero.
+pub fn decimate(input: &[f64], factor: usize, fs: f64) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidSize {
+            name: "factor",
+            value: 0,
+            constraint: "must be at least 1",
+        });
+    }
+    if factor == 1 {
+        return Ok(input.to_vec());
+    }
+    let cutoff = 0.45 * fs / factor as f64;
+    let taps = FirDesign::lowpass(63, cutoff, fs)?;
+    let mut filter = FirFilter::new(taps)?;
+    let filtered = filter.process_block(input);
+    Ok(filtered.iter().step_by(factor).copied().collect())
+}
+
+/// Upsamples `input` by an integer `factor` using zero insertion followed by an
+/// interpolating low-pass filter.
+///
+/// # Errors
+///
+/// Returns an error if `factor` is zero.
+pub fn interpolate_by(input: &[f64], factor: usize, fs_in: f64) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidSize {
+            name: "factor",
+            value: 0,
+            constraint: "must be at least 1",
+        });
+    }
+    if factor == 1 {
+        return Ok(input.to_vec());
+    }
+    let fs_out = fs_in * factor as f64;
+    let mut upsampled = vec![0.0; input.len() * factor];
+    for (i, &x) in input.iter().enumerate() {
+        upsampled[i * factor] = x * factor as f64;
+    }
+    let cutoff = 0.45 * fs_in;
+    let taps = FirDesign::lowpass(63, cutoff, fs_out)?;
+    let mut filter = FirFilter::new(taps)?;
+    Ok(filter.process_block(&upsampled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+    use std::f64::consts::PI;
+
+    fn dominant_frequency(x: &[f64], fs: f64) -> f64 {
+        let n = x.len().next_power_of_two() / 2;
+        let slice = &x[..n];
+        let spec = Fft::new(n).forward_real(slice).unwrap();
+        let peak = spec
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .unwrap()
+            .0;
+        peak as f64 * fs / n as f64
+    }
+
+    #[test]
+    fn upsampling_preserves_tone_frequency() {
+        let fs_in = 8000.0;
+        let f0 = 440.0;
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs_in).sin())
+            .collect();
+        let r = LinearResampler::new(fs_in, 16_000.0).unwrap();
+        let y = r.resample(&x);
+        assert_eq!(y.len(), 8000);
+        let f_est = dominant_frequency(&y[1000..], 16_000.0);
+        assert!((f_est - f0).abs() < 10.0, "estimated {f_est}");
+    }
+
+    #[test]
+    fn identity_ratio_is_near_lossless() {
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).sin()).collect();
+        let r = LinearResampler::new(16_000.0, 16_000.0).unwrap();
+        let y = r.resample(&x);
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y).skip(4).take(200) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decimate_reduces_length_and_keeps_low_frequencies() {
+        let fs = 16_000.0;
+        let f0 = 300.0;
+        let x: Vec<f64> = (0..8000)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let y = decimate(&x, 2, fs).unwrap();
+        assert_eq!(y.len(), 4000);
+        let f_est = dominant_frequency(&y[500..], fs / 2.0);
+        assert!((f_est - f0).abs() < 10.0, "estimated {f_est}");
+    }
+
+    #[test]
+    fn interpolate_by_expands_length() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y = interpolate_by(&x, 4, 4000.0).unwrap();
+        assert_eq!(y.len(), 400);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LinearResampler::new(0.0, 16_000.0).is_err());
+        assert!(decimate(&[1.0], 0, 8000.0).is_err());
+        assert!(interpolate_by(&[1.0], 0, 8000.0).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let r = LinearResampler::new(8000.0, 16_000.0).unwrap();
+        assert!(r.resample(&[]).is_empty());
+    }
+}

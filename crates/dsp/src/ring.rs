@@ -1,0 +1,253 @@
+//! A fixed-capacity ring buffer for streaming audio frames.
+
+use crate::error::DspError;
+
+/// A single-producer, single-consumer ring buffer of `f64` samples.
+///
+/// Used by the real-time pipeline to decouple capture (simulation) from frame-based
+/// analysis.
+///
+/// # Example
+///
+/// ```
+/// use ispot_dsp::ring::RingBuffer;
+///
+/// # fn main() -> Result<(), ispot_dsp::DspError> {
+/// let mut rb = RingBuffer::new(8)?;
+/// rb.write(&[1.0, 2.0, 3.0])?;
+/// let mut out = [0.0; 2];
+/// rb.read(&mut out)?;
+/// assert_eq!(out, [1.0, 2.0]);
+/// assert_eq!(rb.available(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buffer: Vec<f64>,
+    head: usize,
+    tail: usize,
+    full: bool,
+}
+
+impl RingBuffer {
+    /// Creates a ring buffer with the given capacity in samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidSize`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, DspError> {
+        if capacity == 0 {
+            return Err(DspError::InvalidSize {
+                name: "capacity",
+                value: 0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(RingBuffer {
+            buffer: vec![0.0; capacity],
+            head: 0,
+            tail: 0,
+            full: false,
+        })
+    }
+
+    /// Returns the total capacity.
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Returns the number of samples currently stored.
+    pub fn available(&self) -> usize {
+        if self.full {
+            self.buffer.len()
+        } else if self.head >= self.tail {
+            self.head - self.tail
+        } else {
+            self.buffer.len() - self.tail + self.head
+        }
+    }
+
+    /// Returns the free space in samples.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.available()
+    }
+
+    /// Returns true if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.head == self.tail
+    }
+
+    /// Returns true if the buffer is full.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.tail = 0;
+        self.full = false;
+    }
+
+    /// Writes all of `data` into the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if there is not enough free space; in
+    /// that case nothing is written.
+    pub fn write(&mut self, data: &[f64]) -> Result<(), DspError> {
+        if data.len() > self.free() {
+            return Err(DspError::InsufficientData {
+                required: data.len(),
+                available: self.free(),
+            });
+        }
+        for &x in data {
+            self.buffer[self.head] = x;
+            self.head = (self.head + 1) % self.buffer.len();
+        }
+        if !data.is_empty() && self.head == self.tail {
+            self.full = true;
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `out.len()` samples into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if fewer samples are available; in that
+    /// case nothing is consumed.
+    pub fn read(&mut self, out: &mut [f64]) -> Result<(), DspError> {
+        if out.len() > self.available() {
+            return Err(DspError::InsufficientData {
+                required: out.len(),
+                available: self.available(),
+            });
+        }
+        for slot in out.iter_mut() {
+            *slot = self.buffer[self.tail];
+            self.tail = (self.tail + 1) % self.buffer.len();
+        }
+        if !out.is_empty() {
+            self.full = false;
+        }
+        Ok(())
+    }
+
+    /// Copies the oldest `out.len()` samples into `out` without consuming them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if fewer samples are available.
+    pub fn peek(&self, out: &mut [f64]) -> Result<(), DspError> {
+        if out.len() > self.available() {
+            return Err(DspError::InsufficientData {
+                required: out.len(),
+                available: self.available(),
+            });
+        }
+        let mut idx = self.tail;
+        for slot in out.iter_mut() {
+            *slot = self.buffer[idx];
+            idx = (idx + 1) % self.buffer.len();
+        }
+        Ok(())
+    }
+
+    /// Discards the oldest `count` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if fewer than `count` samples are stored.
+    pub fn skip(&mut self, count: usize) -> Result<(), DspError> {
+        if count > self.available() {
+            return Err(DspError::InsufficientData {
+                required: count,
+                available: self.available(),
+            });
+        }
+        self.tail = (self.tail + count) % self.buffer.len();
+        if count > 0 {
+            self.full = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_preserves_order() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0, 3.0]).unwrap();
+        let mut out = [0.0; 3];
+        rb.read(&mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn wraparound_is_handled() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0, 3.0]).unwrap();
+        let mut out = [0.0; 2];
+        rb.read(&mut out).unwrap();
+        rb.write(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(rb.available(), 4);
+        assert!(rb.is_full());
+        let mut all = [0.0; 4];
+        rb.read(&mut all).unwrap();
+        assert_eq!(all, [3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn overflow_and_underflow_are_rejected_without_side_effects() {
+        let mut rb = RingBuffer::new(2).unwrap();
+        rb.write(&[1.0]).unwrap();
+        assert!(rb.write(&[2.0, 3.0]).is_err());
+        assert_eq!(rb.available(), 1);
+        let mut out = [0.0; 2];
+        assert!(rb.read(&mut out).is_err());
+        assert_eq!(rb.available(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0]).unwrap();
+        let mut out = [0.0; 2];
+        rb.peek(&mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0]);
+        assert_eq!(rb.available(), 2);
+    }
+
+    #[test]
+    fn skip_discards_samples() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0, 3.0]).unwrap();
+        rb.skip(2).unwrap();
+        let mut out = [0.0; 1];
+        rb.read(&mut out).unwrap();
+        assert_eq!(out, [3.0]);
+        assert!(rb.skip(5).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(RingBuffer::new(0).is_err());
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(rb.is_full());
+        rb.clear();
+        assert!(rb.is_empty());
+        assert_eq!(rb.free(), 4);
+    }
+}

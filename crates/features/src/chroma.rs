@@ -1,0 +1,203 @@
+//! Chromagram (12-bin pitch-class profile) extraction.
+//!
+//! Chromagrams are one of the less common but evaluated feature sets for emergency
+//! sound detection (Sharma et al., cited in Sec. III of the paper): siren tones map to
+//! stable pitch classes whereas broadband traffic noise spreads evenly.
+
+use crate::error::FeatureError;
+use crate::matrix::FeatureMatrix;
+use crate::spectrogram::{SpectrogramConfig, SpectrogramExtractor, SpectrogramScale};
+use serde::{Deserialize, Serialize};
+
+/// Computes 12-dimensional chroma vectors per frame.
+#[derive(Debug, Clone)]
+pub struct ChromaExtractor {
+    spectrogram: SpectrogramExtractor,
+    /// Pitch class (0–11) of every FFT bin, `None` for bins outside the mapped range.
+    bin_classes: Vec<Option<usize>>,
+    tuning_hz: f64,
+}
+
+/// Configuration of the chroma extractor is deliberately small: frame/hop plus the
+/// reference tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChromaConfig {
+    /// STFT frame length in samples.
+    pub frame_len: usize,
+    /// STFT hop in samples.
+    pub hop: usize,
+    /// Reference tuning frequency for A4 in Hz.
+    pub tuning_hz: f64,
+    /// Lowest frequency mapped to a pitch class, Hz.
+    pub f_min: f64,
+    /// Highest frequency mapped to a pitch class, Hz.
+    pub f_max: f64,
+}
+
+impl Default for ChromaConfig {
+    fn default() -> Self {
+        ChromaConfig {
+            frame_len: 1024,
+            hop: 512,
+            tuning_hz: 440.0,
+            f_min: 60.0,
+            f_max: 5000.0,
+        }
+    }
+}
+
+impl ChromaExtractor {
+    /// Creates a chroma extractor for sampling rate `fs` with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying spectrogram configuration is invalid.
+    pub fn new(fs: f64) -> Result<Self, FeatureError> {
+        Self::with_config(ChromaConfig::default(), fs)
+    }
+
+    /// Creates a chroma extractor with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn with_config(config: ChromaConfig, fs: f64) -> Result<Self, FeatureError> {
+        if config.tuning_hz <= 0.0 {
+            return Err(FeatureError::invalid_config("tuning_hz", "must be positive"));
+        }
+        if !(config.f_min > 0.0 && config.f_min < config.f_max) {
+            return Err(FeatureError::invalid_config(
+                "f_min/f_max",
+                "must satisfy 0 < f_min < f_max",
+            ));
+        }
+        let spec_cfg = SpectrogramConfig {
+            frame_len: config.frame_len,
+            hop: config.hop,
+            fft_size: config.frame_len,
+            scale: SpectrogramScale::Power,
+            ..SpectrogramConfig::default()
+        };
+        let spectrogram = SpectrogramExtractor::new(spec_cfg)?;
+        let num_bins = spectrogram.num_bins();
+        let f_max = config.f_max.min(fs / 2.0);
+        let bin_classes = (0..num_bins)
+            .map(|k| {
+                let f = k as f64 * fs / (2.0 * (num_bins as f64 - 1.0));
+                if f < config.f_min || f > f_max {
+                    None
+                } else {
+                    // MIDI-style pitch number relative to A4 = 69.
+                    let midi = 69.0 + 12.0 * (f / config.tuning_hz).log2();
+                    Some((midi.round() as i64).rem_euclid(12) as usize)
+                }
+            })
+            .collect();
+        Ok(ChromaExtractor {
+            spectrogram,
+            bin_classes,
+            tuning_hz: config.tuning_hz,
+        })
+    }
+
+    /// Returns the reference tuning frequency.
+    pub fn tuning_hz(&self) -> f64 {
+        self.tuning_hz
+    }
+
+    /// Computes the chromagram (frames × 12), each row normalized to unit sum when
+    /// non-silent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::SignalTooShort`] if the signal is shorter than one frame.
+    pub fn compute(&self, signal: &[f64]) -> Result<FeatureMatrix, FeatureError> {
+        let power = self.spectrogram.compute(signal)?;
+        let rows: Vec<Vec<f64>> = power
+            .iter_rows()
+            .map(|spectrum| {
+                let mut chroma = vec![0.0; 12];
+                for (k, &p) in spectrum.iter().enumerate() {
+                    if let Some(class) = self.bin_classes[k] {
+                        chroma[class] += p;
+                    }
+                }
+                let sum: f64 = chroma.iter().sum();
+                if sum > 1e-12 {
+                    for v in &mut chroma {
+                        *v /= sum;
+                    }
+                }
+                chroma
+            })
+            .collect();
+        Ok(FeatureMatrix::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::{NoiseKind, NoiseSource, Sine};
+
+    #[test]
+    fn a440_concentrates_in_pitch_class_9() {
+        let fs = 16_000.0;
+        let ex = ChromaExtractor::new(fs).unwrap();
+        let x: Vec<f64> = Sine::new(440.0, fs).take(8192).collect();
+        let chroma = ex.compute(&x).unwrap();
+        let means = chroma.column_means();
+        let peak = means
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // A is pitch class 9 (C = 0).
+        assert_eq!(peak, 9);
+    }
+
+    #[test]
+    fn rows_are_normalized() {
+        let fs = 16_000.0;
+        let ex = ChromaExtractor::new(fs).unwrap();
+        let x: Vec<f64> = Sine::new(523.25, fs).take(4096).collect();
+        let chroma = ex.compute(&x).unwrap();
+        for row in chroma.iter_rows() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_is_flatter_than_a_tone() {
+        let fs = 16_000.0;
+        let ex = ChromaExtractor::new(fs).unwrap();
+        let tone: Vec<f64> = Sine::new(440.0, fs).take(8192).collect();
+        let noise: Vec<f64> = NoiseSource::new(NoiseKind::White, 5).take(8192).collect();
+        let flatness = |m: &FeatureMatrix| {
+            let means = m.column_means();
+            let max = means.iter().cloned().fold(0.0f64, f64::max);
+            let mean = means.iter().sum::<f64>() / 12.0;
+            max / mean
+        };
+        let tone_chroma = ex.compute(&tone).unwrap();
+        let noise_chroma = ex.compute(&noise).unwrap();
+        assert!(flatness(&tone_chroma) > 2.0 * flatness(&noise_chroma));
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        let bad = ChromaConfig {
+            tuning_hz: 0.0,
+            ..ChromaConfig::default()
+        };
+        assert!(ChromaExtractor::with_config(bad, 16_000.0).is_err());
+        let bad = ChromaConfig {
+            f_min: 5000.0,
+            f_max: 100.0,
+            ..ChromaConfig::default()
+        };
+        assert!(ChromaExtractor::with_config(bad, 16_000.0).is_err());
+    }
+}

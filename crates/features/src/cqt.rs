@@ -1,0 +1,256 @@
+//! Constant-Q transform (CQT).
+//!
+//! The CQT uses logarithmically spaced frequency bins with a constant
+//! frequency-to-bandwidth ratio Q, giving siren sweeps a straight-line signature across
+//! octaves. The implementation is the direct (naive) per-frame kernel evaluation, which
+//! is adequate for the frame sizes used in the I-SPOT experiments.
+
+use crate::error::FeatureError;
+use crate::framing::frame_signal;
+use crate::matrix::FeatureMatrix;
+use ispot_dsp::window::{Window, WindowKind};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Configuration of the [`CqtExtractor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CqtConfig {
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+    /// Lowest analysed frequency in Hz.
+    pub f_min: f64,
+    /// Number of bins per octave.
+    pub bins_per_octave: usize,
+    /// Total number of CQT bins.
+    pub num_bins: usize,
+}
+
+impl Default for CqtConfig {
+    fn default() -> Self {
+        CqtConfig {
+            frame_len: 2048,
+            hop: 1024,
+            f_min: 100.0,
+            bins_per_octave: 12,
+            num_bins: 72,
+        }
+    }
+}
+
+/// Computes constant-Q magnitude features (frames × bins).
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::cqt::{CqtConfig, CqtExtractor};
+///
+/// # fn main() -> Result<(), ispot_features::FeatureError> {
+/// let fs = 16_000.0;
+/// let ex = CqtExtractor::new(CqtConfig::default(), fs)?;
+/// let x: Vec<f64> = ispot_dsp::generator::Sine::new(400.0, fs).take(8192).collect();
+/// let cqt = ex.compute(&x)?;
+/// assert_eq!(cqt.num_cols(), 72);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CqtExtractor {
+    config: CqtConfig,
+    /// Per-bin complex kernels (cos and -sin parts), each of `frame_len` samples.
+    kernels: Vec<(Vec<f64>, Vec<f64>)>,
+    center_frequencies: Vec<f64>,
+}
+
+impl CqtExtractor {
+    /// Creates a CQT extractor for sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any size is zero or the highest bin exceeds Nyquist.
+    pub fn new(config: CqtConfig, fs: f64) -> Result<Self, FeatureError> {
+        if config.frame_len == 0 || config.hop == 0 {
+            return Err(FeatureError::invalid_config(
+                "frame_len/hop",
+                "must be positive",
+            ));
+        }
+        if config.num_bins == 0 || config.bins_per_octave == 0 {
+            return Err(FeatureError::invalid_config(
+                "num_bins/bins_per_octave",
+                "must be positive",
+            ));
+        }
+        if config.f_min <= 0.0 {
+            return Err(FeatureError::invalid_config("f_min", "must be positive"));
+        }
+        let center_frequencies: Vec<f64> = (0..config.num_bins)
+            .map(|k| config.f_min * 2f64.powf(k as f64 / config.bins_per_octave as f64))
+            .collect();
+        let f_max = *center_frequencies.last().expect("num_bins > 0");
+        if f_max > fs / 2.0 {
+            return Err(FeatureError::invalid_config(
+                "num_bins",
+                format!("highest bin {f_max:.1} Hz exceeds Nyquist {}", fs / 2.0),
+            ));
+        }
+        let window = Window::new(WindowKind::Hann, config.frame_len);
+        let kernels = center_frequencies
+            .iter()
+            .map(|&fc| {
+                let cos: Vec<f64> = (0..config.frame_len)
+                    .map(|n| {
+                        (2.0 * PI * fc * n as f64 / fs).cos() * window.coefficients()[n]
+                            / config.frame_len as f64
+                    })
+                    .collect();
+                let sin: Vec<f64> = (0..config.frame_len)
+                    .map(|n| {
+                        -(2.0 * PI * fc * n as f64 / fs).sin() * window.coefficients()[n]
+                            / config.frame_len as f64
+                    })
+                    .collect();
+                (cos, sin)
+            })
+            .collect();
+        Ok(CqtExtractor {
+            config,
+            kernels,
+            center_frequencies,
+        })
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> CqtConfig {
+        self.config
+    }
+
+    /// Returns the logarithmically spaced centre frequencies.
+    pub fn center_frequencies(&self) -> &[f64] {
+        &self.center_frequencies
+    }
+
+    /// Computes the CQT magnitude matrix (frames × bins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::SignalTooShort`] if the signal is shorter than one frame.
+    pub fn compute(&self, signal: &[f64]) -> Result<FeatureMatrix, FeatureError> {
+        if signal.len() < self.config.frame_len {
+            return Err(FeatureError::SignalTooShort {
+                required: self.config.frame_len,
+                actual: signal.len(),
+            });
+        }
+        let frames = frame_signal(signal, self.config.frame_len, self.config.hop)?;
+        let rows: Vec<Vec<f64>> = frames
+            .iter()
+            .map(|frame| {
+                self.kernels
+                    .iter()
+                    .map(|(cos, sin)| {
+                        let re: f64 = cos.iter().zip(frame).map(|(k, x)| k * x).sum();
+                        let im: f64 = sin.iter().zip(frame).map(|(k, x)| k * x).sum();
+                        (re * re + im * im).sqrt()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(FeatureMatrix::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::Sine;
+
+    #[test]
+    fn bins_are_log_spaced() {
+        let ex = CqtExtractor::new(CqtConfig::default(), 16_000.0).unwrap();
+        let fcs = ex.center_frequencies();
+        // Ratio between consecutive bins is constant (2^(1/12)).
+        let ratio = fcs[1] / fcs[0];
+        for w in fcs.windows(2) {
+            assert!((w[1] / w[0] - ratio).abs() < 1e-9);
+        }
+        assert!((fcs[12] / fcs[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tone_peaks_in_nearest_bin() {
+        let fs = 16_000.0;
+        let f0 = 440.0;
+        let ex = CqtExtractor::new(CqtConfig::default(), fs).unwrap();
+        let x: Vec<f64> = Sine::new(f0, fs).take(8192).collect();
+        let cqt = ex.compute(&x).unwrap();
+        let means = cqt.column_means();
+        let peak = means
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let fc = ex.center_frequencies()[peak];
+        assert!((fc / f0).log2().abs() < 0.1, "peak bin at {fc} Hz");
+    }
+
+    #[test]
+    fn octave_shift_moves_peak_by_bins_per_octave() {
+        let fs = 16_000.0;
+        let ex = CqtExtractor::new(CqtConfig::default(), fs).unwrap();
+        let peak_bin = |f0: f64| {
+            let x: Vec<f64> = Sine::new(f0, fs).take(8192).collect();
+            let cqt = ex.compute(&x).unwrap();
+            cqt.column_means()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0 as i64
+        };
+        let low = peak_bin(400.0);
+        let high = peak_bin(800.0);
+        assert!((high - low - 12).abs() <= 1, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let fs = 16_000.0;
+        assert!(CqtExtractor::new(
+            CqtConfig {
+                num_bins: 0,
+                ..CqtConfig::default()
+            },
+            fs
+        )
+        .is_err());
+        assert!(CqtExtractor::new(
+            CqtConfig {
+                f_min: 0.0,
+                ..CqtConfig::default()
+            },
+            fs
+        )
+        .is_err());
+        // 100 Hz * 2^(120/12) = 102 kHz > Nyquist.
+        assert!(CqtExtractor::new(
+            CqtConfig {
+                num_bins: 121,
+                ..CqtConfig::default()
+            },
+            fs
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn short_signal_rejected() {
+        let ex = CqtExtractor::new(CqtConfig::default(), 16_000.0).unwrap();
+        assert!(matches!(
+            ex.compute(&[0.0; 10]),
+            Err(FeatureError::SignalTooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Delta (first-difference) features.
+
+use crate::matrix::FeatureMatrix;
+
+/// Computes delta features: for each row `t`, the regression slope of every column over
+/// a window of `width` frames on each side (the standard HTK delta formula).
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::{delta::compute_deltas, FeatureMatrix};
+///
+/// let m = FeatureMatrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+/// let d = compute_deltas(&m, 1);
+/// // A linearly increasing feature has a constant positive delta.
+/// assert!(d.iter_rows().all(|r| r[0] > 0.0));
+/// ```
+pub fn compute_deltas(features: &FeatureMatrix, width: usize) -> FeatureMatrix {
+    let width = width.max(1);
+    let rows = features.num_rows();
+    let cols = features.num_cols();
+    let denom: f64 = 2.0 * (1..=width).map(|k| (k * k) as f64).sum::<f64>();
+    let mut out = FeatureMatrix::zeros(rows, cols);
+    let clamp_row = |r: isize| -> usize { r.clamp(0, rows as isize - 1) as usize };
+    for t in 0..rows {
+        for c in 0..cols {
+            let mut acc = 0.0;
+            for k in 1..=width {
+                let ahead = features.get(clamp_row(t as isize + k as isize), c);
+                let behind = features.get(clamp_row(t as isize - k as isize), c);
+                acc += k as f64 * (ahead - behind);
+            }
+            out.set(t, c, acc / denom);
+        }
+    }
+    out
+}
+
+/// Returns `features` with its delta features appended column-wise (doubling the
+/// feature dimension), the common "static + delta" representation.
+pub fn append_deltas(features: &FeatureMatrix, width: usize) -> FeatureMatrix {
+    let deltas = compute_deltas(features, width);
+    features.hstack(&deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_features_have_zero_delta() {
+        let m = FeatureMatrix::from_rows(vec![vec![5.0, -1.0]; 6]);
+        let d = compute_deltas(&m, 2);
+        assert!(d.as_slice().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn linear_ramp_has_constant_delta_in_interior() {
+        let m = FeatureMatrix::from_rows((0..10).map(|i| vec![i as f64]).collect());
+        let d = compute_deltas(&m, 2);
+        for t in 2..8 {
+            assert!((d.get(t, 0) - 1.0).abs() < 1e-12, "t = {t}: {}", d.get(t, 0));
+        }
+    }
+
+    #[test]
+    fn append_doubles_columns() {
+        let m = FeatureMatrix::from_rows(vec![vec![1.0, 2.0, 3.0]; 4]);
+        let out = append_deltas(&m, 1);
+        assert_eq!(out.num_cols(), 6);
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let m = FeatureMatrix::zeros(0, 3);
+        let d = compute_deltas(&m, 2);
+        assert_eq!(d.num_rows(), 0);
+    }
+}

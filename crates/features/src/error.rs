@@ -1,0 +1,90 @@
+//! Error type for feature extraction.
+
+use ispot_dsp::DspError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or computing acoustic features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The input signal is too short for the requested analysis.
+    SignalTooShort {
+        /// Minimum number of samples required.
+        required: usize,
+        /// Number of samples supplied.
+        actual: usize,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(DspError),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::InvalidConfig { name, reason } => {
+                write!(f, "invalid feature configuration `{name}`: {reason}")
+            }
+            FeatureError::SignalTooShort { required, actual } => write!(
+                f,
+                "signal too short: {required} samples required, got {actual}"
+            ),
+            FeatureError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for FeatureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FeatureError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for FeatureError {
+    fn from(e: DspError) -> Self {
+        FeatureError::Dsp(e)
+    }
+}
+
+impl FeatureError {
+    /// Convenience constructor for [`FeatureError::InvalidConfig`].
+    pub fn invalid_config(name: &'static str, reason: impl Into<String>) -> Self {
+        FeatureError::InvalidConfig {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FeatureError::invalid_config("num_mels", "must be positive");
+        assert!(e.to_string().contains("num_mels"));
+        let e = FeatureError::SignalTooShort {
+            required: 512,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("512"));
+        let wrapped: FeatureError = DspError::invalid_parameter("x", "bad").into();
+        assert!(Error::source(&wrapped).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FeatureError>();
+    }
+}

@@ -1,0 +1,107 @@
+//! Signal framing: split a signal into (optionally overlapping) analysis frames.
+//!
+//! Raw-waveform networks (Sec. III of the paper, e.g. Furletov et al.) take windowed
+//! chunks of the time-domain signal directly; this module provides that framing.
+
+use crate::error::FeatureError;
+
+/// Splits `signal` into frames of `frame_len` samples advancing by `hop` samples.
+///
+/// Frames that would run past the end of the signal are dropped.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `frame_len` or `hop` is zero.
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::framing::frame_signal;
+///
+/// # fn main() -> Result<(), ispot_features::FeatureError> {
+/// let frames = frame_signal(&[1.0, 2.0, 3.0, 4.0, 5.0], 3, 2)?;
+/// assert_eq!(frames, vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0, 5.0]]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn frame_signal(signal: &[f64], frame_len: usize, hop: usize) -> Result<Vec<Vec<f64>>, FeatureError> {
+    if frame_len == 0 {
+        return Err(FeatureError::invalid_config("frame_len", "must be positive"));
+    }
+    if hop == 0 {
+        return Err(FeatureError::invalid_config("hop", "must be positive"));
+    }
+    if signal.len() < frame_len {
+        return Ok(Vec::new());
+    }
+    let n_frames = (signal.len() - frame_len) / hop + 1;
+    Ok((0..n_frames)
+        .map(|f| signal[f * hop..f * hop + frame_len].to_vec())
+        .collect())
+}
+
+/// Number of frames [`frame_signal`] would produce for a signal of `len` samples.
+pub fn num_frames(len: usize, frame_len: usize, hop: usize) -> usize {
+    if frame_len == 0 || hop == 0 || len < frame_len {
+        0
+    } else {
+        (len - frame_len) / hop + 1
+    }
+}
+
+/// Splits `signal` into non-overlapping fixed-length clips, zero-padding the last one
+/// if `pad_last` is true (otherwise the remainder is dropped).
+pub fn clip_signal(signal: &[f64], clip_len: usize, pad_last: bool) -> Vec<Vec<f64>> {
+    if clip_len == 0 {
+        return Vec::new();
+    }
+    let mut clips: Vec<Vec<f64>> = signal
+        .chunks_exact(clip_len)
+        .map(|c| c.to_vec())
+        .collect();
+    let rem = signal.len() % clip_len;
+    if pad_last && rem > 0 {
+        let mut last = signal[signal.len() - rem..].to_vec();
+        last.resize(clip_len, 0.0);
+        clips.push(last);
+    }
+    clips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_counts_and_contents() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let frames = frame_signal(&x, 4, 3).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[2], vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(num_frames(10, 4, 3), 3);
+    }
+
+    #[test]
+    fn short_signal_gives_no_frames() {
+        assert!(frame_signal(&[1.0, 2.0], 4, 2).unwrap().is_empty());
+        assert_eq!(num_frames(2, 4, 2), 0);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(frame_signal(&[1.0], 0, 1).is_err());
+        assert!(frame_signal(&[1.0], 1, 0).is_err());
+        assert_eq!(num_frames(10, 0, 1), 0);
+    }
+
+    #[test]
+    fn clipping_with_and_without_padding() {
+        let x: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let no_pad = clip_signal(&x, 3, false);
+        assert_eq!(no_pad.len(), 2);
+        let padded = clip_signal(&x, 3, true);
+        assert_eq!(padded.len(), 3);
+        assert_eq!(padded[2], vec![6.0, 0.0, 0.0]);
+        assert!(clip_signal(&x, 0, true).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Gammatone filterbank features (gammatonegram and GFCC).
+//!
+//! Marchegiani & Newman ("Listening for Sirens") and Cantarini et al. use
+//! gammatonegrams as the input representation for siren detection; the I-SPOT baseline
+//! follows the same recipe. The filterbank is implemented in the spectral domain: each
+//! ERB-spaced band applies a gammatone-shaped magnitude weighting to the power
+//! spectrum.
+
+use crate::error::FeatureError;
+use crate::matrix::FeatureMatrix;
+use crate::spectrogram::{SpectrogramConfig, SpectrogramExtractor, SpectrogramScale};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Equivalent rectangular bandwidth (ERB) in Hz of an auditory filter centred at
+/// `freq_hz` (Glasberg & Moore).
+pub fn erb_bandwidth(freq_hz: f64) -> f64 {
+    24.7 * (4.37 * freq_hz / 1000.0 + 1.0)
+}
+
+/// Converts a frequency in Hz to the ERB-rate scale.
+pub fn hz_to_erb_rate(freq_hz: f64) -> f64 {
+    21.4 * (4.37 * freq_hz / 1000.0 + 1.0).log10()
+}
+
+/// Converts an ERB-rate value back to Hz.
+pub fn erb_rate_to_hz(erb: f64) -> f64 {
+    (10f64.powf(erb / 21.4) - 1.0) * 1000.0 / 4.37
+}
+
+/// Configuration for the [`GammatoneExtractor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammatoneConfig {
+    /// STFT frame length in samples.
+    pub frame_len: usize,
+    /// STFT hop in samples.
+    pub hop: usize,
+    /// Number of gammatone bands (ERB-spaced).
+    pub num_bands: usize,
+    /// Lowest centre frequency in Hz.
+    pub f_min: f64,
+    /// Highest centre frequency in Hz (clamped to Nyquist).
+    pub f_max: f64,
+    /// Number of cepstral coefficients produced by [`GammatoneExtractor::compute_gfcc`].
+    pub num_gfcc: usize,
+}
+
+impl Default for GammatoneConfig {
+    fn default() -> Self {
+        GammatoneConfig {
+            frame_len: 512,
+            hop: 256,
+            num_bands: 32,
+            f_min: 50.0,
+            f_max: 8000.0,
+            num_gfcc: 13,
+        }
+    }
+}
+
+/// Computes gammatonegrams and gammatone-frequency cepstral coefficients (GFCC).
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::gammatone::{GammatoneConfig, GammatoneExtractor};
+///
+/// # fn main() -> Result<(), ispot_features::FeatureError> {
+/// let fs = 16_000.0;
+/// let ex = GammatoneExtractor::new(GammatoneConfig::default(), fs)?;
+/// let x: Vec<f64> = ispot_dsp::generator::Sine::new(900.0, fs).take(4096).collect();
+/// let gram = ex.compute_gammatonegram(&x)?;
+/// assert_eq!(gram.num_cols(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GammatoneExtractor {
+    config: GammatoneConfig,
+    spectrogram: SpectrogramExtractor,
+    /// Per-band spectral weights (num_bands × num_bins).
+    weights: Vec<Vec<f64>>,
+    center_frequencies: Vec<f64>,
+    /// DCT-II basis for GFCC (num_gfcc × num_bands).
+    dct: Vec<Vec<f64>>,
+}
+
+impl GammatoneExtractor {
+    /// Creates a gammatone extractor for sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent.
+    pub fn new(config: GammatoneConfig, fs: f64) -> Result<Self, FeatureError> {
+        if config.num_bands == 0 {
+            return Err(FeatureError::invalid_config("num_bands", "must be positive"));
+        }
+        if config.num_gfcc == 0 || config.num_gfcc > config.num_bands {
+            return Err(FeatureError::invalid_config(
+                "num_gfcc",
+                "must be in [1, num_bands]",
+            ));
+        }
+        let f_max = config.f_max.min(fs / 2.0);
+        if !(config.f_min > 0.0 && config.f_min < f_max) {
+            return Err(FeatureError::invalid_config(
+                "f_min/f_max",
+                "must satisfy 0 < f_min < f_max <= fs/2",
+            ));
+        }
+        let spec_cfg = SpectrogramConfig {
+            frame_len: config.frame_len,
+            hop: config.hop,
+            fft_size: config.frame_len,
+            scale: SpectrogramScale::Power,
+            ..SpectrogramConfig::default()
+        };
+        let spectrogram = SpectrogramExtractor::new(spec_cfg)?;
+        let num_bins = spectrogram.num_bins();
+        // ERB-spaced centre frequencies.
+        let erb_lo = hz_to_erb_rate(config.f_min);
+        let erb_hi = hz_to_erb_rate(f_max);
+        let center_frequencies: Vec<f64> = (0..config.num_bands)
+            .map(|b| {
+                erb_rate_to_hz(
+                    erb_lo + (erb_hi - erb_lo) * b as f64 / (config.num_bands - 1).max(1) as f64,
+                )
+            })
+            .collect();
+        // Fourth-order gammatone magnitude response: |G(f)| ∝ [1 + ((f-fc)/b)^2]^(-2).
+        let bin_freq = |k: usize| k as f64 * fs / (2.0 * (num_bins as f64 - 1.0));
+        let weights: Vec<Vec<f64>> = center_frequencies
+            .iter()
+            .map(|&fc| {
+                let b = 1.019 * erb_bandwidth(fc);
+                let mut w: Vec<f64> = (0..num_bins)
+                    .map(|k| {
+                        let x = (bin_freq(k) - fc) / b;
+                        (1.0 + x * x).powi(-2)
+                    })
+                    .collect();
+                // Normalize each band to unit total weight so band energies are comparable.
+                let sum: f64 = w.iter().sum();
+                if sum > 0.0 {
+                    for v in &mut w {
+                        *v /= sum;
+                    }
+                }
+                w
+            })
+            .collect();
+        let m = config.num_bands;
+        let dct = (0..config.num_gfcc)
+            .map(|k| {
+                (0..m)
+                    .map(|n| (PI * k as f64 * (n as f64 + 0.5) / m as f64).cos())
+                    .collect()
+            })
+            .collect();
+        Ok(GammatoneExtractor {
+            config,
+            spectrogram,
+            weights,
+            center_frequencies,
+            dct,
+        })
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> GammatoneConfig {
+        self.config
+    }
+
+    /// Returns the ERB-spaced centre frequencies of the bands.
+    pub fn center_frequencies(&self) -> &[f64] {
+        &self.center_frequencies
+    }
+
+    /// Computes the gammatonegram (frames × bands, linear power).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::SignalTooShort`] if the signal is shorter than one frame.
+    pub fn compute_gammatonegram(&self, signal: &[f64]) -> Result<FeatureMatrix, FeatureError> {
+        let power = self.spectrogram.compute(signal)?;
+        let rows: Vec<Vec<f64>> = power
+            .iter_rows()
+            .map(|spectrum| {
+                self.weights
+                    .iter()
+                    .map(|w| w.iter().zip(spectrum).map(|(a, b)| a * b).sum())
+                    .collect()
+            })
+            .collect();
+        Ok(FeatureMatrix::from_rows(rows))
+    }
+
+    /// Computes gammatone-frequency cepstral coefficients (frames × `num_gfcc`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GammatoneExtractor::compute_gammatonegram`].
+    pub fn compute_gfcc(&self, signal: &[f64]) -> Result<FeatureMatrix, FeatureError> {
+        let mut gram = self.compute_gammatonegram(signal)?;
+        gram.log_compress(1e-12);
+        let rows: Vec<Vec<f64>> = gram
+            .iter_rows()
+            .map(|row| {
+                self.dct
+                    .iter()
+                    .map(|basis| basis.iter().zip(row).map(|(b, x)| b * x).sum())
+                    .collect()
+            })
+            .collect();
+        Ok(FeatureMatrix::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::Sine;
+
+    #[test]
+    fn erb_scale_is_monotonic_and_invertible() {
+        let mut last = -1.0;
+        for hz in [50.0, 200.0, 1000.0, 4000.0, 8000.0] {
+            let e = hz_to_erb_rate(hz);
+            assert!(e > last);
+            last = e;
+            assert!((erb_rate_to_hz(e) - hz).abs() < 1e-6);
+        }
+        assert!(erb_bandwidth(4000.0) > erb_bandwidth(500.0));
+    }
+
+    #[test]
+    fn tone_peaks_in_band_nearest_its_frequency() {
+        let fs = 16_000.0;
+        let f0 = 1500.0;
+        let ex = GammatoneExtractor::new(GammatoneConfig::default(), fs).unwrap();
+        let x: Vec<f64> = Sine::new(f0, fs).take(8192).collect();
+        let gram = ex.compute_gammatonegram(&x).unwrap();
+        let means = gram.column_means();
+        let peak_band = means
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let fc = ex.center_frequencies()[peak_band];
+        assert!(
+            (fc - f0).abs() < 250.0,
+            "peak band centre {fc} for a {f0} Hz tone"
+        );
+    }
+
+    #[test]
+    fn center_frequencies_are_erb_spaced_and_increasing() {
+        let ex = GammatoneExtractor::new(GammatoneConfig::default(), 16_000.0).unwrap();
+        let fcs = ex.center_frequencies();
+        assert_eq!(fcs.len(), 32);
+        for w in fcs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // ERB spacing: spacing grows with frequency.
+        assert!(fcs[31] - fcs[30] > fcs[1] - fcs[0]);
+    }
+
+    #[test]
+    fn gfcc_shape_matches_config() {
+        let fs = 16_000.0;
+        let ex = GammatoneExtractor::new(GammatoneConfig::default(), fs).unwrap();
+        let x: Vec<f64> = Sine::new(600.0, fs).take(4096).collect();
+        let gfcc = ex.compute_gfcc(&x).unwrap();
+        assert_eq!(gfcc.num_cols(), 13);
+        assert!(gfcc.num_rows() > 0);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let fs = 16_000.0;
+        for bad in [
+            GammatoneConfig {
+                num_bands: 0,
+                ..GammatoneConfig::default()
+            },
+            GammatoneConfig {
+                num_gfcc: 0,
+                ..GammatoneConfig::default()
+            },
+            GammatoneConfig {
+                num_gfcc: 64,
+                ..GammatoneConfig::default()
+            },
+            GammatoneConfig {
+                f_min: 0.0,
+                ..GammatoneConfig::default()
+            },
+        ] {
+            assert!(GammatoneExtractor::new(bad, fs).is_err());
+        }
+    }
+}

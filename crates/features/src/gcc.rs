@@ -1,0 +1,249 @@
+//! Generalized cross-correlation with phase transform (GCC-PHAT).
+//!
+//! GCC-PHAT is the front-end of the SRP-PHAT localization pipeline used by the Cross3D
+//! baseline evaluated in Sec. IV-B of the paper: for every microphone pair, the
+//! cross-power spectrum is whitened (phase transform) before the inverse FFT so that
+//! the correlation peak depends only on the time difference of arrival (TDOA), not on
+//! the source spectrum.
+
+use crate::error::FeatureError;
+use ispot_dsp::complex::Complex;
+use ispot_dsp::fft::Fft;
+
+/// A reusable GCC-PHAT processor for frames of a fixed length.
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::gcc::GccPhat;
+///
+/// # fn main() -> Result<(), ispot_features::FeatureError> {
+/// use ispot_dsp::generator::{NoiseKind, NoiseSource};
+///
+/// let gcc = GccPhat::new(256)?;
+/// // y is x (broadband noise) delayed by 5 samples.
+/// let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 1).take(256).collect();
+/// let mut y = vec![0.0; 256];
+/// for i in 0..251 { y[i + 5] = x[i]; }
+/// let tdoa = gcc.estimate_tdoa(&x, &y, 20)?;
+/// assert!((tdoa - 5.0).abs() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GccPhat {
+    frame_len: usize,
+    fft: Fft,
+}
+
+impl GccPhat {
+    /// Creates a processor for frames of `frame_len` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `frame_len` is zero.
+    pub fn new(frame_len: usize) -> Result<Self, FeatureError> {
+        if frame_len == 0 {
+            return Err(FeatureError::invalid_config("frame_len", "must be positive"));
+        }
+        // Zero-pad to twice the frame length so the circular correlation is linear over
+        // the lags of interest.
+        let fft = Fft::new((2 * frame_len).next_power_of_two());
+        Ok(GccPhat { frame_len, fft })
+    }
+
+    /// Returns the frame length.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Computes the GCC-PHAT correlation function between `x` and `y` for lags in
+    /// `[-max_lag, max_lag]`, returned as a vector of length `2*max_lag + 1` with lag 0
+    /// at index `max_lag`.
+    ///
+    /// The value at lag `m` is `sum_n x[n + m] * y[n]`, so when `y` is a delayed copy of
+    /// `x` the peak appears at a *negative* lag equal to minus the delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inputs are not exactly `frame_len` samples long or
+    /// `max_lag` exceeds the FFT half-length.
+    pub fn correlate(&self, x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, FeatureError> {
+        if x.len() != self.frame_len || y.len() != self.frame_len {
+            return Err(FeatureError::invalid_config(
+                "frame",
+                format!(
+                    "both inputs must have {} samples (got {} and {})",
+                    self.frame_len,
+                    x.len(),
+                    y.len()
+                ),
+            ));
+        }
+        let n = self.fft.len();
+        if max_lag >= n / 2 {
+            return Err(FeatureError::invalid_config(
+                "max_lag",
+                format!("must be smaller than {}", n / 2),
+            ));
+        }
+        let mut xa = vec![Complex::ZERO; n];
+        let mut yb = vec![Complex::ZERO; n];
+        for i in 0..self.frame_len {
+            xa[i] = Complex::new(x[i], 0.0);
+            yb[i] = Complex::new(y[i], 0.0);
+        }
+        let fx = self.fft.forward(&xa)?;
+        let fy = self.fft.forward(&yb)?;
+        // Cross-power spectrum with PHAT weighting.
+        let cross: Vec<Complex> = fx
+            .iter()
+            .zip(&fy)
+            .map(|(a, b)| {
+                let c = *a * b.conj();
+                let mag = c.norm();
+                if mag > 1e-12 {
+                    c / mag
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect();
+        let corr = self.fft.inverse_real(&cross)?;
+        // Rearrange so that negative lags come first.
+        let mut out = Vec::with_capacity(2 * max_lag + 1);
+        for lag in -(max_lag as isize)..=(max_lag as isize) {
+            let idx = lag.rem_euclid(n as isize) as usize;
+            out.push(corr[idx]);
+        }
+        Ok(out)
+    }
+
+    /// Estimates the time difference of arrival (in samples, possibly fractional and
+    /// negative) of `y` relative to `x`, as the argmax of the GCC-PHAT function over
+    /// `[-max_lag, max_lag]` refined by parabolic interpolation around the peak.
+    ///
+    /// Sign convention: the returned value is positive when `y` lags `x` (i.e. `y` is a
+    /// delayed copy of `x`), matching `y[n] ≈ x[n - tdoa]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GccPhat::correlate`].
+    pub fn estimate_tdoa(&self, x: &[f64], y: &[f64], max_lag: usize) -> Result<f64, FeatureError> {
+        let corr = self.correlate(x, y, max_lag)?;
+        let peak = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(max_lag);
+        // Parabolic refinement using the neighbours when available.
+        let refined = if peak > 0 && peak + 1 < corr.len() {
+            let (ym1, y0, yp1) = (corr[peak - 1], corr[peak], corr[peak + 1]);
+            let denom = ym1 - 2.0 * y0 + yp1;
+            if denom.abs() > 1e-12 {
+                peak as f64 + 0.5 * (ym1 - yp1) / denom
+            } else {
+                peak as f64
+            }
+        } else {
+            peak as f64
+        };
+        // The peak sits at lag -delay when y lags x; negate to report the delay of y.
+        Ok(-(refined - max_lag as f64))
+    }
+}
+
+/// One-shot convenience wrapper around [`GccPhat::correlate`] for equal-length frames.
+///
+/// # Errors
+///
+/// Same as [`GccPhat::correlate`].
+pub fn gcc_phat(x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, FeatureError> {
+    if x.len() != y.len() {
+        return Err(FeatureError::invalid_config(
+            "frame",
+            "inputs must have equal length",
+        ));
+    }
+    GccPhat::new(x.len())?.correlate(x, y, max_lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::{NoiseKind, NoiseSource};
+
+    fn delayed_copy(x: &[f64], delay: usize) -> Vec<f64> {
+        let mut y = vec![0.0; x.len()];
+        for i in 0..x.len() - delay {
+            y[i + delay] = x[i];
+        }
+        y
+    }
+
+    #[test]
+    fn integer_delay_is_recovered() {
+        let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 1).take(512).collect();
+        let gcc = GccPhat::new(512).unwrap();
+        for delay in [0usize, 3, 10, 25] {
+            let y = delayed_copy(&x, delay);
+            let tdoa = gcc.estimate_tdoa(&x, &y, 64).unwrap();
+            assert!(
+                (tdoa - delay as f64).abs() <= 1.0,
+                "delay {delay}: estimated {tdoa}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_estimates_have_opposite_signs() {
+        let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 2).take(256).collect();
+        let y = delayed_copy(&x, 7);
+        let gcc = GccPhat::new(256).unwrap();
+        let forward = gcc.estimate_tdoa(&x, &y, 32).unwrap();
+        let backward = gcc.estimate_tdoa(&y, &x, 32).unwrap();
+        assert!((forward + backward).abs() <= 1.0);
+    }
+
+    #[test]
+    fn phat_weighting_is_robust_to_spectral_coloring() {
+        // Low-pass-ish signal: running average of noise.
+        let white: Vec<f64> = NoiseSource::new(NoiseKind::White, 9).take(512).collect();
+        let colored: Vec<f64> = white
+            .windows(8)
+            .map(|w| w.iter().sum::<f64>() / 8.0)
+            .collect();
+        let mut padded = colored.clone();
+        padded.resize(512, 0.0);
+        let y = delayed_copy(&padded, 12);
+        let gcc = GccPhat::new(512).unwrap();
+        let tdoa = gcc.estimate_tdoa(&padded, &y, 64).unwrap();
+        assert!((tdoa - 12.0).abs() <= 1.0, "estimated {tdoa}");
+    }
+
+    #[test]
+    fn correlation_vector_has_expected_length_and_peak_location() {
+        let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 4).take(128).collect();
+        let y = delayed_copy(&x, 5);
+        let corr = gcc_phat(&x, &y, 16).unwrap();
+        assert_eq!(corr.len(), 33);
+        let peak = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // y lags x by 5 samples, so the peak sits at lag -5.
+        assert_eq!(peak, 16 - 5);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let gcc = GccPhat::new(64).unwrap();
+        assert!(gcc.correlate(&[0.0; 32], &[0.0; 64], 8).is_err());
+        assert!(gcc.correlate(&[0.0; 64], &[0.0; 64], 1000).is_err());
+        assert!(gcc_phat(&[0.0; 4], &[0.0; 8], 2).is_err());
+        assert!(GccPhat::new(0).is_err());
+    }
+}

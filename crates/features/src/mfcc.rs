@@ -1,0 +1,213 @@
+//! Mel-frequency cepstral coefficients (MFCC).
+
+use crate::error::FeatureError;
+use crate::matrix::FeatureMatrix;
+use crate::mel::MelFilterbank;
+use crate::spectrogram::{SpectrogramConfig, SpectrogramExtractor, SpectrogramScale};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Configuration for [`MfccExtractor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MfccConfig {
+    /// STFT frame length in samples.
+    pub frame_len: usize,
+    /// STFT hop in samples.
+    pub hop: usize,
+    /// Number of mel filterbank bands.
+    pub num_mels: usize,
+    /// Number of cepstral coefficients kept (including the 0-th).
+    pub num_coefficients: usize,
+    /// Lower edge of the mel filterbank in Hz.
+    pub f_min: f64,
+    /// Upper edge of the mel filterbank in Hz (clamped to Nyquist).
+    pub f_max: f64,
+}
+
+impl Default for MfccConfig {
+    fn default() -> Self {
+        MfccConfig {
+            frame_len: 512,
+            hop: 256,
+            num_mels: 26,
+            num_coefficients: 13,
+            f_min: 20.0,
+            f_max: 8000.0,
+        }
+    }
+}
+
+/// Computes MFCC feature matrices (frames × coefficients).
+///
+/// # Example
+///
+/// ```
+/// use ispot_features::mfcc::{MfccConfig, MfccExtractor};
+///
+/// # fn main() -> Result<(), ispot_features::FeatureError> {
+/// let fs = 16_000.0;
+/// let ex = MfccExtractor::new(MfccConfig::default(), fs)?;
+/// let x: Vec<f64> = ispot_dsp::generator::Sine::new(800.0, fs).take(4096).collect();
+/// let mfcc = ex.compute(&x)?;
+/// assert_eq!(mfcc.num_cols(), 13);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    config: MfccConfig,
+    spectrogram: SpectrogramExtractor,
+    filterbank: MelFilterbank,
+    /// DCT-II basis, `num_coefficients x num_mels`.
+    dct: Vec<Vec<f64>>,
+}
+
+impl MfccExtractor {
+    /// Creates an MFCC extractor for sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent (zero sizes, more
+    /// coefficients than mel bands, invalid band edges).
+    pub fn new(config: MfccConfig, fs: f64) -> Result<Self, FeatureError> {
+        if config.num_coefficients == 0 || config.num_coefficients > config.num_mels {
+            return Err(FeatureError::invalid_config(
+                "num_coefficients",
+                format!(
+                    "must be in [1, num_mels = {}], got {}",
+                    config.num_mels, config.num_coefficients
+                ),
+            ));
+        }
+        let spec_cfg = SpectrogramConfig {
+            frame_len: config.frame_len,
+            hop: config.hop,
+            fft_size: config.frame_len,
+            scale: SpectrogramScale::Power,
+            ..SpectrogramConfig::default()
+        };
+        let spectrogram = SpectrogramExtractor::new(spec_cfg)?;
+        let f_max = config.f_max.min(fs / 2.0);
+        let filterbank = MelFilterbank::new(
+            config.num_mels,
+            spectrogram.num_bins(),
+            fs,
+            config.f_min,
+            f_max,
+        )?;
+        let m = config.num_mels;
+        let dct = (0..config.num_coefficients)
+            .map(|k| {
+                (0..m)
+                    .map(|n| (PI * k as f64 * (n as f64 + 0.5) / m as f64).cos())
+                    .collect()
+            })
+            .collect();
+        Ok(MfccExtractor {
+            config,
+            spectrogram,
+            filterbank,
+            dct,
+        })
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> MfccConfig {
+        self.config
+    }
+
+    /// Computes the MFCC matrix (frames × coefficients) of `signal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::SignalTooShort`] if the signal is shorter than one frame.
+    pub fn compute(&self, signal: &[f64]) -> Result<FeatureMatrix, FeatureError> {
+        let power = self.spectrogram.compute(signal)?;
+        let mut mel = self.filterbank.apply_spectrogram(&power)?;
+        mel.log_compress(1e-10);
+        let rows: Vec<Vec<f64>> = mel
+            .iter_rows()
+            .map(|row| {
+                self.dct
+                    .iter()
+                    .map(|basis| basis.iter().zip(row).map(|(b, x)| b * x).sum())
+                    .collect()
+            })
+            .collect();
+        Ok(FeatureMatrix::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_dsp::generator::{NoiseKind, NoiseSource, Sine};
+
+    #[test]
+    fn output_shape_matches_configuration() {
+        let fs = 16_000.0;
+        let ex = MfccExtractor::new(MfccConfig::default(), fs).unwrap();
+        let x: Vec<f64> = Sine::new(700.0, fs).take(16_384).collect();
+        let m = ex.compute(&x).unwrap();
+        assert_eq!(m.num_cols(), 13);
+        assert_eq!(m.num_rows(), (16_384 - 512) / 256 + 1);
+    }
+
+    #[test]
+    fn different_sounds_produce_different_cepstra() {
+        let fs = 16_000.0;
+        let ex = MfccExtractor::new(MfccConfig::default(), fs).unwrap();
+        let tone: Vec<f64> = Sine::new(400.0, fs).take(8192).collect();
+        let noise: Vec<f64> = NoiseSource::new(NoiseKind::White, 3).take(8192).collect();
+        let a = ex.compute(&tone).unwrap().column_means();
+        let b = ex.compute(&noise).unwrap().column_means();
+        let distance: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(distance > 1.0, "cepstral distance {distance}");
+    }
+
+    #[test]
+    fn stationary_tone_gives_stable_frames() {
+        let fs = 16_000.0;
+        let ex = MfccExtractor::new(MfccConfig::default(), fs).unwrap();
+        let tone: Vec<f64> = Sine::new(1000.0, fs).take(8192).collect();
+        let m = ex.compute(&tone).unwrap();
+        let stds = m.column_stds();
+        let means = m.column_means();
+        // Coefficients vary much less than their mean magnitude for a stationary tone.
+        for c in 0..m.num_cols() {
+            assert!(stds[c] <= means[c].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        let fs = 16_000.0;
+        let bad = MfccConfig {
+            num_coefficients: 40,
+            num_mels: 26,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad, fs).is_err());
+        let bad = MfccConfig {
+            num_coefficients: 0,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad, fs).is_err());
+    }
+
+    #[test]
+    fn zeroth_coefficient_tracks_overall_energy() {
+        let fs = 16_000.0;
+        let ex = MfccExtractor::new(MfccConfig::default(), fs).unwrap();
+        let loud: Vec<f64> = Sine::new(500.0, fs).take(4096).collect();
+        let quiet: Vec<f64> = loud.iter().map(|x| x * 0.01).collect();
+        let c0_loud = ex.compute(&loud).unwrap().column_means()[0];
+        let c0_quiet = ex.compute(&quiet).unwrap().column_means()[0];
+        assert!(c0_loud > c0_quiet);
+    }
+}

@@ -1,0 +1,216 @@
+//! Element-wise activation layers.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// The supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// An element-wise activation layer.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::{activation::Activation, layer::Layer, Tensor};
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let mut relu = Activation::relu();
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?)?;
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation {
+            kind,
+            cached_input: None,
+        }
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// Leaky-ReLU activation.
+    pub fn leaky_relu() -> Self {
+        Self::new(ActivationKind::LeakyRelu)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Self::new(ActivationKind::Sigmoid)
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// Returns the activation kind.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+
+    fn apply(&self, x: f64) -> f64 {
+        match self.kind {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationKind::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        match self.kind {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            ActivationKind::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            ActivationKind::Tanh => 1.0 - x.tanh().powi(2),
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::LeakyRelu => "leaky_relu",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::Tanh => "tanh",
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|x| self.apply(x)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            NnError::invalid_parameter("state", "backward called before forward")
+        })?;
+        if input.shape() != grad_output.shape() {
+            return Err(NnError::shape_mismatch(
+                format!("{:?}", input.shape()),
+                grad_output.shape(),
+            ));
+        }
+        let data: Vec<f64> = input
+            .as_slice()
+            .iter()
+            .zip(grad_output.as_slice())
+            .map(|(&x, &g)| g * self.derivative(x))
+            .collect();
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_match_definitions() {
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[1, 3]).unwrap();
+        assert_eq!(
+            Activation::relu().forward(&x).unwrap().as_slice(),
+            &[0.0, 0.0, 3.0]
+        );
+        let y = Activation::sigmoid().forward(&x).unwrap();
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-12);
+        let y = Activation::tanh().forward(&x).unwrap();
+        assert!((y.as_slice()[2] - 3.0f64.tanh()).abs() < 1e-12);
+        let y = Activation::leaky_relu().forward(&x).unwrap();
+        assert!((y.as_slice()[0] - -0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let eps = 1e-6;
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::LeakyRelu,
+            ActivationKind::Sigmoid,
+            ActivationKind::Tanh,
+        ] {
+            let mut layer = Activation::new(kind);
+            let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]).unwrap();
+            layer.forward(&x).unwrap();
+            let grad = layer
+                .backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap())
+                .unwrap();
+            for i in 0..3 {
+                let mut xp = x.clone();
+                xp.as_mut_slice()[i] += eps;
+                let mut xm = x.clone();
+                xm.as_mut_slice()[i] -= eps;
+                let fp: f64 = Activation::new(kind).forward(&xp).unwrap().as_slice()[i];
+                let fm: f64 = Activation::new(kind).forward(&xm).unwrap().as_slice()[i];
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad.as_slice()[i] - numeric).abs() < 1e-5,
+                    "{kind:?} index {i}: analytic {} vs numeric {numeric}",
+                    grad.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward_and_matching_shape() {
+        let mut relu = Activation::relu();
+        assert!(relu.backward(&Tensor::zeros(&[1, 2])).is_err());
+        relu.forward(&Tensor::zeros(&[1, 2])).unwrap();
+        assert!(relu.backward(&Tensor::zeros(&[1, 3])).is_err());
+    }
+
+    #[test]
+    fn output_shape_is_identity() {
+        assert_eq!(Activation::relu().output_shape(&[4, 5]), vec![4, 5]);
+    }
+}

@@ -1,0 +1,476 @@
+//! 1-D and 2-D convolution layers.
+//!
+//! The emergency-sound detectors and the Cross3D-style localization back-end are CNNs
+//! over time–frequency (or SRP-map) inputs; [`Conv2d`] is the workhorse layer, and
+//! [`Conv1d`] covers raw-waveform front-ends by delegating to a height-1 [`Conv2d`].
+
+use crate::error::NnError;
+use crate::init::he_uniform;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution over inputs of shape `[batch, in_channels, height, width]` with
+/// zero padding.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::{conv::Conv2d, layer::Layer, Tensor};
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let mut conv = Conv2d::new(1, 4, (3, 3), 1, 1, 0)?;
+/// let y = conv.forward(&Tensor::zeros(&[2, 1, 8, 8]))?;
+/// assert_eq!(y.shape(), &[2, 4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    padding: (usize, usize),
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    grad_weights: Vec<f64>,
+    grad_bias: Vec<f64>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with `kernel = (kh, kw)`, the given `stride` and symmetric
+    /// zero `padding` applied to both spatial dimensions, initialized with He-uniform
+    /// weights drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any channel count, kernel dimension or the stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Self::with_padding(
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            (padding, padding),
+            seed,
+        )
+    }
+
+    /// Creates a convolution with independent zero padding for the height and width
+    /// dimensions (used by [`Conv1d`], which must not pad its unit height).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Conv2d::new`].
+    pub fn with_padding(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: (usize, usize),
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::invalid_parameter("channels", "must be positive"));
+        }
+        if kernel.0 == 0 || kernel.1 == 0 {
+            return Err(NnError::invalid_parameter("kernel", "must be positive"));
+        }
+        if stride == 0 {
+            return Err(NnError::invalid_parameter("stride", "must be positive"));
+        }
+        let fan_in = in_channels * kernel.0 * kernel.1;
+        let count = out_channels * fan_in;
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weights: he_uniform(count, fan_in, seed),
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; count],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+        })
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size `(height, width)`.
+    pub fn kernel(&self) -> (usize, usize) {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied to the (height, width) dimensions.
+    pub fn padding(&self) -> (usize, usize) {
+        self.padding
+    }
+
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding.0).saturating_sub(self.kernel.0) / self.stride + 1;
+        let ow = (w + 2 * self.padding.1).saturating_sub(self.kernel.1) / self.stride + 1;
+        (oh, ow)
+    }
+
+    #[inline]
+    fn weight_index(&self, o: usize, i: usize, kh: usize, kw: usize) -> usize {
+        ((o * self.in_channels + i) * self.kernel.0 + kh) * self.kernel.1 + kw
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[1] != self.in_channels {
+            return Err(NnError::shape_mismatch(
+                format!("[batch, {}, h, w]", self.in_channels),
+                shape,
+            ));
+        }
+        let (batch, _, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if h + 2 * self.padding.0 < self.kernel.0 || w + 2 * self.padding.1 < self.kernel.1 {
+            return Err(NnError::shape_mismatch(
+                "input at least as large as the kernel (after padding)",
+                shape,
+            ));
+        }
+        let (oh, ow) = self.out_dims(h, w);
+        let mut out = Tensor::zeros(&[batch, self.out_channels, oh, ow]);
+        let x = input.as_slice();
+        let y = out.as_mut_slice();
+        let (pad_h, pad_w) = (self.padding.0 as isize, self.padding.1 as isize);
+        for b in 0..batch {
+            for o in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias[o];
+                        for i in 0..self.in_channels {
+                            for kh in 0..self.kernel.0 {
+                                let iy = (oy * self.stride + kh) as isize - pad_h;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kw in 0..self.kernel.1 {
+                                    let ix = (ox * self.stride + kw) as isize - pad_w;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * self.in_channels + i) * h + iy as usize) * w
+                                        + ix as usize;
+                                    acc += self.weights[self.weight_index(o, i, kh, kw)] * x[xi];
+                                }
+                            }
+                        }
+                        y[((b * self.out_channels + o) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::invalid_parameter("state", "backward called before forward"))?
+            .clone();
+        let shape = input.shape();
+        let (batch, _, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_dims(h, w);
+        if grad_output.shape() != [batch, self.out_channels, oh, ow] {
+            return Err(NnError::shape_mismatch(
+                format!("[{batch}, {}, {oh}, {ow}]", self.out_channels),
+                grad_output.shape(),
+            ));
+        }
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+        let mut grad_input = Tensor::zeros(shape);
+        let x = input.as_slice();
+        let g = grad_output.as_slice();
+        let gx = grad_input.as_mut_slice();
+        let (pad_h, pad_w) = (self.padding.0 as isize, self.padding.1 as isize);
+        for b in 0..batch {
+            for o in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((b * self.out_channels + o) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias[o] += go;
+                        for i in 0..self.in_channels {
+                            for kh in 0..self.kernel.0 {
+                                let iy = (oy * self.stride + kh) as isize - pad_h;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kw in 0..self.kernel.1 {
+                                    let ix = (ox * self.stride + kw) as isize - pad_w;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * self.in_channels + i) * h + iy as usize) * w
+                                        + ix as usize;
+                                    let wi = self.weight_index(o, i, kh, kw);
+                                    self.grad_weights[wi] += go * x[xi];
+                                    gx[xi] += go * self.weights[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![
+            (self.weights.as_mut_slice(), self.grad_weights.as_slice()),
+            (self.bias.as_mut_slice(), self.grad_bias.as_slice()),
+        ]
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        if input_shape.len() != 3 {
+            return input_shape.to_vec();
+        }
+        let (oh, ow) = self.out_dims(input_shape[1], input_shape[2]);
+        vec![self.out_channels, oh, ow]
+    }
+}
+
+/// A 1-D convolution over inputs of shape `[batch, in_channels, length]`, implemented
+/// as a height-1 [`Conv2d`].
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    inner: Conv2d,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution with the given kernel length, stride and padding.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Conv2d::new`].
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Ok(Conv1d {
+            inner: Conv2d::with_padding(
+                in_channels,
+                out_channels,
+                (1, kernel),
+                stride,
+                (0, padding),
+                seed,
+            )?,
+        })
+    }
+
+    fn to_4d(input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 3 {
+            return Err(NnError::shape_mismatch("[batch, channels, length]", shape));
+        }
+        input.clone().reshape(&[shape[0], shape[1], 1, shape[2]])
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let x4 = Self::to_4d(input)?;
+        let y = self.inner.forward(&x4)?;
+        let s = y.shape().to_vec();
+        y.reshape(&[s[0], s[1], s[3]])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let s = grad_output.shape();
+        if s.len() != 3 {
+            return Err(NnError::shape_mismatch("[batch, channels, length]", s));
+        }
+        let g4 = grad_output.clone().reshape(&[s[0], s[1], 1, s[2]])?;
+        let gx = self.inner.backward(&g4)?;
+        let xs = gx.shape().to_vec();
+        gx.reshape(&[xs[0], xs[1], xs[3]])
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        self.inner.params_and_grads()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        if input_shape.len() != 2 {
+            return input_shape.to_vec();
+        }
+        let inner = self
+            .inner
+            .output_shape(&[input_shape[0], 1, input_shape[1]]);
+        vec![inner[0], inner[2]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // A single 1x1 kernel with weight 1 and zero bias copies the channel through.
+        let mut conv = Conv2d::new(1, 1, (1, 1), 1, 0, 0).unwrap();
+        conv.weights = vec![1.0];
+        conv.bias = vec![0.0];
+        let x = Tensor::from_vec((0..12).map(|v| v as f64).collect(), &[1, 1, 3, 4]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_convolution_result() {
+        // 2x2 averaging kernel over a 3x3 input, stride 1, no padding.
+        let mut conv = Conv2d::new(1, 1, (2, 2), 1, 0, 0).unwrap();
+        conv.weights = vec![0.25; 4];
+        conv.bias = vec![0.0];
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[3.0, 4.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size_and_stride_reduces_it() {
+        let mut same = Conv2d::new(2, 3, (3, 3), 1, 1, 1).unwrap();
+        assert_eq!(
+            same.forward(&Tensor::zeros(&[1, 2, 8, 8])).unwrap().shape(),
+            &[1, 3, 8, 8]
+        );
+        let mut strided = Conv2d::new(2, 3, (3, 3), 2, 1, 1).unwrap();
+        assert_eq!(
+            strided
+                .forward(&Tensor::zeros(&[1, 2, 8, 8]))
+                .unwrap()
+                .shape(),
+            &[1, 3, 4, 4]
+        );
+        assert_eq!(same.output_shape(&[2, 8, 8]), vec![3, 8, 8]);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        let eps = 1e-6;
+        let mut conv = Conv2d::new(1, 2, (2, 2), 1, 1, 3).unwrap();
+        let x = Tensor::from_vec(
+            (0..16).map(|v| (v as f64 * 0.37).sin()).collect(),
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = conv.forward(&x).unwrap();
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        let grad_input = conv.backward(&ones).unwrap();
+        // Input gradient check.
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp: f64 = conv.forward(&xp).unwrap().as_slice().iter().sum();
+            let fm: f64 = conv.forward(&xm).unwrap().as_slice().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad_input.as_slice()[idx] - numeric).abs() < 1e-5,
+                "input grad {idx}"
+            );
+        }
+        // Weight gradient check.
+        conv.forward(&x).unwrap();
+        conv.backward(&ones).unwrap();
+        let analytic = conv.grad_weights.clone();
+        for idx in 0..conv.weights.len() {
+            let orig = conv.weights[idx];
+            conv.weights[idx] = orig + eps;
+            let fp: f64 = conv.forward(&x).unwrap().as_slice().iter().sum();
+            conv.weights[idx] = orig - eps;
+            let fm: f64 = conv.forward(&x).unwrap().as_slice().iter().sum();
+            conv.weights[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[idx] - numeric).abs() < 1e-5,
+                "weight grad {idx}: {} vs {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv1d_shapes_and_delegation() {
+        let mut conv = Conv1d::new(2, 4, 5, 1, 2, 0).unwrap();
+        let y = conv.forward(&Tensor::zeros(&[3, 2, 32])).unwrap();
+        assert_eq!(y.shape(), &[3, 4, 32]);
+        let gx = conv.backward(&Tensor::zeros(&[3, 4, 32])).unwrap();
+        assert_eq!(gx.shape(), &[3, 2, 32]);
+        assert_eq!(conv.num_parameters(), 4 * 2 * 5 + 4);
+        assert_eq!(conv.output_shape(&[2, 32]), vec![4, 32]);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(Conv2d::new(0, 1, (3, 3), 1, 0, 0).is_err());
+        assert!(Conv2d::new(1, 1, (0, 3), 1, 0, 0).is_err());
+        assert!(Conv2d::new(1, 1, (3, 3), 0, 0, 0).is_err());
+        let mut conv = Conv2d::new(1, 1, (3, 3), 1, 0, 0).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8])).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(conv.backward(&Tensor::zeros(&[1, 1, 6, 6])).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Fully connected (dense) layers.
+
+use crate::error::NnError;
+use crate::init::he_uniform;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A fully connected layer computing `y = x W^T + b` for a batch of row vectors.
+///
+/// Weights have shape `[out_features, in_features]`.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::{dense::Dense, layer::Layer, Tensor};
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let mut layer = Dense::new(3, 2, 0)?;
+/// let y = layer.forward(&Tensor::zeros(&[4, 3]))?;
+/// assert_eq!(y.shape(), &[4, 2]);
+/// assert_eq!(layer.num_parameters(), 3 * 2 + 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    grad_weights: Vec<f64>,
+    grad_bias: Vec<f64>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initial weights drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Result<Self, NnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::invalid_parameter(
+                "in_features/out_features",
+                "must be positive",
+            ));
+        }
+        Ok(Dense {
+            in_features,
+            out_features,
+            weights: he_uniform(in_features * out_features, in_features, seed),
+            bias: vec![0.0; out_features],
+            grad_weights: vec![0.0; in_features * out_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        })
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable view of the weight matrix (row-major `[out, in]`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Immutable view of the bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 2 || shape[1] != self.in_features {
+            return Err(NnError::shape_mismatch(
+                format!("[batch, {}]", self.in_features),
+                shape,
+            ));
+        }
+        let batch = shape[0];
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let mut acc = self.bias[o];
+                let wrow = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+                for (i, &w) in wrow.iter().enumerate() {
+                    acc += w * input.at2(b, i);
+                }
+                out.set2(b, o, acc);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            NnError::invalid_parameter("state", "backward called before forward")
+        })?;
+        let batch = input.shape()[0];
+        if grad_output.shape() != [batch, self.out_features] {
+            return Err(NnError::shape_mismatch(
+                format!("[{batch}, {}]", self.out_features),
+                grad_output.shape(),
+            ));
+        }
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+        let mut grad_input = Tensor::zeros(&[batch, self.in_features]);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let g = grad_output.at2(b, o);
+                self.grad_bias[o] += g;
+                for i in 0..self.in_features {
+                    self.grad_weights[o * self.in_features + i] += g * input.at2(b, i);
+                    let v = grad_input.at2(b, i) + g * self.weights[o * self.in_features + i];
+                    grad_input.set2(b, i, v);
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![
+            (self.weights.as_mut_slice(), self.grad_weights.as_slice()),
+            (self.bias.as_mut_slice(), self.grad_bias.as_slice()),
+        ]
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.out_features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut layer = Dense::new(3, 2, 1).unwrap();
+        // Zero the weights so the output equals the bias.
+        for w in layer.weights.iter_mut() {
+            *w = 0.0;
+        }
+        layer.bias = vec![0.5, -0.5];
+        let y = layer.forward(&Tensor::zeros(&[2, 3])).unwrap();
+        assert_eq!(y.rows(), vec![vec![0.5, -0.5], vec![0.5, -0.5]]);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let eps = 1e-6;
+        let mut layer = Dense::new(3, 2, 5).unwrap();
+        let x = Tensor::from_rows(&[vec![0.2, -0.4, 0.8], vec![1.0, 0.5, -0.3]]).unwrap();
+        // Scalar objective: sum of outputs.
+        let y = layer.forward(&x).unwrap();
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        let grad_input = layer.backward(&ones).unwrap();
+        // Check input gradients numerically.
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp: f64 = layer.forward(&xp).unwrap().as_slice().iter().sum();
+            let fm: f64 = layer.forward(&xm).unwrap().as_slice().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad_input.as_slice()[idx] - numeric).abs() < 1e-5,
+                "input grad {idx}"
+            );
+        }
+        // Check weight gradients numerically.
+        layer.forward(&x).unwrap();
+        layer.backward(&ones).unwrap();
+        let analytic = layer.grad_weights.clone();
+        for idx in 0..layer.weights.len() {
+            let orig = layer.weights[idx];
+            layer.weights[idx] = orig + eps;
+            let fp: f64 = layer.forward(&x).unwrap().as_slice().iter().sum();
+            layer.weights[idx] = orig - eps;
+            let fm: f64 = layer.forward(&x).unwrap().as_slice().iter().sum();
+            layer.weights[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[idx] - numeric).abs() < 1e-5,
+                "weight grad {idx}: {} vs {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let mut layer = Dense::new(4, 2, 0).unwrap();
+        assert!(layer.forward(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(layer.backward(&Tensor::zeros(&[2, 2])).is_err());
+        layer.forward(&Tensor::zeros(&[2, 4])).unwrap();
+        assert!(layer.backward(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(Dense::new(0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn parameter_count() {
+        let layer = Dense::new(10, 4, 0).unwrap();
+        assert_eq!(layer.num_parameters(), 44);
+    }
+}

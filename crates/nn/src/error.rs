@@ -1,0 +1,81 @@
+//! Error type for the neural-network library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or running neural networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// Description of what was expected.
+        expected: String,
+        /// The shape that was supplied.
+        actual: Vec<usize>,
+    },
+    /// A layer or training parameter is invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The model has no layers or is otherwise unusable.
+    EmptyModel,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+            NnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NnError::EmptyModel => write!(f, "model has no layers"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+impl NnError {
+    /// Convenience constructor for [`NnError::ShapeMismatch`].
+    pub fn shape_mismatch(expected: impl Into<String>, actual: &[usize]) -> Self {
+        NnError::ShapeMismatch {
+            expected: expected.into(),
+            actual: actual.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for [`NnError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        NnError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(NnError::shape_mismatch("[batch, 4]", &[2, 3])
+            .to_string()
+            .contains("[2, 3]"));
+        assert!(NnError::invalid_parameter("lr", "must be positive")
+            .to_string()
+            .contains("lr"));
+        assert!(!NnError::EmptyModel.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

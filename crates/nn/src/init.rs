@@ -1,0 +1,52 @@
+//! Deterministic weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `count` weights from a uniform distribution scaled by the Glorot/Xavier rule
+/// for a layer with `fan_in` inputs and `fan_out` outputs, using a fixed `seed` so that
+/// experiments are reproducible.
+pub fn xavier_uniform(count: usize, fan_in: usize, fan_out: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    (0..count).map(|_| rng.random_range(-limit..limit)).collect()
+}
+
+/// Draws `count` weights from a uniform distribution scaled by the He/Kaiming rule for
+/// ReLU networks with `fan_in` inputs.
+pub fn he_uniform(count: usize, fan_in: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let limit = (6.0 / fan_in.max(1) as f64).sqrt();
+    (0..count).map(|_| rng.random_range(-limit..limit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_is_deterministic_per_seed() {
+        assert_eq!(xavier_uniform(16, 4, 4, 7), xavier_uniform(16, 4, 4, 7));
+        assert_ne!(xavier_uniform(16, 4, 4, 7), xavier_uniform(16, 4, 4, 8));
+        assert_eq!(he_uniform(16, 4, 7), he_uniform(16, 4, 7));
+    }
+
+    #[test]
+    fn weights_respect_the_scale_limit() {
+        let fan_in = 100;
+        let fan_out = 50;
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        let w = xavier_uniform(1000, fan_in, fan_out, 1);
+        assert!(w.iter().all(|v| v.abs() <= limit));
+        let limit_he = (6.0 / fan_in as f64).sqrt();
+        let w = he_uniform(1000, fan_in, 1);
+        assert!(w.iter().all(|v| v.abs() <= limit_he));
+    }
+
+    #[test]
+    fn weights_are_roughly_zero_mean() {
+        let w = he_uniform(10_000, 64, 3);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 0.02);
+    }
+}

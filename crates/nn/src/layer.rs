@@ -1,0 +1,118 @@
+//! The [`Layer`] trait and shape-only utility layers.
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] so that
+/// [`Layer::backward`] can compute gradients with respect to both their parameters and
+/// their input. Parameter gradients are accumulated internally and exposed through
+/// [`Layer::params_and_grads`] for the optimizer.
+pub trait Layer: std::fmt::Debug {
+    /// A short human-readable layer name (e.g. `"dense"`, `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the forward pass for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Runs the backward pass, consuming the gradient with respect to the layer output
+    /// and returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if [`Layer::forward`] has not been called or shapes mismatch.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Returns `(parameters, gradients)` pairs for the optimizer. Parameter-free layers
+    /// return an empty vector.
+    fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        Vec::new()
+    }
+
+    /// Total number of trainable parameters.
+    fn num_parameters(&self) -> usize {
+        0
+    }
+
+    /// Output shape (excluding the batch dimension) for a given input shape (also
+    /// excluding the batch dimension), used for model summaries and the co-design IR.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+}
+
+/// Flattens any input of shape `[batch, d1, d2, ...]` into `[batch, d1*d2*...]`.
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape().to_vec();
+        if shape.is_empty() {
+            return Err(NnError::shape_mismatch("at least rank 1", &shape));
+        }
+        self.cached_shape = shape.clone();
+        let batch = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        input.clone().reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_shape.is_empty() {
+            return Err(NnError::invalid_parameter(
+                "state",
+                "backward called before forward",
+            ));
+        }
+        grad_output.clone().reshape(&self.cached_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = f.backward(&Tensor::zeros(&[2, 12])).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 4]);
+        assert_eq!(f.output_shape(&[3, 4]), vec![12]);
+    }
+
+    #[test]
+    fn flatten_backward_before_forward_fails() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+
+    #[test]
+    fn parameter_free_layer_reports_zero_params() {
+        let mut f = Flatten::new();
+        assert_eq!(f.num_parameters(), 0);
+        assert!(f.params_and_grads().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! # ispot-nn
+//!
+//! A small, dependency-free neural-network library sufficient for the deep-learning
+//! back-ends of the I-SPOT pipeline: the CNN emergency-sound detectors (Sec. III of the
+//! paper) and the Cross3D-style localization network (Sec. IV-B). It supports
+//! feed-forward inference, mini-batch training with backpropagation, magnitude pruning
+//! and uniform weight quantization — the two compression levers exercised by the
+//! hardware–algorithm co-design workflow.
+//!
+//! The library is deliberately simple (dense, 1-D/2-D convolution, pooling, ReLU-family
+//! activations, softmax cross-entropy, SGD/Adam) and operates on `f64` tensors with an
+//! explicit batch dimension.
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_nn::prelude::*;
+//!
+//! # fn main() -> Result<(), ispot_nn::NnError> {
+//! // A tiny classifier trained on a linearly separable toy problem.
+//! let mut model = Sequential::new();
+//! model.push(Dense::new(2, 8, 42)?);
+//! model.push(Activation::relu());
+//! model.push(Dense::new(8, 2, 43)?);
+//! let mut optimizer = Sgd::new(0.1);
+//! let loss = CrossEntropyLoss::new();
+//! let x = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]])?;
+//! let y = vec![0usize, 1];
+//! for _ in 0..50 {
+//!     model.train_batch(&x, &y, &loss, &mut optimizer)?;
+//! }
+//! assert_eq!(model.predict(&x)?, vec![0, 1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod error;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optimizer;
+pub mod pooling;
+pub mod prune;
+pub mod quantize;
+pub mod tensor;
+
+pub use error::NnError;
+pub use tensor::Tensor;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::activation::Activation;
+    pub use crate::conv::{Conv1d, Conv2d};
+    pub use crate::dense::Dense;
+    pub use crate::error::NnError;
+    pub use crate::layer::{Flatten, Layer};
+    pub use crate::loss::{CrossEntropyLoss, Loss, MseLoss};
+    pub use crate::model::Sequential;
+    pub use crate::optimizer::{Adam, Optimizer, Sgd};
+    pub use crate::pooling::{GlobalAveragePool, MaxPool2d};
+    pub use crate::prune::{prune_magnitude, sparsity};
+    pub use crate::quantize::{quantize_model, QuantizationReport};
+    pub use crate::tensor::Tensor;
+}

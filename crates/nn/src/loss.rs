@@ -1,0 +1,213 @@
+//! Loss functions.
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// A differentiable training objective.
+pub trait Loss: std::fmt::Debug {
+    /// Computes the mean loss over the batch and the gradient with respect to the
+    /// network output.
+    ///
+    /// `targets` are class indices for classification losses and flattened target
+    /// values for regression losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes and targets are inconsistent.
+    fn compute(&self, output: &Tensor, targets: &[usize]) -> Result<(f64, Tensor), NnError>;
+}
+
+/// Softmax cross-entropy over logits of shape `[batch, classes]`.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::{loss::{CrossEntropyLoss, Loss}, Tensor};
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let logits = Tensor::from_rows(&[vec![5.0, 0.0], vec![0.0, 5.0]])?;
+/// let (loss, _grad) = CrossEntropyLoss::new().compute(&logits, &[0, 1])?;
+/// assert!(loss < 0.01); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+
+    /// Computes the row-wise softmax of a `[batch, classes]` tensor.
+    pub fn softmax(output: &Tensor) -> Tensor {
+        let shape = output.shape();
+        let (batch, classes) = (shape[0], shape[1]);
+        let mut out = Tensor::zeros(shape);
+        for b in 0..batch {
+            let row: Vec<f64> = (0..classes).map(|c| output.at2(b, c)).collect();
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for c in 0..classes {
+                out.set2(b, c, exps[c] / sum);
+            }
+        }
+        out
+    }
+}
+
+impl Loss for CrossEntropyLoss {
+    fn compute(&self, output: &Tensor, targets: &[usize]) -> Result<(f64, Tensor), NnError> {
+        let shape = output.shape();
+        if shape.len() != 2 {
+            return Err(NnError::shape_mismatch("[batch, classes]", shape));
+        }
+        let (batch, classes) = (shape[0], shape[1]);
+        if targets.len() != batch {
+            return Err(NnError::invalid_parameter(
+                "targets",
+                format!("expected {batch} targets, got {}", targets.len()),
+            ));
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+            return Err(NnError::invalid_parameter(
+                "targets",
+                format!("class index {bad} out of range for {classes} classes"),
+            ));
+        }
+        let probs = Self::softmax(output);
+        let mut loss = 0.0;
+        let mut grad = probs.clone();
+        for (b, &t) in targets.iter().enumerate() {
+            let p = probs.at2(b, t).max(1e-15);
+            loss -= p.ln();
+            grad.set2(b, t, grad.at2(b, t) - 1.0);
+        }
+        let scale = 1.0 / batch as f64;
+        Ok((loss * scale, grad.scale(scale)))
+    }
+}
+
+/// Mean squared error against per-element targets encoded as indices into a lookup of
+/// 0/1 (one-hot) — provided mainly for regression-style sanity tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+
+    /// Computes the MSE between `output` and explicit `targets` of the same shape,
+    /// returning the mean loss and its gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn compute_values(&self, output: &Tensor, targets: &Tensor) -> Result<(f64, Tensor), NnError> {
+        if output.shape() != targets.shape() {
+            return Err(NnError::shape_mismatch(
+                format!("{:?}", output.shape()),
+                targets.shape(),
+            ));
+        }
+        let n = output.len().max(1) as f64;
+        let mut grad = Tensor::zeros(output.shape());
+        let mut loss = 0.0;
+        for (i, (&o, &t)) in output
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .enumerate()
+        {
+            let d = o - t;
+            loss += d * d;
+            grad.as_mut_slice()[i] = 2.0 * d / n;
+        }
+        Ok((loss / n, grad))
+    }
+}
+
+impl Loss for MseLoss {
+    fn compute(&self, output: &Tensor, targets: &[usize]) -> Result<(f64, Tensor), NnError> {
+        // Interpret targets as one-hot class labels.
+        let shape = output.shape();
+        if shape.len() != 2 {
+            return Err(NnError::shape_mismatch("[batch, classes]", shape));
+        }
+        let mut one_hot = Tensor::zeros(shape);
+        for (b, &t) in targets.iter().enumerate() {
+            if t >= shape[1] {
+                return Err(NnError::invalid_parameter("targets", "class out of range"));
+            }
+            one_hot.set2(b, t, 1.0);
+        }
+        self.compute_values(output, &one_hot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]).unwrap();
+        let s = CrossEntropyLoss::softmax(&t);
+        for b in 0..2 {
+            let sum: f64 = (0..3).map(|c| s.at2(b, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::from_rows(&[vec![0.0, 0.0, 0.0, 0.0]]).unwrap();
+        let (loss, _) = CrossEntropyLoss::new().compute(&logits, &[2]).unwrap();
+        assert!((loss - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numerical() {
+        let eps = 1e-6;
+        let logits = Tensor::from_rows(&[vec![0.3, -0.2, 0.9], vec![1.0, 0.0, -1.0]]).unwrap();
+        let targets = vec![2usize, 0usize];
+        let loss_fn = CrossEntropyLoss::new();
+        let (_, grad) = loss_fn.compute(&logits, &targets).unwrap();
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = loss_fn.compute(&lp, &targets).unwrap();
+            let (fm, _) = loss_fn.compute(&lm, &targets).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-6,
+                "grad {i}: {} vs {numeric}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let out = Tensor::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let (loss, grad) = MseLoss::new().compute(&out, &[0]).unwrap();
+        assert!(loss.abs() < 1e-12);
+        assert!(grad.as_slice().iter().all(|&g| g.abs() < 1e-12));
+        let (loss, _) = MseLoss::new().compute(&out, &[1]).unwrap();
+        assert!(loss > 0.5);
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let logits = Tensor::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        assert!(CrossEntropyLoss::new().compute(&logits, &[2]).is_err());
+        assert!(CrossEntropyLoss::new().compute(&logits, &[0, 1]).is_err());
+        assert!(MseLoss::new().compute(&logits, &[5]).is_err());
+    }
+}

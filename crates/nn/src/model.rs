@@ -1,0 +1,298 @@
+//! Sequential model container: forward, backward, training and summaries.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::loss::{CrossEntropyLoss, Loss};
+use crate::optimizer::Optimizer;
+use crate::tensor::Tensor;
+
+/// A description of one layer, used by model summaries and the co-design IR builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer name (e.g. `"conv2d"`).
+    pub name: String,
+    /// Number of trainable parameters.
+    pub parameters: usize,
+    /// Output shape (excluding the batch dimension).
+    pub output_shape: Vec<usize>,
+}
+
+/// A stack of layers applied in sequence.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::prelude::*;
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let mut model = Sequential::new();
+/// model.push(Dense::new(4, 8, 1)?);
+/// model.push(Activation::relu());
+/// model.push(Dense::new(8, 3, 2)?);
+/// assert_eq!(model.num_parameters(), 4 * 8 + 8 + 8 * 3 + 3);
+/// let y = model.forward(&Tensor::zeros(&[2, 4]))?;
+/// assert_eq!(y.shape(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer to the model.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns true if the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.num_parameters()).sum()
+    }
+
+    /// Runs the forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyModel`] if the model has no layers, or any layer error.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::EmptyModel);
+        }
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the backward pass through every layer, in reverse order.
+    ///
+    /// # Errors
+    ///
+    /// Returns any layer error (e.g. backward before forward).
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::EmptyModel);
+        }
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Runs one training step on a batch: forward, loss, backward and optimizer update.
+    /// Returns the batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer, loss and optimizer errors.
+    pub fn train_batch(
+        &mut self,
+        input: &Tensor,
+        targets: &[usize],
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<f64, NnError> {
+        let output = self.forward(input)?;
+        let (loss_value, grad) = loss.compute(&output, targets)?;
+        self.backward(&grad)?;
+        let mut groups: Vec<(&mut [f64], &[f64])> = Vec::new();
+        for layer in &mut self.layers {
+            groups.extend(layer.params_and_grads());
+        }
+        optimizer.step(&mut groups)?;
+        Ok(loss_value)
+    }
+
+    /// Returns the predicted class index (argmax of the final layer output) for every
+    /// batch element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors; the output must be 2-D.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, NnError> {
+        let output = self.forward(input)?;
+        if output.shape().len() != 2 {
+            return Err(NnError::shape_mismatch("[batch, classes]", output.shape()));
+        }
+        Ok(output
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+
+    /// Returns the softmax class probabilities for every batch element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors; the output must be 2-D.
+    pub fn predict_proba(&mut self, input: &Tensor) -> Result<Vec<Vec<f64>>, NnError> {
+        let output = self.forward(input)?;
+        if output.shape().len() != 2 {
+            return Err(NnError::shape_mismatch("[batch, classes]", output.shape()));
+        }
+        Ok(CrossEntropyLoss::softmax(&output).rows())
+    }
+
+    /// Returns `(parameters, gradients)` groups across all layers, in a stable order.
+    pub fn parameter_groups(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        let mut groups = Vec::new();
+        for layer in &mut self.layers {
+            groups.extend(layer.params_and_grads());
+        }
+        groups
+    }
+
+    /// Describes every layer for an input of shape `input_shape` (excluding the batch
+    /// dimension), tracking how the shape evolves through the stack.
+    pub fn summary(&self, input_shape: &[usize]) -> Vec<LayerSummary> {
+        let mut shape = input_shape.to_vec();
+        self.layers
+            .iter()
+            .map(|layer| {
+                shape = layer.output_shape(&shape);
+                LayerSummary {
+                    name: layer.name().to_string(),
+                    parameters: layer.num_parameters(),
+                    output_shape: shape.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Classification accuracy of the model on `(input, targets)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn accuracy(&mut self, input: &Tensor, targets: &[usize]) -> Result<f64, NnError> {
+        let predictions = self.predict(input)?;
+        if predictions.len() != targets.len() {
+            return Err(NnError::invalid_parameter(
+                "targets",
+                "target count must match the batch size",
+            ));
+        }
+        let correct = predictions
+            .iter()
+            .zip(targets)
+            .filter(|(p, t)| p == t)
+            .count();
+        Ok(correct as f64 / targets.len().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::dense::Dense;
+    use crate::loss::CrossEntropyLoss;
+    use crate::optimizer::{Adam, Sgd};
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn xor_is_learned_by_a_small_mlp() {
+        let (x, y) = xor_data();
+        let mut model = Sequential::new();
+        model.push(Dense::new(2, 16, 11).unwrap());
+        model.push(Activation::tanh());
+        model.push(Dense::new(16, 2, 12).unwrap());
+        let loss = CrossEntropyLoss::new();
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..500 {
+            final_loss = model.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        }
+        assert!(final_loss < 0.1, "final loss {final_loss}");
+        assert_eq!(model.predict(&x).unwrap(), y);
+        assert_eq!(model.accuracy(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn training_reduces_loss_with_sgd() {
+        let (x, y) = xor_data();
+        let mut model = Sequential::new();
+        model.push(Dense::new(2, 8, 3).unwrap());
+        model.push(Activation::relu());
+        model.push(Dense::new(8, 2, 4).unwrap());
+        let loss = CrossEntropyLoss::new();
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let first = model.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..200 {
+            last = model.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn summary_tracks_shapes_and_parameters() {
+        let mut model = Sequential::new();
+        model.push(Dense::new(10, 4, 0).unwrap());
+        model.push(Activation::relu());
+        model.push(Dense::new(4, 2, 1).unwrap());
+        let summary = model.summary(&[10]);
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary[0].output_shape, vec![4]);
+        assert_eq!(summary[2].output_shape, vec![2]);
+        assert_eq!(
+            summary.iter().map(|s| s.parameters).sum::<usize>(),
+            model.num_parameters()
+        );
+    }
+
+    #[test]
+    fn empty_model_is_an_error() {
+        let mut model = Sequential::new();
+        assert!(matches!(
+            model.forward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut model = Sequential::new();
+        model.push(Dense::new(3, 4, 9).unwrap());
+        let probs = model.predict_proba(&Tensor::zeros(&[2, 3])).unwrap();
+        for row in probs {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Gradient-descent optimizers.
+
+use crate::error::NnError;
+
+/// An optimizer updates parameter slices in place given their gradients.
+///
+/// Parameter groups are identified by their position in the list passed to
+/// [`Optimizer::step`]; models must pass groups in a stable order (as
+/// [`crate::model::Sequential`] does) so that stateful optimizers track the right
+/// moments.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step to every `(parameters, gradients)` group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a group's parameter and gradient lengths differ.
+    fn step(&mut self, groups: &mut [(&mut [f64], &[f64])]) -> Result<(), NnError>;
+
+    /// Returns the current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Sets the learning rate (used by schedules and the co-design tuner).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, groups: &mut [(&mut [f64], &[f64])]) -> Result<(), NnError> {
+        if self.velocity.len() < groups.len() {
+            self.velocity.resize(groups.len(), Vec::new());
+        }
+        for (g, (params, grads)) in groups.iter_mut().enumerate() {
+            if params.len() != grads.len() {
+                return Err(NnError::invalid_parameter(
+                    "groups",
+                    "parameter and gradient lengths differ",
+                ));
+            }
+            if self.velocity[g].len() != params.len() {
+                self.velocity[g] = vec![0.0; params.len()];
+            }
+            for i in 0..params.len() {
+                let v = self.momentum * self.velocity[g][i] - self.lr * grads[i];
+                self.velocity[g][i] = v;
+                params[i] += v;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyper-parameters (β1 = 0.9, β2 = 0.999).
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, groups: &mut [(&mut [f64], &[f64])]) -> Result<(), NnError> {
+        self.t += 1;
+        if self.m.len() < groups.len() {
+            self.m.resize(groups.len(), Vec::new());
+            self.v.resize(groups.len(), Vec::new());
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (g, (params, grads)) in groups.iter_mut().enumerate() {
+            if params.len() != grads.len() {
+                return Err(NnError::invalid_parameter(
+                    "groups",
+                    "parameter and gradient lengths differ",
+                ));
+            }
+            if self.m[g].len() != params.len() {
+                self.m[g] = vec![0.0; params.len()];
+                self.v[g] = vec![0.0; params.len()];
+            }
+            for i in 0..params.len() {
+                self.m[g][i] = self.beta1 * self.m[g][i] + (1.0 - self.beta1) * grads[i];
+                self.v[g][i] = self.beta2 * self.v[g][i] + (1.0 - self.beta2) * grads[i] * grads[i];
+                let m_hat = self.m[g][i] / bc1;
+                let v_hat = self.v[g][i] / bc2;
+                params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        // Minimize f(x) = (x - 3)^2 starting from x = 0.
+        let mut x = vec![0.0f64];
+        for _ in 0..steps {
+            let grad = vec![2.0 * (x[0] - 3.0)];
+            let mut groups = vec![(x.as_mut_slice(), grad.as_slice())];
+            opt.step(&mut groups).unwrap();
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = quadratic_descent(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let plain = {
+            let mut opt = Sgd::new(0.01);
+            quadratic_descent(&mut opt, 50)
+        };
+        let momentum = {
+            let mut opt = Sgd::with_momentum(0.01, 0.9);
+            quadratic_descent(&mut opt, 50)
+        };
+        assert!((momentum - 3.0).abs() < (plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let x = quadratic_descent(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn mismatched_groups_rejected() {
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![0.0; 3];
+        let grads = vec![0.0; 2];
+        let mut groups = vec![(params.as_mut_slice(), grads.as_slice())];
+        assert!(opt.step(&mut groups).is_err());
+    }
+}

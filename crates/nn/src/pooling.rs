@@ -1,0 +1,271 @@
+//! Spatial pooling layers.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over non-overlapping windows of inputs shaped
+/// `[batch, channels, height, width]`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: (usize, usize),
+    cached_input_shape: Vec<usize>,
+    /// For every output element, the flat input index of its maximum.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given window (also used as the stride).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either window dimension is zero.
+    pub fn new(window: (usize, usize)) -> Result<Self, NnError> {
+        if window.0 == 0 || window.1 == 0 {
+            return Err(NnError::invalid_parameter("window", "must be positive"));
+        }
+        Ok(MaxPool2d {
+            window,
+            cached_input_shape: Vec::new(),
+            argmax: Vec::new(),
+        })
+    }
+
+    /// Returns the pooling window.
+    pub fn window(&self) -> (usize, usize) {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 4 {
+            return Err(NnError::shape_mismatch("[batch, channels, h, w]", shape));
+        }
+        let (batch, ch, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = h / self.window.0;
+        let ow = w / self.window.1;
+        if oh == 0 || ow == 0 {
+            return Err(NnError::shape_mismatch(
+                "input at least as large as the pooling window",
+                shape,
+            ));
+        }
+        let mut out = Tensor::zeros(&[batch, ch, oh, ow]);
+        self.argmax = vec![0; batch * ch * oh * ow];
+        let x = input.as_slice();
+        let y = out.as_mut_slice();
+        for b in 0..batch {
+            for c in 0..ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.window.0 {
+                            for kx in 0..self.window.1 {
+                                let iy = oy * self.window.0 + ky;
+                                let ix = ox * self.window.1 + kx;
+                                let idx = ((b * ch + c) * h + iy) * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((b * ch + c) * oh + oy) * ow + ox;
+                        y[oidx] = best;
+                        self.argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = shape.to_vec();
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_input_shape.is_empty() {
+            return Err(NnError::invalid_parameter(
+                "state",
+                "backward called before forward",
+            ));
+        }
+        if grad_output.len() != self.argmax.len() {
+            return Err(NnError::shape_mismatch(
+                format!("{} pooled elements", self.argmax.len()),
+                grad_output.shape(),
+            ));
+        }
+        let mut grad_input = Tensor::zeros(&self.cached_input_shape);
+        let gx = grad_input.as_mut_slice();
+        for (o, &g) in grad_output.as_slice().iter().enumerate() {
+            gx[self.argmax[o]] += g;
+        }
+        Ok(grad_input)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        if input_shape.len() != 3 {
+            return input_shape.to_vec();
+        }
+        vec![
+            input_shape[0],
+            input_shape[1] / self.window.0,
+            input_shape[2] / self.window.1,
+        ]
+    }
+}
+
+/// Global average pooling: collapses `[batch, channels, h, w]` to `[batch, channels]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAveragePool {
+    cached_input_shape: Vec<usize>,
+}
+
+impl GlobalAveragePool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAveragePool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 4 {
+            return Err(NnError::shape_mismatch("[batch, channels, h, w]", shape));
+        }
+        let (batch, ch, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let area = (h * w) as f64;
+        let mut out = Tensor::zeros(&[batch, ch]);
+        for b in 0..batch {
+            for c in 0..ch {
+                let start = ((b * ch + c) * h) * w;
+                let sum: f64 = input.as_slice()[start..start + h * w].iter().sum();
+                out.set2(b, c, sum / area);
+            }
+        }
+        self.cached_input_shape = shape.to_vec();
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_input_shape.is_empty() {
+            return Err(NnError::invalid_parameter(
+                "state",
+                "backward called before forward",
+            ));
+        }
+        let (batch, ch, h, w) = (
+            self.cached_input_shape[0],
+            self.cached_input_shape[1],
+            self.cached_input_shape[2],
+            self.cached_input_shape[3],
+        );
+        if grad_output.shape() != [batch, ch] {
+            return Err(NnError::shape_mismatch(
+                format!("[{batch}, {ch}]"),
+                grad_output.shape(),
+            ));
+        }
+        let area = (h * w) as f64;
+        let mut grad_input = Tensor::zeros(&self.cached_input_shape);
+        let gx = grad_input.as_mut_slice();
+        for b in 0..batch {
+            for c in 0..ch {
+                let g = grad_output.at2(b, c) / area;
+                let start = ((b * ch + c) * h) * w;
+                for v in gx[start..start + h * w].iter_mut() {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        if input_shape.len() != 3 {
+            return input_shape.to_vec();
+        }
+        vec![input_shape[0]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pooling_picks_window_maxima() {
+        let mut pool = MaxPool2d::new((2, 2)).unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 1.0, 2.0, 3.0, 0.0, 5.0, 4.0, 1.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new((2, 2)).unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        pool.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let gx = pool.backward(&g).unwrap();
+        // The maxima were at positions 4 (8.0), 6 (6.0), 12 (2.0), 14 (2.0).
+        assert_eq!(gx.as_slice()[4], 1.0);
+        assert_eq!(gx.as_slice()[6], 2.0);
+        assert_eq!(gx.as_slice()[12], 3.0);
+        assert_eq!(gx.as_slice()[14], 4.0);
+        assert_eq!(gx.as_slice().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn global_average_pool_values_and_gradient() {
+        let mut gap = GlobalAveragePool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = gap.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        let gx = gap
+            .backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap())
+            .unwrap();
+        assert!(gx.as_slice()[..4].iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        assert!(gx.as_slice()[4..].iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(MaxPool2d::new((0, 2)).is_err());
+        let mut pool = MaxPool2d::new((4, 4)).unwrap();
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut gap = GlobalAveragePool::new();
+        assert!(gap.forward(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(gap.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn output_shapes() {
+        let pool = MaxPool2d::new((2, 2)).unwrap();
+        assert_eq!(pool.output_shape(&[8, 16, 16]), vec![8, 8, 8]);
+        let gap = GlobalAveragePool::new();
+        assert_eq!(gap.output_shape(&[8, 16, 16]), vec![8]);
+    }
+}

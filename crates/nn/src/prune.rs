@@ -1,0 +1,147 @@
+//! Magnitude pruning.
+//!
+//! The co-design workflow of Sec. IV-B shrinks the Cross3D model by ~86 %; magnitude
+//! pruning (zeroing the smallest weights) is one of the two compression passes used to
+//! get there (the other is quantization).
+
+use crate::error::NnError;
+use crate::model::Sequential;
+
+/// Zeroes the fraction `ratio` (0–1) of smallest-magnitude weights across the whole
+/// model (global magnitude pruning) and returns the number of weights that were zeroed.
+///
+/// # Errors
+///
+/// Returns an error if `ratio` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use ispot_nn::prelude::*;
+///
+/// # fn main() -> Result<(), ispot_nn::NnError> {
+/// let mut model = Sequential::new();
+/// model.push(Dense::new(8, 8, 0)?);
+/// let zeroed = prune_magnitude(&mut model, 0.5)?;
+/// // About half of the 72 parameters end up at zero (the 8 biases already were).
+/// assert!(zeroed >= 20 && zeroed <= 40);
+/// assert!(sparsity(&mut model) >= 0.45);
+/// # Ok(())
+/// # }
+/// ```
+pub fn prune_magnitude(model: &mut Sequential, ratio: f64) -> Result<usize, NnError> {
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(NnError::invalid_parameter(
+            "ratio",
+            format!("must be within [0, 1], got {ratio}"),
+        ));
+    }
+    // Collect all weight magnitudes to find the global threshold.
+    let mut magnitudes: Vec<f64> = Vec::new();
+    for (params, _) in model.parameter_groups() {
+        magnitudes.extend(params.iter().map(|w| w.abs()));
+    }
+    if magnitudes.is_empty() {
+        return Ok(0);
+    }
+    magnitudes.sort_by(|a, b| a.total_cmp(b));
+    let cutoff_index = ((magnitudes.len() as f64) * ratio).floor() as usize;
+    if cutoff_index == 0 {
+        return Ok(0);
+    }
+    let threshold = magnitudes[(cutoff_index - 1).min(magnitudes.len() - 1)];
+    let mut zeroed = 0;
+    for (params, _) in model.parameter_groups() {
+        for w in params.iter_mut() {
+            if w.abs() <= threshold && *w != 0.0 {
+                *w = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    Ok(zeroed)
+}
+
+/// Returns the fraction of exactly-zero parameters in the model.
+pub fn sparsity(model: &mut Sequential) -> f64 {
+    let mut total = 0usize;
+    let mut zeros = 0usize;
+    for (params, _) in model.parameter_groups() {
+        total += params.len();
+        zeros += params.iter().filter(|w| **w == 0.0).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::dense::Dense;
+    use crate::layer::Layer;
+
+    fn model() -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Dense::new(16, 32, 1).unwrap());
+        m.push(Activation::relu());
+        m.push(Dense::new(32, 4, 2).unwrap());
+        m
+    }
+
+    #[test]
+    fn pruning_reaches_requested_sparsity() {
+        let mut m = model();
+        prune_magnitude(&mut m, 0.7).unwrap();
+        let s = sparsity(&mut m);
+        assert!(s >= 0.6 && s <= 0.8, "sparsity {s}");
+    }
+
+    #[test]
+    fn zero_ratio_is_a_no_op() {
+        let mut m = model();
+        let zeroed = prune_magnitude(&mut m, 0.0).unwrap();
+        assert_eq!(zeroed, 0);
+        // Biases start at zero, so baseline sparsity is small but non-zero.
+        assert!(sparsity(&mut m) < 0.1);
+    }
+
+    #[test]
+    fn full_ratio_zeroes_everything() {
+        let mut m = model();
+        prune_magnitude(&mut m, 1.0).unwrap();
+        assert!((sparsity(&mut m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_keeps_large_weights() {
+        let mut m = Sequential::new();
+        let mut dense = Dense::new(2, 2, 0).unwrap();
+        // Hand-set weights with clearly separated magnitudes.
+        for (i, w) in dense
+            .params_and_grads()
+            .remove(0)
+            .0
+            .iter_mut()
+            .enumerate()
+        {
+            *w = if i % 2 == 0 { 10.0 } else { 0.01 };
+        }
+        m.push(dense);
+        prune_magnitude(&mut m, 0.5).unwrap();
+        let groups = m.parameter_groups();
+        let weights = &groups[0].0;
+        assert!(weights.iter().filter(|w| **w == 10.0).count() >= 2);
+        assert!(weights.iter().all(|w| *w == 0.0 || *w == 10.0));
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        let mut m = model();
+        assert!(prune_magnitude(&mut m, 1.5).is_err());
+        assert!(prune_magnitude(&mut m, -0.1).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Analytic Doppler-shift helpers, used to validate the delay-line implementation.
+
+use crate::geometry::Position;
+use crate::trajectory::Trajectory;
+
+/// Radial velocity (m/s) of the source towards the microphone at time `t`; positive
+/// when the source approaches.
+pub fn radial_velocity(trajectory: &Trajectory, microphone: Position, t: f64) -> f64 {
+    let pos = trajectory.position_at(t);
+    let vel = trajectory.velocity_at(t);
+    let towards = (microphone - pos).normalized();
+    vel.dot(towards)
+}
+
+/// Expected instantaneous Doppler frequency ratio `f_observed / f_emitted` for a moving
+/// source and a static receiver: `c / (c - v_radial)`.
+///
+/// # Example
+///
+/// ```
+/// use ispot_roadsim::{doppler::doppler_ratio, geometry::Position, trajectory::Trajectory};
+///
+/// let t = Trajectory::linear(Position::new(-100.0, 0.0, 0.0), Position::new(100.0, 0.0, 0.0), 30.0);
+/// let mic = Position::new(0.0, 5.0, 0.0);
+/// // While approaching, the observed frequency is higher than emitted.
+/// assert!(doppler_ratio(&t, mic, 0.5, 343.0) > 1.0);
+/// ```
+pub fn doppler_ratio(trajectory: &Trajectory, microphone: Position, t: f64, speed_of_sound: f64) -> f64 {
+    let v_r = radial_velocity(trajectory, microphone, t);
+    speed_of_sound / (speed_of_sound - v_r)
+}
+
+/// Expected observed frequency in Hz for an emitted tone of `f_emitted` Hz.
+pub fn observed_frequency(
+    trajectory: &Trajectory,
+    microphone: Position,
+    t: f64,
+    speed_of_sound: f64,
+    f_emitted: f64,
+) -> f64 {
+    f_emitted * doppler_ratio(trajectory, microphone, t, speed_of_sound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approaching_source_raises_frequency_receding_lowers_it() {
+        let traj = Trajectory::linear(
+            Position::new(-100.0, 0.0, 0.0),
+            Position::new(100.0, 0.0, 0.0),
+            30.0,
+        );
+        let mic = Position::new(0.0, 2.0, 0.0);
+        let c = 343.0;
+        let early = doppler_ratio(&traj, mic, 0.5, c);
+        let late = doppler_ratio(&traj, mic, 6.0, c);
+        assert!(early > 1.0, "approaching ratio {early}");
+        assert!(late < 1.0, "receding ratio {late}");
+    }
+
+    #[test]
+    fn head_on_approach_matches_textbook_formula() {
+        // Source moving straight at the microphone at 30 m/s.
+        let traj = Trajectory::linear(
+            Position::new(-1000.0, 0.0, 0.0),
+            Position::new(0.0, 0.0, 0.0),
+            30.0,
+        );
+        let mic = Position::new(0.0, 0.0, 0.0);
+        let c = 343.0;
+        let ratio = doppler_ratio(&traj, mic, 1.0, c);
+        assert!((ratio - c / (c - 30.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn static_source_has_no_shift() {
+        let traj = Trajectory::fixed(Position::new(10.0, 0.0, 1.0));
+        let mic = Position::new(0.0, 0.0, 1.0);
+        assert!((doppler_ratio(&traj, mic, 3.0, 343.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_frequency_scales_emitted_tone() {
+        let traj = Trajectory::linear(
+            Position::new(-500.0, 0.0, 0.0),
+            Position::new(0.0, 0.0, 0.0),
+            20.0,
+        );
+        let mic = Position::new(0.0, 0.0, 0.0);
+        let f = observed_frequency(&traj, mic, 1.0, 343.0, 440.0);
+        assert!(f > 440.0 && f < 480.0);
+    }
+
+    #[test]
+    fn transverse_motion_has_small_shift_at_closest_point() {
+        // Source passing by: at the closest point the radial velocity is ~0.
+        let traj = Trajectory::linear(
+            Position::new(-50.0, 5.0, 0.0),
+            Position::new(50.0, 5.0, 0.0),
+            25.0,
+        );
+        let mic = Position::new(0.0, 0.0, 0.0);
+        // Closest approach at t = 2 s.
+        let ratio = doppler_ratio(&traj, mic, 2.0, 343.0);
+        assert!((ratio - 1.0).abs() < 0.01);
+    }
+}

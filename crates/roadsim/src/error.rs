@@ -1,0 +1,95 @@
+//! Error type for the road acoustics simulator.
+
+use ispot_dsp::DspError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a road-acoustics simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadSimError {
+    /// A scene parameter is missing or invalid.
+    InvalidScene {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A physical parameter is outside its plausible range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(DspError),
+}
+
+impl fmt::Display for RoadSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadSimError::InvalidScene { reason } => write!(f, "invalid scene: {reason}"),
+            RoadSimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            RoadSimError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for RoadSimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RoadSimError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for RoadSimError {
+    fn from(e: DspError) -> Self {
+        RoadSimError::Dsp(e)
+    }
+}
+
+impl RoadSimError {
+    /// Convenience constructor for [`RoadSimError::InvalidScene`].
+    pub fn invalid_scene(reason: impl Into<String>) -> Self {
+        RoadSimError::InvalidScene {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`RoadSimError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        RoadSimError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RoadSimError::invalid_scene("no source configured");
+        assert!(e.to_string().contains("no source"));
+        let e = RoadSimError::invalid_parameter("temperature_c", "out of range");
+        assert!(e.to_string().contains("temperature_c"));
+    }
+
+    #[test]
+    fn dsp_errors_are_wrapped_with_source() {
+        let inner = DspError::invalid_parameter("delay", "negative");
+        let e: RoadSimError = inner.clone().into();
+        assert_eq!(e, RoadSimError::Dsp(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RoadSimError>();
+    }
+}

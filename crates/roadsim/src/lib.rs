@@ -1,0 +1,73 @@
+//! # ispot-roadsim
+//!
+//! A road-acoustics simulator for automotive acoustic perception, reproducing the
+//! architecture of *pyroadacoustics* (Damiano & van Waterschoot, DAFx 2022) described
+//! in Sec. IV-A and Figs. 2–3 of the I-SPOT paper.
+//!
+//! The simulator renders the sound emitted by a single omnidirectional source moving
+//! along an arbitrary trajectory, as received by an arbitrary array of static
+//! omnidirectional microphones. Each source–microphone pair is modelled by two
+//! propagation paths:
+//!
+//! * the **direct path**, implemented as a variable-length fractional delay line
+//!   (producing the Doppler effect), a spherical-spreading gain and an air-absorption
+//!   FIR filter;
+//! * the **road-reflected path**, using the image source below the asphalt plane, an
+//!   additional asphalt-reflection FIR filter, its own delay line, gain and air
+//!   absorption.
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_roadsim::prelude::*;
+//!
+//! # fn main() -> Result<(), ispot_roadsim::RoadSimError> {
+//! let fs = 16_000.0;
+//! // A source driving past the array at 20 m/s while emitting a 440 Hz tone.
+//! let signal: Vec<f64> = ispot_dsp::generator::Sine::new(440.0, fs).take(8000).collect();
+//! let trajectory = Trajectory::linear(
+//!     Position::new(-25.0, 5.0, 0.8),
+//!     Position::new(25.0, 5.0, 0.8),
+//!     20.0,
+//! );
+//! let source = SoundSource::new(signal, trajectory);
+//! let array = MicrophoneArray::linear(4, 0.1, Position::new(0.0, 0.0, 1.0));
+//! let scene = SceneBuilder::new(fs)
+//!     .source(source)
+//!     .array(array)
+//!     .build()?;
+//! let output = Simulator::new(scene)?.run()?;
+//! assert_eq!(output.num_channels(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asphalt;
+pub mod atmosphere;
+pub mod attenuation;
+pub mod doppler;
+pub mod engine;
+pub mod error;
+pub mod geometry;
+pub mod microphone;
+pub mod scene;
+pub mod source;
+pub mod trajectory;
+
+pub use error::RoadSimError;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::asphalt::AsphaltModel;
+    pub use crate::atmosphere::Atmosphere;
+    pub use crate::engine::{MultichannelAudio, Simulator};
+    pub use crate::error::RoadSimError;
+    pub use crate::geometry::Position;
+    pub use crate::microphone::MicrophoneArray;
+    pub use crate::scene::{Scene, SceneBuilder};
+    pub use crate::source::SoundSource;
+    pub use crate::trajectory::Trajectory;
+}

@@ -1,0 +1,259 @@
+//! Scene description: everything the simulation engine needs to render audio.
+
+use crate::asphalt::AsphaltModel;
+use crate::atmosphere::Atmosphere;
+use crate::attenuation::SphericalSpreading;
+use crate::error::RoadSimError;
+use crate::microphone::MicrophoneArray;
+use crate::source::SoundSource;
+use ispot_dsp::interp::Interpolator;
+
+/// A complete road-acoustics scene: one moving source, one static microphone array and
+/// the physical environment.
+///
+/// Build it with [`SceneBuilder`].
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// The emitting source.
+    pub source: SoundSource,
+    /// The receiving microphone array.
+    pub array: MicrophoneArray,
+    /// Atmospheric conditions.
+    pub atmosphere: Atmosphere,
+    /// Asphalt reflection model.
+    pub asphalt: AsphaltModel,
+    /// Spherical spreading model.
+    pub spreading: SphericalSpreading,
+    /// Whether the road-reflected path is rendered.
+    pub include_reflection: bool,
+    /// Whether air absorption filtering is applied.
+    pub include_air_absorption: bool,
+    /// Interpolation method used by the propagation delay lines.
+    pub interpolation: Interpolator,
+    /// Number of taps of the air-absorption and asphalt FIR filters.
+    pub filter_taps: usize,
+}
+
+impl Scene {
+    /// Speed of sound for the scene's atmosphere, m/s.
+    pub fn speed_of_sound(&self) -> f64 {
+        self.atmosphere.speed_of_sound()
+    }
+}
+
+/// Builder for [`Scene`].
+///
+/// # Example
+///
+/// ```
+/// use ispot_roadsim::prelude::*;
+///
+/// # fn main() -> Result<(), RoadSimError> {
+/// let scene = SceneBuilder::new(16_000.0)
+///     .source(SoundSource::new(vec![0.0; 100], Trajectory::fixed(Position::new(10.0, 0.0, 1.0))))
+///     .array(MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0)))
+///     .reflection(true)
+///     .air_absorption(true)
+///     .build()?;
+/// assert!(scene.speed_of_sound() > 330.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    sample_rate: f64,
+    source: Option<SoundSource>,
+    array: Option<MicrophoneArray>,
+    atmosphere: Atmosphere,
+    asphalt: AsphaltModel,
+    spreading: SphericalSpreading,
+    include_reflection: bool,
+    include_air_absorption: bool,
+    interpolation: Interpolator,
+    filter_taps: usize,
+}
+
+impl SceneBuilder {
+    /// Starts a scene at the given sampling rate (Hz).
+    pub fn new(sample_rate: f64) -> Self {
+        SceneBuilder {
+            sample_rate,
+            source: None,
+            array: None,
+            atmosphere: Atmosphere::default(),
+            asphalt: AsphaltModel::default(),
+            spreading: SphericalSpreading::default(),
+            include_reflection: true,
+            include_air_absorption: true,
+            interpolation: Interpolator::Lagrange3,
+            filter_taps: 65,
+        }
+    }
+
+    /// Sets the sound source.
+    pub fn source(mut self, source: SoundSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Sets the microphone array.
+    pub fn array(mut self, array: MicrophoneArray) -> Self {
+        self.array = Some(array);
+        self
+    }
+
+    /// Sets the atmospheric conditions (default: 20 °C, 50 % RH, 1 atm).
+    pub fn atmosphere(mut self, atmosphere: Atmosphere) -> Self {
+        self.atmosphere = atmosphere;
+        self
+    }
+
+    /// Sets the asphalt model (default: dense asphalt).
+    pub fn asphalt(mut self, asphalt: AsphaltModel) -> Self {
+        self.asphalt = asphalt;
+        self
+    }
+
+    /// Sets the spherical-spreading model.
+    pub fn spreading(mut self, spreading: SphericalSpreading) -> Self {
+        self.spreading = spreading;
+        self
+    }
+
+    /// Enables or disables the road-reflected path (default: enabled).
+    pub fn reflection(mut self, enabled: bool) -> Self {
+        self.include_reflection = enabled;
+        self
+    }
+
+    /// Enables or disables air-absorption filtering (default: enabled).
+    pub fn air_absorption(mut self, enabled: bool) -> Self {
+        self.include_air_absorption = enabled;
+        self
+    }
+
+    /// Sets the delay-line interpolation method (default: third-order Lagrange).
+    pub fn interpolation(mut self, interpolation: Interpolator) -> Self {
+        self.interpolation = interpolation;
+        self
+    }
+
+    /// Sets the number of FIR taps used for air-absorption and asphalt filters
+    /// (default: 65; must be odd).
+    pub fn filter_taps(mut self, taps: usize) -> Self {
+        self.filter_taps = taps;
+        self
+    }
+
+    /// Validates the configuration and produces a [`Scene`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadSimError::InvalidScene`] if the source or array is missing, the
+    /// sampling rate is not positive, the source signal is empty, or any microphone or
+    /// the source trajectory lies below the road surface.
+    pub fn build(self) -> Result<Scene, RoadSimError> {
+        if self.sample_rate <= 0.0 {
+            return Err(RoadSimError::invalid_scene("sampling rate must be positive"));
+        }
+        let source = self
+            .source
+            .ok_or_else(|| RoadSimError::invalid_scene("no sound source configured"))?;
+        if source.is_empty() {
+            return Err(RoadSimError::invalid_scene("source signal is empty"));
+        }
+        let array = self
+            .array
+            .ok_or_else(|| RoadSimError::invalid_scene("no microphone array configured"))?;
+        for (i, p) in array.positions().iter().enumerate() {
+            if p.z < 0.0 {
+                return Err(RoadSimError::invalid_scene(format!(
+                    "microphone {i} lies below the road surface (z = {})",
+                    p.z
+                )));
+            }
+        }
+        if self.filter_taps == 0 || self.filter_taps % 2 == 0 {
+            return Err(RoadSimError::invalid_scene(
+                "filter_taps must be odd and non-zero",
+            ));
+        }
+        Ok(Scene {
+            sample_rate: self.sample_rate,
+            source,
+            array,
+            atmosphere: self.atmosphere,
+            asphalt: self.asphalt,
+            spreading: self.spreading,
+            include_reflection: self.include_reflection,
+            include_air_absorption: self.include_air_absorption,
+            interpolation: self.interpolation,
+            filter_taps: self.filter_taps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Position;
+    use crate::trajectory::Trajectory;
+
+    fn valid_builder() -> SceneBuilder {
+        SceneBuilder::new(16_000.0)
+            .source(SoundSource::new(
+                vec![0.1; 64],
+                Trajectory::fixed(Position::new(10.0, 0.0, 1.0)),
+            ))
+            .array(MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0)))
+    }
+
+    #[test]
+    fn valid_scene_builds() {
+        let scene = valid_builder().build().unwrap();
+        assert_eq!(scene.array.len(), 2);
+        assert!(scene.include_reflection);
+    }
+
+    #[test]
+    fn missing_source_or_array_is_rejected() {
+        assert!(SceneBuilder::new(16_000.0).build().is_err());
+        let no_array = SceneBuilder::new(16_000.0).source(SoundSource::new(
+            vec![0.1; 4],
+            Trajectory::fixed(Position::ORIGIN),
+        ));
+        assert!(no_array.build().is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(valid_builder().filter_taps(64).build().is_err());
+        let below_road = valid_builder().array(
+            MicrophoneArray::custom(vec![Position::new(0.0, 0.0, -0.5)]).unwrap(),
+        );
+        assert!(below_road.build().is_err());
+        assert!(SceneBuilder::new(0.0).build().is_err());
+        let empty_signal = SceneBuilder::new(16_000.0)
+            .source(SoundSource::new(
+                vec![],
+                Trajectory::fixed(Position::new(1.0, 0.0, 1.0)),
+            ))
+            .array(MicrophoneArray::linear(1, 0.1, Position::new(0.0, 0.0, 1.0)));
+        assert!(empty_signal.build().is_err());
+    }
+
+    #[test]
+    fn builder_flags_are_applied() {
+        let scene = valid_builder()
+            .reflection(false)
+            .air_absorption(false)
+            .filter_taps(33)
+            .build()
+            .unwrap();
+        assert!(!scene.include_reflection);
+        assert!(!scene.include_air_absorption);
+        assert_eq!(scene.filter_taps, 33);
+    }
+}

@@ -1,0 +1,96 @@
+//! Sound sources: an emitted signal attached to a trajectory.
+
+use crate::trajectory::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// A single omnidirectional sound source emitting a user-defined signal while moving
+/// along a [`Trajectory`].
+///
+/// # Example
+///
+/// ```
+/// use ispot_roadsim::{geometry::Position, source::SoundSource, trajectory::Trajectory};
+///
+/// let signal = vec![0.0_f64; 16_000];
+/// let source = SoundSource::new(signal, Trajectory::fixed(Position::new(5.0, 0.0, 1.0)));
+/// assert_eq!(source.len(), 16_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoundSource {
+    signal: Vec<f64>,
+    trajectory: Trajectory,
+    gain: f64,
+}
+
+impl SoundSource {
+    /// Creates a source emitting `signal` while following `trajectory`.
+    pub fn new(signal: Vec<f64>, trajectory: Trajectory) -> Self {
+        SoundSource {
+            signal,
+            trajectory,
+            gain: 1.0,
+        }
+    }
+
+    /// Sets an overall emission gain (default 1.0).
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        self.gain = gain;
+        self
+    }
+
+    /// The emitted signal samples.
+    pub fn signal(&self) -> &[f64] {
+        &self.signal
+    }
+
+    /// The source trajectory.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// The emission gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Number of samples in the emitted signal.
+    pub fn len(&self) -> usize {
+        self.signal.len()
+    }
+
+    /// Returns true if the source signal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signal.is_empty()
+    }
+
+    /// Returns the emitted sample at index `n` scaled by the gain, or 0 beyond the end
+    /// of the signal.
+    pub fn sample(&self, n: usize) -> f64 {
+        self.signal.get(n).copied().unwrap_or(0.0) * self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Position;
+
+    #[test]
+    fn sample_applies_gain_and_pads_with_silence() {
+        let s = SoundSource::new(vec![1.0, -0.5], Trajectory::fixed(Position::ORIGIN))
+            .with_gain(2.0);
+        assert_eq!(s.sample(0), 2.0);
+        assert_eq!(s.sample(1), -1.0);
+        assert_eq!(s.sample(5), 0.0);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let traj = Trajectory::fixed(Position::new(1.0, 2.0, 3.0));
+        let s = SoundSource::new(vec![0.25; 10], traj.clone());
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.trajectory(), &traj);
+        assert_eq!(s.gain(), 1.0);
+    }
+}

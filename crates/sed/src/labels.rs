@@ -1,0 +1,99 @@
+//! Event classes for the emergency-sound detection task.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sound classes of the I-SPOT emergency-sound dataset (Sec. IV-A of the paper):
+/// three siren patterns, car horns, and background (traffic/urban noise only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventClass {
+    /// Two-tone "hi-low" siren (common on European emergency vehicles).
+    HiLowSiren,
+    /// Slow-sweep "wail" siren.
+    WailSiren,
+    /// Fast-sweep "yelp" siren.
+    YelpSiren,
+    /// Car horn.
+    CarHorn,
+    /// No event of interest: urban/traffic background only.
+    Background,
+}
+
+impl EventClass {
+    /// All classes in index order.
+    pub const ALL: [EventClass; 5] = [
+        EventClass::HiLowSiren,
+        EventClass::WailSiren,
+        EventClass::YelpSiren,
+        EventClass::CarHorn,
+        EventClass::Background,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 5;
+
+    /// Numeric index of the class (stable, used as the network target).
+    pub fn index(self) -> usize {
+        match self {
+            EventClass::HiLowSiren => 0,
+            EventClass::WailSiren => 1,
+            EventClass::YelpSiren => 2,
+            EventClass::CarHorn => 3,
+            EventClass::Background => 4,
+        }
+    }
+
+    /// Class for a numeric index, if valid.
+    pub fn from_index(index: usize) -> Option<EventClass> {
+        EventClass::ALL.get(index).copied()
+    }
+
+    /// Returns true for classes that represent an emergency event (anything but
+    /// background).
+    pub fn is_event(self) -> bool {
+        self != EventClass::Background
+    }
+
+    /// Short lowercase label, e.g. `"hi-low"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::HiLowSiren => "hi-low",
+            EventClass::WailSiren => "wail",
+            EventClass::YelpSiren => "yelp",
+            EventClass::CarHorn => "horn",
+            EventClass::Background => "background",
+        }
+    }
+}
+
+impl fmt::Display for EventClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for class in EventClass::ALL {
+            assert_eq!(EventClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(EventClass::from_index(99), None);
+        assert_eq!(EventClass::ALL.len(), EventClass::COUNT);
+    }
+
+    #[test]
+    fn event_flag_and_labels() {
+        assert!(EventClass::WailSiren.is_event());
+        assert!(!EventClass::Background.is_event());
+        assert_eq!(EventClass::CarHorn.to_string(), "horn");
+        // Labels are unique.
+        let mut labels: Vec<&str> = EventClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EventClass::COUNT);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the localization crate.
+
+use ispot_dsp::DspError;
+use ispot_features::FeatureError;
+use ispot_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the localization front-ends and back-ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SslError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The multichannel input does not match the array the processor was built for.
+    ChannelMismatch {
+        /// Number of channels expected (the array size).
+        expected: usize,
+        /// Number of channels supplied.
+        actual: usize,
+    },
+    /// A low-level DSP operation failed.
+    Dsp(DspError),
+    /// A feature-extraction step failed.
+    Feature(FeatureError),
+    /// A neural-network step failed.
+    Nn(NnError),
+}
+
+impl fmt::Display for SslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SslError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            SslError::ChannelMismatch { expected, actual } => {
+                write!(f, "channel mismatch: expected {expected}, got {actual}")
+            }
+            SslError::Dsp(e) => write!(f, "dsp error: {e}"),
+            SslError::Feature(e) => write!(f, "feature error: {e}"),
+            SslError::Nn(e) => write!(f, "neural network error: {e}"),
+        }
+    }
+}
+
+impl Error for SslError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SslError::Dsp(e) => Some(e),
+            SslError::Feature(e) => Some(e),
+            SslError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for SslError {
+    fn from(e: DspError) -> Self {
+        SslError::Dsp(e)
+    }
+}
+
+impl From<FeatureError> for SslError {
+    fn from(e: FeatureError) -> Self {
+        SslError::Feature(e)
+    }
+}
+
+impl From<NnError> for SslError {
+    fn from(e: NnError) -> Self {
+        SslError::Nn(e)
+    }
+}
+
+impl SslError {
+    /// Convenience constructor for [`SslError::InvalidConfig`].
+    pub fn invalid_config(name: &'static str, reason: impl Into<String>) -> Self {
+        SslError::InvalidConfig {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(SslError::invalid_config("grid", "empty")
+            .to_string()
+            .contains("grid"));
+        let e = SslError::ChannelMismatch {
+            expected: 6,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('6'));
+        let wrapped: SslError = NnError::EmptyModel.into();
+        assert!(Error::source(&wrapped).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SslError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Angular error metrics for DOA estimation.
+
+/// Absolute angular difference in degrees between two azimuths, accounting for
+/// wrap-around (result in `[0, 180]`).
+///
+/// # Example
+///
+/// ```
+/// use ispot_ssl::metrics::angular_error_deg;
+/// assert_eq!(angular_error_deg(170.0, -170.0), 20.0);
+/// assert_eq!(angular_error_deg(10.0, 30.0), 20.0);
+/// ```
+pub fn angular_error_deg(a_deg: f64, b_deg: f64) -> f64 {
+    let mut d = (a_deg - b_deg) % 360.0;
+    if d > 180.0 {
+        d -= 360.0;
+    }
+    if d < -180.0 {
+        d += 360.0;
+    }
+    d.abs()
+}
+
+/// Mean absolute angular error over paired estimates and ground truths (degrees).
+/// Returns 0 for empty input.
+pub fn mean_angular_error_deg(estimates_deg: &[f64], truths_deg: &[f64]) -> f64 {
+    if estimates_deg.is_empty() || estimates_deg.len() != truths_deg.len() {
+        return 0.0;
+    }
+    estimates_deg
+        .iter()
+        .zip(truths_deg)
+        .map(|(&a, &b)| angular_error_deg(a, b))
+        .sum::<f64>()
+        / estimates_deg.len() as f64
+}
+
+/// Fraction of estimates within `tolerance_deg` of the ground truth.
+pub fn accuracy_within(estimates_deg: &[f64], truths_deg: &[f64], tolerance_deg: f64) -> f64 {
+    if estimates_deg.is_empty() || estimates_deg.len() != truths_deg.len() {
+        return 0.0;
+    }
+    let hits = estimates_deg
+        .iter()
+        .zip(truths_deg)
+        .filter(|(&a, &b)| angular_error_deg(a, b) <= tolerance_deg)
+        .count();
+    hits as f64 / estimates_deg.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_cases() {
+        assert_eq!(angular_error_deg(0.0, 0.0), 0.0);
+        assert_eq!(angular_error_deg(-180.0, 180.0), 0.0);
+        assert_eq!(angular_error_deg(179.0, -179.0), 2.0);
+        assert_eq!(angular_error_deg(90.0, -90.0), 180.0);
+        assert_eq!(angular_error_deg(350.0, 10.0), 20.0);
+    }
+
+    #[test]
+    fn mean_error_and_accuracy() {
+        let est = [10.0, 20.0, 30.0];
+        let truth = [12.0, 20.0, 40.0];
+        assert!((mean_angular_error_deg(&est, &truth) - 4.0).abs() < 1e-12);
+        assert!((accuracy_within(&est, &truth, 5.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_angular_error_deg(&[], &[]), 0.0);
+        assert_eq!(accuracy_within(&[1.0], &[], 5.0), 0.0);
+    }
+}

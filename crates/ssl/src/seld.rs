@@ -1,0 +1,288 @@
+//! Joint sound-event localization and detection (SELD) metrics.
+//!
+//! The paper frames its algorithmic goal as the SELD(t) problem (Sec. II, after
+//! Adavanne et al.). The DCASE community scores SELD systems with *location-aware
+//! detection* metrics: a prediction only counts as a true positive if the class is
+//! correct **and** its direction of arrival lies within a tolerance of the reference
+//! (typically 20°), complemented by the class-dependent localization error over the
+//! true positives. This module implements those joint metrics over per-frame
+//! annotations so that the end-to-end pipeline can be scored the same way the DCASE
+//! SELD task is.
+
+use crate::metrics::angular_error_deg;
+use ispot_sed::EventClass;
+use serde::{Deserialize, Serialize};
+
+/// One frame-level annotation: what is active and from where.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeldAnnotation {
+    /// Frame index.
+    pub frame: usize,
+    /// Active sound class (use [`EventClass::Background`] for "nothing active").
+    pub class: EventClass,
+    /// Azimuth in degrees, if the class is an event.
+    pub azimuth_deg: Option<f64>,
+}
+
+impl SeldAnnotation {
+    /// Creates an event annotation.
+    pub fn event(frame: usize, class: EventClass, azimuth_deg: f64) -> Self {
+        SeldAnnotation {
+            frame,
+            class,
+            azimuth_deg: Some(azimuth_deg),
+        }
+    }
+
+    /// Creates a background (no event) annotation.
+    pub fn background(frame: usize) -> Self {
+        SeldAnnotation {
+            frame,
+            class: EventClass::Background,
+            azimuth_deg: None,
+        }
+    }
+}
+
+/// Location-aware SELD scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeldScores {
+    /// Number of scored frames (frames present in the reference).
+    pub frames: usize,
+    /// Location-aware true positives (class correct and azimuth within tolerance).
+    pub true_positives: usize,
+    /// False positives (event predicted where the reference has none, wrong class, or
+    /// correct class outside the spatial tolerance).
+    pub false_positives: usize,
+    /// False negatives (reference event missed).
+    pub false_negatives: usize,
+    /// Mean absolute azimuth error (degrees) over class-correct detections.
+    pub localization_error_deg: f64,
+    /// Fraction of reference events detected with the correct class, regardless of the
+    /// spatial error (the "localization recall" of the DCASE metric family).
+    pub localization_recall: f64,
+    /// Spatial tolerance used for the location-aware F-score, in degrees.
+    pub tolerance_deg: f64,
+}
+
+impl SeldScores {
+    /// Location-aware precision.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Location-aware recall.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Location-aware F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Detection error rate `(FP + FN) / reference events` (0 is perfect; can exceed 1).
+    pub fn error_rate(&self) -> f64 {
+        let refs = self.true_positives + self.false_negatives;
+        if refs == 0 {
+            0.0
+        } else {
+            (self.false_positives + self.false_negatives) as f64 / refs as f64
+        }
+    }
+}
+
+/// Scores frame-level predictions against a frame-level reference.
+///
+/// Both slices are matched per frame index: for every reference frame the prediction
+/// with the same frame index (if any) is scored. Frames that appear only in the
+/// predictions count as false positives when they claim an event.
+///
+/// `tolerance_deg` is the spatial tolerance of the location-aware detection decision
+/// (the DCASE default is 20°).
+pub fn score_seld(
+    reference: &[SeldAnnotation],
+    predictions: &[SeldAnnotation],
+    tolerance_deg: f64,
+) -> SeldScores {
+    let find_prediction = |frame: usize| predictions.iter().find(|p| p.frame == frame);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    let mut loc_errors = Vec::new();
+    let mut class_correct = 0usize;
+    let mut reference_events = 0usize;
+    for r in reference {
+        let predicted = find_prediction(r.frame);
+        match (r.class.is_event(), predicted) {
+            (true, Some(p)) if p.class == r.class => {
+                reference_events += 1;
+                class_correct += 1;
+                let err = match (r.azimuth_deg, p.azimuth_deg) {
+                    (Some(a), Some(b)) => angular_error_deg(a, b),
+                    // Missing azimuth on either side: treat as outside tolerance but do
+                    // not contribute to the localization-error average.
+                    _ => f64::INFINITY,
+                };
+                if err.is_finite() {
+                    loc_errors.push(err);
+                }
+                if err <= tolerance_deg {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                    fn_ += 1;
+                }
+            }
+            (true, Some(p)) if p.class.is_event() => {
+                // Wrong event class.
+                reference_events += 1;
+                fp += 1;
+                fn_ += 1;
+            }
+            (true, _) => {
+                reference_events += 1;
+                fn_ += 1;
+            }
+            (false, Some(p)) if p.class.is_event() => {
+                fp += 1;
+            }
+            (false, _) => {}
+        }
+    }
+    // Predictions for frames that do not exist in the reference are false positives.
+    for p in predictions {
+        if p.class.is_event() && !reference.iter().any(|r| r.frame == p.frame) {
+            fp += 1;
+        }
+    }
+    let localization_error_deg = if loc_errors.is_empty() {
+        0.0
+    } else {
+        loc_errors.iter().sum::<f64>() / loc_errors.len() as f64
+    };
+    SeldScores {
+        frames: reference.len(),
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+        localization_error_deg,
+        localization_recall: if reference_events == 0 {
+            1.0
+        } else {
+            class_correct as f64 / reference_events as f64
+        },
+        tolerance_deg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<SeldAnnotation> {
+        vec![
+            SeldAnnotation::background(0),
+            SeldAnnotation::event(1, EventClass::WailSiren, 40.0),
+            SeldAnnotation::event(2, EventClass::WailSiren, 42.0),
+            SeldAnnotation::event(3, EventClass::CarHorn, -90.0),
+            SeldAnnotation::background(4),
+        ]
+    }
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let r = reference();
+        let scores = score_seld(&r, &r, 20.0);
+        assert_eq!(scores.true_positives, 3);
+        assert_eq!(scores.false_positives, 0);
+        assert_eq!(scores.false_negatives, 0);
+        assert_eq!(scores.f1(), 1.0);
+        assert_eq!(scores.error_rate(), 0.0);
+        assert_eq!(scores.localization_error_deg, 0.0);
+        assert_eq!(scores.localization_recall, 1.0);
+    }
+
+    #[test]
+    fn spatial_tolerance_gates_true_positives() {
+        let r = reference();
+        let mut p = r.clone();
+        // Correct class but 30 degrees off at frame 1.
+        p[1] = SeldAnnotation::event(1, EventClass::WailSiren, 70.0);
+        let strict = score_seld(&r, &p, 20.0);
+        assert_eq!(strict.true_positives, 2);
+        assert_eq!(strict.false_positives, 1);
+        assert_eq!(strict.false_negatives, 1);
+        assert!(strict.localization_error_deg > 9.0);
+        // With a looser tolerance the same predictions are all accepted.
+        let loose = score_seld(&r, &p, 45.0);
+        assert_eq!(loose.true_positives, 3);
+        assert_eq!(loose.f1(), 1.0);
+    }
+
+    #[test]
+    fn wrong_class_and_missed_events_are_counted() {
+        let r = reference();
+        let p = vec![
+            SeldAnnotation::background(0),
+            SeldAnnotation::event(1, EventClass::YelpSiren, 40.0), // wrong class
+            SeldAnnotation::background(2),                          // miss
+            SeldAnnotation::event(3, EventClass::CarHorn, -85.0),   // hit
+            SeldAnnotation::event(4, EventClass::CarHorn, 0.0),     // false alarm
+        ];
+        let scores = score_seld(&r, &p, 20.0);
+        assert_eq!(scores.true_positives, 1);
+        assert_eq!(scores.false_positives, 2);
+        assert_eq!(scores.false_negatives, 2);
+        assert!(scores.error_rate() > 1.0);
+        assert!((scores.localization_recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_for_unknown_frames_are_false_positives() {
+        let r = vec![SeldAnnotation::background(0)];
+        let p = vec![SeldAnnotation::event(7, EventClass::CarHorn, 10.0)];
+        let scores = score_seld(&r, &p, 20.0);
+        assert_eq!(scores.false_positives, 1);
+        assert_eq!(scores.true_positives, 0);
+        assert_eq!(scores.recall(), 1.0);
+        assert!(scores.precision() < 1.0);
+    }
+
+    #[test]
+    fn empty_reference_is_neutral() {
+        let scores = score_seld(&[], &[], 20.0);
+        assert_eq!(scores.f1(), 1.0);
+        assert_eq!(scores.error_rate(), 0.0);
+        assert_eq!(scores.frames, 0);
+    }
+
+    #[test]
+    fn missing_azimuth_counts_as_outside_tolerance() {
+        let r = vec![SeldAnnotation::event(0, EventClass::CarHorn, 10.0)];
+        let p = vec![SeldAnnotation {
+            frame: 0,
+            class: EventClass::CarHorn,
+            azimuth_deg: None,
+        }];
+        let scores = score_seld(&r, &p, 20.0);
+        assert_eq!(scores.true_positives, 0);
+        assert_eq!(scores.localization_recall, 1.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Conventional SRP-PHAT localization by frequency-domain steering.
+//!
+//! For every candidate direction the PHAT-weighted cross-power spectra of all microphone
+//! pairs are phase-aligned and summed — the textbook steered-response-power computation.
+//! It is accurate but expensive: every (pair, direction, frequency) triple costs a
+//! complex rotation, which is exactly the "hardware-unfriendly beamforming computation"
+//! the Cross3D baseline replaces with a CNN (Sec. IV-B of the paper) and that the
+//! low-complexity variant in [`crate::srp_fast`] accelerates.
+
+use crate::error::SslError;
+use crate::steering::SteeringGrid;
+use ispot_dsp::complex::Complex;
+use ispot_dsp::fft::Fft;
+use ispot_roadsim::microphone::MicrophoneArray;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Configuration shared by the conventional and low-complexity SRP-PHAT front-ends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SrpConfig {
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Number of azimuth grid directions.
+    pub num_directions: usize,
+    /// Lowest frequency (Hz) included in the steering sum.
+    pub freq_min_hz: f64,
+    /// Highest frequency (Hz) included in the steering sum.
+    pub freq_max_hz: f64,
+    /// Speed of sound in m/s.
+    pub speed_of_sound: f64,
+}
+
+impl Default for SrpConfig {
+    fn default() -> Self {
+        SrpConfig {
+            frame_len: 2048,
+            num_directions: 181,
+            freq_min_hz: 200.0,
+            freq_max_hz: 7000.0,
+            speed_of_sound: 343.0,
+        }
+    }
+}
+
+impl SrpConfig {
+    fn validate(&self, sample_rate: f64) -> Result<(), SslError> {
+        if self.frame_len == 0 {
+            return Err(SslError::invalid_config("frame_len", "must be positive"));
+        }
+        if self.num_directions == 0 {
+            return Err(SslError::invalid_config(
+                "num_directions",
+                "must be positive",
+            ));
+        }
+        if !(self.freq_min_hz >= 0.0 && self.freq_min_hz < self.freq_max_hz) {
+            return Err(SslError::invalid_config(
+                "freq_min_hz/freq_max_hz",
+                "must satisfy 0 <= min < max",
+            ));
+        }
+        if self.freq_max_hz > sample_rate / 2.0 {
+            return Err(SslError::invalid_config(
+                "freq_max_hz",
+                format!("must not exceed Nyquist ({})", sample_rate / 2.0),
+            ));
+        }
+        if self.speed_of_sound <= 0.0 {
+            return Err(SslError::invalid_config("speed_of_sound", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// A steered-response-power map over the azimuth grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SrpMap {
+    azimuths_deg: Vec<f64>,
+    power: Vec<f64>,
+}
+
+impl SrpMap {
+    /// Creates a map from matching azimuth and power vectors.
+    pub fn new(azimuths_deg: Vec<f64>, power: Vec<f64>) -> Self {
+        assert_eq!(azimuths_deg.len(), power.len(), "length mismatch");
+        SrpMap {
+            azimuths_deg,
+            power,
+        }
+    }
+
+    /// The azimuth grid in degrees.
+    pub fn azimuths_deg(&self) -> &[f64] {
+        &self.azimuths_deg
+    }
+
+    /// The steered response power per direction.
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Number of grid directions.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Returns true if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Index and azimuth (degrees) of the map maximum.
+    pub fn peak(&self) -> (usize, f64) {
+        let idx = self
+            .power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        (idx, self.azimuths_deg[idx])
+    }
+
+    /// Power vector normalized to `[0, 1]` (useful as a CNN input feature).
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.power.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.power.iter().cloned().fold(f64::MAX, f64::min);
+        let range = (max - min).max(1e-12);
+        self.power.iter().map(|p| (p - min) / range).collect()
+    }
+
+    /// Pearson correlation with another map of the same length (used to verify that the
+    /// fast SRP is equivalent to the conventional one).
+    pub fn correlation(&self, other: &SrpMap) -> f64 {
+        assert_eq!(self.len(), other.len(), "maps must have the same length");
+        let n = self.len() as f64;
+        let ma = self.power.iter().sum::<f64>() / n;
+        let mb = other.power.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (a, b) in self.power.iter().zip(&other.power) {
+            num += (a - ma) * (b - mb);
+            da += (a - ma) * (a - ma);
+            db += (b - mb) * (b - mb);
+        }
+        num / (da.sqrt() * db.sqrt()).max(1e-12)
+    }
+}
+
+/// A direction-of-arrival estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoaEstimate {
+    azimuth_deg: f64,
+    power: f64,
+    map: SrpMap,
+}
+
+impl DoaEstimate {
+    /// Creates an estimate from a map by taking its peak.
+    pub fn from_map(map: SrpMap) -> Self {
+        let (idx, az) = map.peak();
+        DoaEstimate {
+            azimuth_deg: az,
+            power: map.power()[idx],
+            map,
+        }
+    }
+
+    /// Estimated azimuth in degrees.
+    pub fn azimuth_deg(&self) -> f64 {
+        self.azimuth_deg
+    }
+
+    /// Steered response power at the estimate.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// The full SRP map behind the estimate.
+    pub fn map(&self) -> &SrpMap {
+        &self.map
+    }
+}
+
+/// The conventional (frequency-domain steering) SRP-PHAT processor.
+#[derive(Debug, Clone)]
+pub struct SrpPhat {
+    config: SrpConfig,
+    grid: SteeringGrid,
+    fft: Fft,
+    sample_rate: f64,
+    num_channels: usize,
+    bin_range: (usize, usize),
+}
+
+impl SrpPhat {
+    /// Creates a processor for the given array and sampling rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or array is invalid.
+    pub fn new(config: SrpConfig, array: &MicrophoneArray, sample_rate: f64) -> Result<Self, SslError> {
+        config.validate(sample_rate)?;
+        let grid = SteeringGrid::azimuth_only(
+            array,
+            config.num_directions,
+            sample_rate,
+            config.speed_of_sound,
+        )?;
+        let fft = Fft::new(config.frame_len);
+        let bin_hz = sample_rate / config.frame_len as f64;
+        let kmin = (config.freq_min_hz / bin_hz).ceil().max(1.0) as usize;
+        let kmax = ((config.freq_max_hz / bin_hz).floor() as usize).min(config.frame_len / 2);
+        Ok(SrpPhat {
+            config,
+            grid,
+            fft,
+            sample_rate,
+            num_channels: array.len(),
+            bin_range: (kmin, kmax),
+        })
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> SrpConfig {
+        self.config
+    }
+
+    /// Returns the steering grid.
+    pub fn grid(&self) -> &SteeringGrid {
+        &self.grid
+    }
+
+    /// Number of stored/steered coefficients per microphone pair (complex cross-power
+    /// bins counted as two real coefficients). This is the quantity the low-complexity
+    /// variant reduces by ≈50 % (Sec. IV-B of the paper).
+    pub fn coefficients_per_pair(&self) -> usize {
+        2 * (self.bin_range.1 - self.bin_range.0 + 1)
+    }
+
+    /// Computes the PHAT-weighted cross-power spectra of all pairs for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count or frame length does not match.
+    pub fn cross_spectra(&self, frame: &[&[f64]]) -> Result<Vec<Vec<Complex>>, SslError> {
+        if frame.len() != self.num_channels {
+            return Err(SslError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: frame.len(),
+            });
+        }
+        for ch in frame {
+            if ch.len() != self.config.frame_len {
+                return Err(SslError::invalid_config(
+                    "frame",
+                    format!(
+                        "every channel must have {} samples, got {}",
+                        self.config.frame_len,
+                        ch.len()
+                    ),
+                ));
+            }
+        }
+        let spectra: Vec<Vec<Complex>> = frame
+            .iter()
+            .map(|ch| self.fft.forward_real(ch))
+            .collect::<Result<_, _>>()?;
+        let (kmin, kmax) = self.bin_range;
+        let mut out = Vec::with_capacity(self.grid.num_pairs());
+        for &(i, j) in self.grid.pairs() {
+            let mut w = vec![Complex::ZERO; kmax - kmin + 1];
+            for (idx, k) in (kmin..=kmax).enumerate() {
+                let c = spectra[i][k] * spectra[j][k].conj();
+                let mag = c.norm();
+                w[idx] = if mag > 1e-12 { c / mag } else { Complex::ZERO };
+            }
+            out.push(w);
+        }
+        Ok(out)
+    }
+
+    /// Computes the SRP map for one multichannel frame by frequency-domain steering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SrpPhat::cross_spectra`].
+    pub fn compute_map(&self, frame: &[&[f64]]) -> Result<SrpMap, SslError> {
+        let cross = self.cross_spectra(frame)?;
+        let n = self.config.frame_len as f64;
+        let (kmin, _) = self.bin_range;
+        let mut power = vec![0.0; self.grid.num_directions()];
+        for (d, p) in power.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (pair_idx, w) in cross.iter().enumerate() {
+                let tdoa = self.grid.tdoa(d, pair_idx);
+                // The GCC peaks at lag -tdoa, so steer with exp(-j 2 pi k tdoa / N).
+                for (idx, c) in w.iter().enumerate() {
+                    let k = (kmin + idx) as f64;
+                    let phase = -2.0 * PI * k * tdoa / n;
+                    acc += c.re * phase.cos() - c.im * phase.sin();
+                }
+            }
+            *p = acc;
+        }
+        Ok(SrpMap::new(self.grid.azimuths_deg().to_vec(), power))
+    }
+
+    /// Localizes the dominant source in one frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SrpPhat::compute_map`].
+    pub fn localize(&self, frame: &[&[f64]]) -> Result<DoaEstimate, SslError> {
+        Ok(DoaEstimate::from_map(self.compute_map(frame)?))
+    }
+
+    /// Sampling rate the processor was built for.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use ispot_roadsim::engine::Simulator;
+    use ispot_roadsim::geometry::Position;
+    use ispot_roadsim::microphone::MicrophoneArray;
+    use ispot_roadsim::scene::SceneBuilder;
+    use ispot_roadsim::source::SoundSource;
+    use ispot_roadsim::trajectory::Trajectory;
+
+    /// Simulates a static broadband source at `azimuth_deg` and `distance` metres from
+    /// a circular array, returning the multichannel audio and the array.
+    pub fn simulate_static_source(
+        azimuth_deg: f64,
+        distance: f64,
+        fs: f64,
+        num_samples: usize,
+        num_mics: usize,
+    ) -> (Vec<Vec<f64>>, MicrophoneArray) {
+        let az = azimuth_deg.to_radians();
+        let source_pos = Position::new(distance * az.cos(), distance * az.sin(), 1.0);
+        let signal: Vec<f64> = ispot_dsp::generator::NoiseSource::new(
+            ispot_dsp::generator::NoiseKind::White,
+            42,
+        )
+        .take(num_samples)
+        .collect();
+        let array = MicrophoneArray::circular(num_mics, 0.2, Position::new(0.0, 0.0, 1.0));
+        let scene = SceneBuilder::new(fs)
+            .source(SoundSource::new(signal, Trajectory::fixed(source_pos)))
+            .array(array.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        let audio = Simulator::new(scene).unwrap().run().unwrap();
+        (audio.into_channels(), array)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::simulate_static_source;
+    use super::*;
+    use crate::metrics::angular_error_deg;
+
+    #[test]
+    fn localizes_static_sources_at_various_azimuths() {
+        let fs = 16_000.0;
+        for &truth in &[0.0, 45.0, 120.0, -90.0] {
+            let (channels, array) = simulate_static_source(truth, 20.0, fs, 8192, 6);
+            let srp = SrpPhat::new(SrpConfig::default(), &array, fs).unwrap();
+            let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+            let est = srp.localize(&frame).unwrap();
+            let err = angular_error_deg(est.azimuth_deg(), truth);
+            assert!(err < 8.0, "azimuth {truth}: estimated {} (err {err})", est.azimuth_deg());
+        }
+    }
+
+    #[test]
+    fn map_peak_is_sharp_for_broadband_source() {
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(30.0, 15.0, fs, 8192, 6);
+        let srp = SrpPhat::new(SrpConfig::default(), &array, fs).unwrap();
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let map = srp.compute_map(&frame).unwrap();
+        let normalized = map.normalized();
+        let above_half = normalized.iter().filter(|&&v| v > 0.5).count();
+        // The peak region should be a small fraction of the 181 directions.
+        assert!(above_half < 40, "{above_half} directions above half power");
+    }
+
+    #[test]
+    fn channel_and_frame_validation() {
+        let fs = 16_000.0;
+        let array = ispot_roadsim::microphone::MicrophoneArray::circular(
+            4,
+            0.2,
+            ispot_roadsim::geometry::Position::new(0.0, 0.0, 1.0),
+        );
+        let srp = SrpPhat::new(SrpConfig::default(), &array, fs).unwrap();
+        let short = vec![0.0; 100];
+        let ok = vec![0.0; 2048];
+        let two: Vec<&[f64]> = vec![&ok, &ok];
+        assert!(matches!(
+            srp.compute_map(&two),
+            Err(SslError::ChannelMismatch { .. })
+        ));
+        let bad_len: Vec<&[f64]> = vec![&ok, &ok, &ok, &short];
+        assert!(srp.compute_map(&bad_len).is_err());
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let array = ispot_roadsim::microphone::MicrophoneArray::circular(
+            4,
+            0.2,
+            ispot_roadsim::geometry::Position::new(0.0, 0.0, 1.0),
+        );
+        let fs = 16_000.0;
+        for bad in [
+            SrpConfig {
+                frame_len: 0,
+                ..SrpConfig::default()
+            },
+            SrpConfig {
+                num_directions: 0,
+                ..SrpConfig::default()
+            },
+            SrpConfig {
+                freq_max_hz: 9000.0,
+                ..SrpConfig::default()
+            },
+            SrpConfig {
+                freq_min_hz: 5000.0,
+                freq_max_hz: 1000.0,
+                ..SrpConfig::default()
+            },
+        ] {
+            assert!(SrpPhat::new(bad, &array, fs).is_err());
+        }
+    }
+
+    #[test]
+    fn map_utilities_behave() {
+        let map = SrpMap::new(vec![-90.0, 0.0, 90.0], vec![0.1, 0.9, 0.5]);
+        assert_eq!(map.peak(), (1, 0.0));
+        let norm = map.normalized();
+        assert_eq!(norm[1], 1.0);
+        assert_eq!(norm[0], 0.0);
+        let same = map.correlation(&map);
+        assert!((same - 1.0).abs() < 1e-12);
+        let est = DoaEstimate::from_map(map.clone());
+        assert_eq!(est.azimuth_deg(), 0.0);
+        assert_eq!(est.map().len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ispot
+//!
+//! Umbrella crate for the I-SPOT reproduction: real-time acoustic perception for
+//! automotive applications. It re-exports every sub-crate so that examples and
+//! downstream users can depend on a single package.
+//!
+//! See the individual crates for details:
+//!
+//! * [`dsp`] — signal-processing substrate (FFT, filters, delay lines)
+//! * [`roadsim`] — road acoustics simulator (pyroadacoustics equivalent)
+//! * [`features`] — acoustic feature extraction
+//! * [`nn`] — minimal neural-network library
+//! * [`sed`] — emergency sound event detection
+//! * [`ssl`] — sound source localization
+//! * [`codesign`] — hardware–algorithm co-design workflow
+//! * [`core`] — the end-to-end real-time pipeline
+
+pub use ispot_codesign as codesign;
+pub use ispot_core as core;
+pub use ispot_dsp as dsp;
+pub use ispot_features as features;
+pub use ispot_nn as nn;
+pub use ispot_roadsim as roadsim;
+pub use ispot_sed as sed;
+pub use ispot_ssl as ssl;
