@@ -1,5 +1,6 @@
 //! Criterion bench for experiment E6: end-to-end frame processing latency of the
-//! perception pipeline (detection-only vs detection + localization).
+//! perception pipeline (detection-only vs detection + localization), plus the
+//! streaming-vs-batch comparison backing the zero-allocation streaming claim.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ispot_bench::{simulate_static_source, SAMPLE_RATE};
@@ -10,8 +11,7 @@ use std::time::Duration;
 fn bench_pipeline(c: &mut Criterion) {
     let (audio, array) = simulate_static_source(45.0, 20.0, 4, 8192, 9);
     let config = PipelineConfig::default();
-    let mut detection_only =
-        AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 4).unwrap();
+    let mut detection_only = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 4).unwrap();
     let mut full = AcousticPerceptionPipeline::with_array(config, SAMPLE_RATE, &array).unwrap();
     let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
 
@@ -27,5 +27,50 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Streaming (`push_chunk_into` with capture-sized chunks) against batch
+/// (`process_recording`) over the same recording. The two process identical frames
+/// through identical stages, so any gap between them is pure framing overhead; with
+/// the preallocated assembler and recycled frame buffers the streaming path should
+/// sit within noise of batch — this bench is the regression guard for the
+/// zero-per-frame-allocation property of the mixdown/framing path.
+fn bench_streaming_vs_batch(c: &mut Criterion) {
+    let (audio, _array) = simulate_static_source(30.0, 20.0, 2, 32_768, 11);
+    let config = PipelineConfig::default();
+    let channels: Vec<&[f64]> = audio.channels().iter().map(|c| c.as_slice()).collect();
+    let len = audio.len();
+
+    let mut group = c.benchmark_group("pipeline_streaming");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("batch_process_recording", |b| {
+        let mut pipeline = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 2).unwrap();
+        b.iter(|| black_box(pipeline.process_recording(black_box(&audio)).unwrap()))
+    });
+    // 160 samples = one 10 ms capture block at 16 kHz, the awkward driver-sized
+    // chunking the FrameAssembler exists to absorb.
+    for chunk_len in [160usize, 1024, 4096] {
+        group.bench_function(format!("push_chunk_{chunk_len}"), |b| {
+            let mut pipeline = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 2).unwrap();
+            let mut events = Vec::new();
+            b.iter(|| {
+                pipeline.reset_streaming();
+                events.clear();
+                let mut frames = 0;
+                let mut start = 0;
+                while start < len {
+                    let end = (start + chunk_len).min(len);
+                    let chunk = [&channels[0][start..end], &channels[1][start..end]];
+                    frames += pipeline
+                        .push_chunk_into(black_box(&chunk), &mut events)
+                        .unwrap();
+                    start = end;
+                }
+                black_box(frames)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_streaming_vs_batch);
 criterion_main!(benches);

@@ -39,7 +39,10 @@ fn localization_error(array: &MicrophoneArray, azimuths: &[f64]) -> f64 {
             .air_absorption(false)
             .build()
             .expect("scene");
-        let audio = Simulator::new(scene).expect("simulator").run().expect("run");
+        let audio = Simulator::new(scene)
+            .expect("simulator")
+            .run()
+            .expect("run");
         let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
         let estimate = srp.localize(&frame).expect("localization");
         total += angular_error_deg(estimate.azimuth_deg(), truth);
@@ -59,11 +62,26 @@ fn main() {
         "geometry", "mics", "aperture (m)", "mean DOA error (deg)"
     );
     let candidates: Vec<(String, MicrophoneArray)> = vec![
-        ("linear 0.1 m".into(), MicrophoneArray::linear(4, 0.1, center)),
-        ("linear 0.1 m".into(), MicrophoneArray::linear(8, 0.1, center)),
-        ("circular r=0.2 m".into(), MicrophoneArray::circular(4, 0.2, center)),
-        ("circular r=0.2 m".into(), MicrophoneArray::circular(6, 0.2, center)),
-        ("circular r=0.2 m".into(), MicrophoneArray::circular(8, 0.2, center)),
+        (
+            "linear 0.1 m".into(),
+            MicrophoneArray::linear(4, 0.1, center),
+        ),
+        (
+            "linear 0.1 m".into(),
+            MicrophoneArray::linear(8, 0.1, center),
+        ),
+        (
+            "circular r=0.2 m".into(),
+            MicrophoneArray::circular(4, 0.2, center),
+        ),
+        (
+            "circular r=0.2 m".into(),
+            MicrophoneArray::circular(6, 0.2, center),
+        ),
+        (
+            "circular r=0.2 m".into(),
+            MicrophoneArray::circular(8, 0.2, center),
+        ),
         (
             "rectangular 0.15 m".into(),
             MicrophoneArray::rectangular(2, 2, 0.15, 0.15, center),

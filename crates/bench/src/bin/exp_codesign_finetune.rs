@@ -59,10 +59,7 @@ fn main() {
         .expect("passes apply");
     println!();
     print_row("candidates evaluated", report.iterations.len());
-    print_row(
-        "selected design point",
-        format!("{:?}", report.best.point),
-    );
+    print_row("selected design point", format!("{:?}", report.best.point));
     print_row(
         "model size reduction (paper: ~86%)",
         format!("{:.1} %", 100.0 * report.size_reduction()),
@@ -80,10 +77,16 @@ fn main() {
     );
     print_row(
         "accuracy baseline -> optimized",
-        format!("{:.3} -> {:.3}", report.baseline.accuracy, report.best.accuracy),
+        format!(
+            "{:.3} -> {:.3}",
+            report.baseline.accuracy, report.best.accuracy
+        ),
     );
     print_row(
         "estimated latency baseline -> optimized (ms/frame)",
-        format!("{:.2} -> {:.2}", report.baseline.latency_ms, report.best.latency_ms),
+        format!(
+            "{:.2} -> {:.2}",
+            report.baseline.latency_ms, report.best.latency_ms
+        ),
     );
 }

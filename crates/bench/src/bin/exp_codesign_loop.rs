@@ -48,7 +48,9 @@ fn main() {
             p.feature_scale,
             p.channel_scale,
             p.prune_ratio,
-            p.quantize_bits.map(|b| b.to_string()).unwrap_or_else(|| "f32".into()),
+            p.quantize_bits
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "f32".into()),
             it.model_bytes as f64 / 1e6,
             it.latency_ms,
             it.accuracy,
@@ -69,8 +71,7 @@ fn main() {
     let best_graph = report.best.point.apply_to(&baseline_graph).expect("apply");
     let mut points = platform.roofline(&best_graph);
     points.sort_by(|a, b| {
-        (b.achieved_gmacs / b.attainable_gmacs)
-            .total_cmp(&(a.achieved_gmacs / a.attainable_gmacs))
+        (b.achieved_gmacs / b.attainable_gmacs).total_cmp(&(a.achieved_gmacs / a.attainable_gmacs))
     });
     print_row(
         "platform ridge point (MAC/byte)",

@@ -27,7 +27,11 @@ fn main() {
     );
     print_row(
         "samples requested (paper: 15000)",
-        format!("{}{}", config.num_samples, if full { "" } else { "  (use --full for 15000)" }),
+        format!(
+            "{}{}",
+            config.num_samples,
+            if full { "" } else { "  (use --full for 15000)" }
+        ),
     );
     print_row("clip duration (s)", config.duration_s);
     print_row("sample rate (Hz)", config.sample_rate);
@@ -55,7 +59,10 @@ fn main() {
         let min = snrs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = snrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mean = snrs.iter().sum::<f64>() / snrs.len() as f64;
-        print_row("measured SNR min / mean / max (dB)", format!("{min:.1} / {mean:.1} / {max:.1}"));
+        print_row(
+            "measured SNR min / mean / max (dB)",
+            format!("{min:.1} / {mean:.1} / {max:.1}"),
+        );
     }
     let speeds: Vec<f64> = dataset
         .samples()
@@ -65,7 +72,10 @@ fn main() {
     if !speeds.is_empty() {
         let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = speeds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        print_row("source speed min / max (m/s)", format!("{min:.1} / {max:.1}"));
+        print_row(
+            "source speed min / max (m/s)",
+            format!("{min:.1} / {max:.1}"),
+        );
     }
     print_row(
         "samples per hour of generation (this machine)",

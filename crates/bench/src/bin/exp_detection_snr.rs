@@ -61,11 +61,18 @@ fn main() {
     let losses = cnn.train(&train).expect("training succeeds");
     print_row(
         "training time (s) / final loss",
-        format!("{:.1} / {:.3}", started.elapsed().as_secs_f64(), losses.last().unwrap()),
+        format!(
+            "{:.1} / {:.3}",
+            started.elapsed().as_secs_f64(),
+            losses.last().unwrap()
+        ),
     );
     let energy = EnergyDetector::new(16_000.0).expect("energy detector");
     let template = SpectralTemplateDetector::new(16_000.0).expect("template detector");
-    println!("\n  {:>8}  {:>14}  {:>14}  {:>14}", "SNR (dB)", "CNN acc", "template acc", "energy det acc");
+    println!(
+        "\n  {:>8}  {:>14}  {:>14}  {:>14}",
+        "SNR (dB)", "CNN acc", "template acc", "energy det acc"
+    );
     for snr in [0.0, -10.0, -20.0, -30.0] {
         let test = dataset_at_snr(snr, test_samples, 1000 + snr.abs() as u64);
         let cnn_report = cnn.evaluate(&test).expect("cnn evaluation");

@@ -10,7 +10,9 @@
 //! 2. **host wall-clock**: measured latency of the real Rust kernels (conventional vs
 //!    low-complexity SRP front-end), confirming the speedup factor on this machine.
 
-use ispot_bench::{cross3d_baseline_graph, print_header, print_row, simulate_static_source, SAMPLE_RATE};
+use ispot_bench::{
+    cross3d_baseline_graph, print_header, print_row, simulate_static_source, SAMPLE_RATE,
+};
 use ispot_codesign::dse::DesignPoint;
 use ispot_codesign::ir::{OpKind, OpNode};
 use ispot_codesign::platform::EdgePlatform;
@@ -60,7 +62,10 @@ fn main() {
     let baseline_ms = platform.graph_latency_ms(&baseline);
     let optimized_ms = platform.graph_latency_ms(&optimized);
     println!("\n[platform model: {}]", platform.name);
-    print_row("baseline end-to-end (ms/frame)", format!("{baseline_ms:.2}"));
+    print_row(
+        "baseline end-to-end (ms/frame)",
+        format!("{baseline_ms:.2}"),
+    );
     print_row(
         "optimized end-to-end (ms/frame, paper: 8.59)",
         format!("{optimized_ms:.2}"),
@@ -88,8 +93,14 @@ fn main() {
     let profiler = HostProfiler::new(2, 10);
     let conv = profiler.measure("conventional", || conventional.compute_map(&frame).unwrap());
     let fst = profiler.measure("fast", || fast.compute_map(&frame).unwrap());
-    print_row("baseline front-end (ms/frame)", format!("{:.3}", conv.mean_ms));
-    print_row("optimized front-end (ms/frame)", format!("{:.3}", fst.mean_ms));
+    print_row(
+        "baseline front-end (ms/frame)",
+        format!("{:.3}", conv.mean_ms),
+    );
+    print_row(
+        "optimized front-end (ms/frame)",
+        format!("{:.3}", fst.mean_ms),
+    );
     print_row(
         "front-end speedup on this machine",
         format!("{:.1}x", conv.mean_ms / fst.mean_ms),

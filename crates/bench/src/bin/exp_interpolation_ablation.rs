@@ -74,10 +74,7 @@ fn main() {
         ("windowed sinc (8 taps)", Interpolator::Sinc8, "8 reads"),
     ] {
         let sdr = doppler_sdr_db(kind);
-        print_row(
-            &format!("{name:<24} ({cost})"),
-            format!("{sdr:.1} dB SDR"),
-        );
+        print_row(&format!("{name:<24} ({cost})"), format!("{sdr:.1} dB SDR"));
     }
 
     println!("\n[air-absorption FIR length vs response accuracy at 200 m]");

@@ -51,7 +51,10 @@ fn doppler_check() {
     let analytic = observed_frequency(&trajectory, mic, 1.5, 343.0, f0);
     println!("\n[E1.a] Doppler shift of an approaching source ({speed} m/s, {f0} Hz tone)");
     print_row("analytic observed frequency (Hz)", format!("{analytic:.1}"));
-    print_row("simulator observed frequency (Hz)", format!("{measured:.1}"));
+    print_row(
+        "simulator observed frequency (Hz)",
+        format!("{measured:.1}"),
+    );
     print_row(
         "relative error",
         format!("{:.2} %", 100.0 * (measured - analytic).abs() / analytic),

@@ -39,7 +39,10 @@ fn main() {
         "conventional latency per map (ms)",
         format!("{:.3}", conv_time.mean_ms),
     );
-    print_row("fast latency per map (ms)", format!("{:.3}", fast_time.mean_ms));
+    print_row(
+        "fast latency per map (ms)",
+        format!("{:.3}", fast_time.mean_ms),
+    );
     print_row(
         "latency speedup (paper: ~10x)",
         format!("{:.1}x", conv_time.mean_ms / fast_time.mean_ms),
@@ -55,7 +58,10 @@ fn main() {
         format!("{:.1} %", 100.0 * fast.coefficient_reduction()),
     );
     println!();
-    print_row("map correlation (equivalence)", format!("{:.4}", map_a.correlation(&map_b)));
+    print_row(
+        "map correlation (equivalence)",
+        format!("{:.4}", map_a.correlation(&map_b)),
+    );
     print_row(
         "peak azimuth conventional / fast (deg)",
         format!("{:.1} / {:.1}", map_a.peak().1, map_b.peak().1),

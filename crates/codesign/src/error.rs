@@ -70,9 +70,11 @@ mod tests {
         assert!(CodesignError::invalid_config("bits", "too small")
             .to_string()
             .contains("bits"));
-        assert!(CodesignError::NoFeasibleCandidate { accuracy_floor: 0.9 }
-            .to_string()
-            .contains("0.9"));
+        assert!(CodesignError::NoFeasibleCandidate {
+            accuracy_floor: 0.9
+        }
+        .to_string()
+        .contains("0.9"));
         assert!(CodesignError::evaluation_failed("boom")
             .to_string()
             .contains("boom"));

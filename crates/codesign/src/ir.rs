@@ -207,9 +207,7 @@ impl OpNode {
                 out_channels,
                 kernel,
                 output,
-            } => {
-                (in_channels * out_channels * kernel.0 * kernel.1 * output.0 * output.1) as u64
-            }
+            } => (in_channels * out_channels * kernel.0 * kernel.1 * output.0 * output.1) as u64,
             OpKind::Dense {
                 in_features,
                 out_features,

@@ -155,7 +155,8 @@ impl Pass {
                             let _ = out_features;
                             op.parameters = ((op.parameters as f64) * factor).round() as usize;
                         }
-                        OpKind::Activation { elements } | OpKind::Pool {
+                        OpKind::Activation { elements }
+                        | OpKind::Pool {
                             output_elements: elements,
                         } => {
                             *elements = scaled(*elements, *factor);
@@ -262,7 +263,10 @@ mod tests {
     #[test]
     fn channel_scaling_shrinks_the_network_quadratically() {
         let g = pipeline();
-        let s = Pass::ChannelWidthScale { factor: 0.5 }.apply(&g).unwrap().graph;
+        let s = Pass::ChannelWidthScale { factor: 0.5 }
+            .apply(&g)
+            .unwrap()
+            .graph;
         let conv2_before = g.ops()[4].macs();
         let conv2_after = s.ops()[4].macs();
         assert!(conv2_after <= conv2_before / 3);
@@ -291,7 +295,9 @@ mod tests {
         let g = pipeline();
         assert!(Pass::Quantize { bits: 1 }.apply(&g).is_err());
         assert!(Pass::PruneWeights { ratio: 1.0 }.apply(&g).is_err());
-        assert!(Pass::FeatureResolutionScale { factor: 0.0 }.apply(&g).is_err());
+        assert!(Pass::FeatureResolutionScale { factor: 0.0 }
+            .apply(&g)
+            .is_err());
         assert!(Pass::ChannelWidthScale { factor: 1.5 }.apply(&g).is_err());
     }
 }

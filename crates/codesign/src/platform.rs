@@ -126,8 +126,8 @@ impl EdgePlatform {
                 } else {
                     self.gmacs_per_second
                 };
-                let attainable = (self.memory_bandwidth_gbs * op.operational_intensity())
-                    .min(compute_roof);
+                let attainable =
+                    (self.memory_bandwidth_gbs * op.operational_intensity()).min(compute_roof);
                 RooflinePoint {
                     op_name: op.name.clone(),
                     operational_intensity: op.operational_intensity(),

@@ -16,6 +16,14 @@
 //! fully functional low-latency **drive** mode and the trigger-based low-power **park**
 //! mode (Sec. II, requirement 3 of the paper).
 //!
+//! The four analysis steps are composed as a reusable [`stages::StageGraph`] owning
+//! all per-frame scratch memory, so the steady-state frame path performs zero heap
+//! allocations. Input can arrive as exact frames
+//! ([`pipeline::AcousticPerceptionPipeline::process_frame`]), as arbitrary-sized
+//! capture chunks ([`pipeline::AcousticPerceptionPipeline::push_chunk`], backed by
+//! `ispot_dsp::framing::FrameAssembler`), or as whole recordings; all three paths
+//! share one framing implementation and produce identical events.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +58,7 @@ pub mod events;
 pub mod latency;
 pub mod mode;
 pub mod pipeline;
+pub mod stages;
 pub mod stream;
 pub mod trigger;
 
@@ -62,6 +71,7 @@ pub mod prelude {
     pub use crate::latency::{LatencyReport, StageLatency};
     pub use crate::mode::OperatingMode;
     pub use crate::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+    pub use crate::stages::{FrameOutcome, Stage, StageGraph};
     pub use crate::stream::StreamRunner;
     pub use crate::trigger::EnergyTrigger;
 }

@@ -1,18 +1,53 @@
 //! The end-to-end acoustic-perception pipeline.
+//!
+//! Internally the pipeline is a [`StageGraph`] (trigger → detect → localize →
+//! track) plus a chunk-to-frame [`FrameAssembler`]; see [`crate::stages`] for the
+//! graph and `ispot_dsp::framing` for the assembler. Three entry points cover the
+//! deployment modes:
+//!
+//! * [`AcousticPerceptionPipeline::process_frame`] — one exactly-`frame_len` frame,
+//!   the real-time hot path. Steady state allocates nothing on the heap.
+//! * [`AcousticPerceptionPipeline::push_chunk`] — streaming input in arbitrary chunk
+//!   sizes (what a capture driver delivers); frames are assembled internally and
+//!   events returned as they fire. Chunk-size invariant: any chunking produces the
+//!   same events as batch processing.
+//! * [`AcousticPerceptionPipeline::process_recording`] — a whole recording at once
+//!   (experiments, datasets); implemented on top of the same assembler.
 
 use crate::error::PipelineError;
 use crate::events::PerceptionEvent;
 use crate::latency::LatencyReport;
 use crate::mode::OperatingMode;
-use crate::trigger::{EnergyTrigger, TriggerConfig};
+use crate::stages::{
+    DetectStage, FrameOutcome, FrameParams, LocalizeStage, StageGraph, TrackStage, TriggerStage,
+};
+use crate::trigger::TriggerConfig;
+use ispot_dsp::framing::FrameAssembler;
 use ispot_roadsim::engine::MultichannelAudio;
 use ispot_roadsim::microphone::MicrophoneArray;
-use ispot_sed::baseline::SpectralTemplateDetector;
 use ispot_sed::EventClass;
-use ispot_ssl::srp_fast::SrpPhatFast;
 use ispot_ssl::srp_phat::SrpConfig;
-use ispot_ssl::tracking::AzimuthKalmanTracker;
 use serde::{Deserialize, Serialize};
+
+/// Channel counts up to this bound build their frame views on the stack; beyond it
+/// the streaming path falls back to one small heap allocation per frame.
+const MAX_STACK_CHANNELS: usize = 32;
+
+/// Runs `f` over per-channel `&[f64]` views of `channels` — the channel-view arena
+/// of the streaming paths. Up to [`MAX_STACK_CHANNELS`] channels the view table
+/// lives on the stack (no allocation); beyond that one small `Vec` is built.
+pub(crate) fn with_channel_views<R>(channels: &[Vec<f64>], f: impl FnOnce(&[&[f64]]) -> R) -> R {
+    if channels.len() <= MAX_STACK_CHANNELS {
+        let mut views: [&[f64]; MAX_STACK_CHANNELS] = [&[]; MAX_STACK_CHANNELS];
+        for (view, ch) in views.iter_mut().zip(channels) {
+            *view = ch.as_slice();
+        }
+        f(&views[..channels.len()])
+    } else {
+        let views: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+        f(&views)
+    }
+}
 
 /// Configuration of the [`AcousticPerceptionPipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,6 +103,24 @@ impl PipelineConfig {
     }
 }
 
+/// Streaming state: the chunk-to-frame assembler plus recycled frame buffers.
+/// Created lazily on the first `push_chunk`/`process_recording`; all buffers are
+/// reused across frames, so steady-state streaming allocates nothing.
+#[derive(Debug)]
+struct Framing {
+    assembler: FrameAssembler,
+    frame_bufs: Vec<Vec<f64>>,
+}
+
+impl Framing {
+    fn new(num_channels: usize, frame_len: usize, hop: usize) -> Result<Self, PipelineError> {
+        Ok(Framing {
+            assembler: FrameAssembler::new(num_channels, frame_len, hop)?,
+            frame_bufs: vec![Vec::with_capacity(frame_len); num_channels],
+        })
+    }
+}
+
 /// The complete detection + localization + tracking pipeline.
 ///
 /// Built either for detection only ([`AcousticPerceptionPipeline::new`], when the array
@@ -77,10 +130,8 @@ pub struct AcousticPerceptionPipeline {
     config: PipelineConfig,
     sample_rate: f64,
     num_channels: usize,
-    detector: SpectralTemplateDetector,
-    localizer: Option<SrpPhatFast>,
-    tracker: AzimuthKalmanTracker,
-    trigger: EnergyTrigger,
+    stages: StageGraph,
+    framing: Option<Framing>,
     latency: LatencyReport,
     frames_processed: usize,
     frames_analyzed: usize,
@@ -106,14 +157,19 @@ impl AcousticPerceptionPipeline {
                 "must be positive",
             ));
         }
+        let stages = StageGraph::new(
+            TriggerStage::new(config.trigger),
+            DetectStage::new(sample_rate)?,
+            LocalizeStage::disabled(),
+            TrackStage::new(1.0, 36.0),
+            config.frame_len,
+        );
         Ok(AcousticPerceptionPipeline {
             config,
             sample_rate,
             num_channels,
-            detector: SpectralTemplateDetector::new(sample_rate)?,
-            localizer: None,
-            tracker: AzimuthKalmanTracker::new(1.0, 36.0),
-            trigger: EnergyTrigger::new(config.trigger),
+            stages,
+            framing: None,
             latency: LatencyReport::new(),
             frames_processed: 0,
             frames_analyzed: 0,
@@ -139,7 +195,7 @@ impl AcousticPerceptionPipeline {
                 freq_max_hz: (sample_rate / 2.0 - 200.0).max(1000.0),
                 ..SrpConfig::default()
             };
-            pipeline.localizer = Some(SrpPhatFast::new(srp_config, array, sample_rate)?);
+            pipeline.stages.localize = LocalizeStage::for_array(srp_config, array, sample_rate)?;
         }
         Ok(pipeline)
     }
@@ -158,13 +214,12 @@ impl AcousticPerceptionPipeline {
     /// tracker.
     pub fn set_mode(&mut self, mode: OperatingMode) {
         self.config.mode = mode;
-        self.trigger.reset();
-        self.tracker.reset();
+        self.stages.reset();
     }
 
     /// Returns true if localization is available (array geometry known, ≥ 2 mics).
     pub fn localization_available(&self) -> bool {
-        self.localizer.is_some()
+        self.stages.localize.is_available()
     }
 
     /// Per-stage latency statistics accumulated so far.
@@ -193,9 +248,30 @@ impl AcousticPerceptionPipeline {
         }
     }
 
+    /// Samples currently buffered by the streaming assembler, waiting for enough
+    /// input to complete the next frame. Zero before any `push_chunk`.
+    pub fn pending_samples(&self) -> usize {
+        self.framing
+            .as_ref()
+            .map_or(0, |f| f.assembler.samples_buffered())
+    }
+
+    /// Discards any partially assembled streaming input and restarts streaming frame
+    /// numbering at 0. Latency statistics and frame counters are retained. Buffers
+    /// are kept, so resetting does not reintroduce allocations.
+    pub fn reset_streaming(&mut self) {
+        if let Some(framing) = &mut self.framing {
+            framing.assembler.reset();
+        }
+    }
+
     /// Processes one multichannel frame (`frame[channel][sample]`, every channel
     /// exactly `frame_len` samples) and returns an event if an emergency sound was
     /// detected.
+    ///
+    /// This is the real-time hot path: in steady state it performs **no heap
+    /// allocation** — the mono mixdown reuses scratch preallocated in the stage
+    /// graph and all stages operate on borrowed slices.
     ///
     /// # Errors
     ///
@@ -225,57 +301,125 @@ impl AcousticPerceptionPipeline {
             }
         }
         self.frames_processed += 1;
-        // Mono mixdown feeds the trigger and the detector.
-        let mono: Vec<f64> = (0..self.config.frame_len)
-            .map(|i| frame.iter().map(|c| c[i]).sum::<f64>() / frame.len() as f64)
-            .collect();
-        // Park mode: gate the expensive stages behind the always-on trigger.
-        if self.config.mode == OperatingMode::Park {
-            let fired = self
-                .latency
-                .time("trigger", || self.trigger.process_frame(&mono));
-            if !fired {
-                self.latency.count_frame();
-                return Ok(None);
-            }
-        }
-        self.frames_analyzed += 1;
-        let detector = &self.detector;
-        let (class, confidence) = self
-            .latency
-            .time("detection", || detector.predict_with_confidence(&mono))?;
-        let time_s = frame_index as f64 * self.config.hop as f64 / self.sample_rate;
-        if !class.is_event() || confidence < self.config.confidence_threshold {
-            self.latency.count_frame();
-            return Ok(None);
-        }
-        let mut azimuth_deg = None;
-        let mut tracked = None;
-        if self.config.mode.localization_enabled() {
-            if let Some(localizer) = &self.localizer {
-                let estimate = self
-                    .latency
-                    .time("localization", || localizer.localize(frame))?;
-                azimuth_deg = Some(estimate.azimuth_deg());
-                let state = self
-                    .latency
-                    .time("tracking", || self.tracker.update(estimate.azimuth_deg()));
-                tracked = Some(state.azimuth_deg);
-            }
-        }
+        let params = FrameParams {
+            gate_on_trigger: self.config.mode == OperatingMode::Park,
+            localization_enabled: self.config.mode.localization_enabled(),
+            confidence_threshold: self.config.confidence_threshold,
+        };
+        let outcome = self.stages.run_frame(frame, params, &mut self.latency)?;
         self.latency.count_frame();
-        Ok(Some(PerceptionEvent {
-            frame_index,
-            time_s,
-            class,
-            confidence,
-            azimuth_deg,
-            tracked_azimuth_deg: tracked,
-        }))
+        match outcome {
+            FrameOutcome::Gated => Ok(None),
+            FrameOutcome::Analyzed => {
+                self.frames_analyzed += 1;
+                Ok(None)
+            }
+            FrameOutcome::Detection {
+                class,
+                confidence,
+                azimuth_deg,
+                tracked_azimuth_deg,
+            } => {
+                self.frames_analyzed += 1;
+                Ok(Some(PerceptionEvent {
+                    frame_index,
+                    time_s: frame_index as f64 * self.config.hop as f64 / self.sample_rate,
+                    class,
+                    confidence,
+                    azimuth_deg,
+                    tracked_azimuth_deg,
+                }))
+            }
+        }
+    }
+
+    /// Streams one multichannel chunk of **arbitrary** length (`chunk[channel]
+    /// [sample]`, every channel the same length) into the pipeline, appending any
+    /// events fired by completed frames to `events`. Returns the number of frames
+    /// processed during this call (in park mode this includes trigger-gated frames;
+    /// see [`frames_analyzed`](Self::frames_analyzed) for the analyzed count).
+    ///
+    /// Chunk sizes need not relate to `frame_len` or `hop` in any way: the internal
+    /// [`FrameAssembler`] buffers the stream and emits exactly-`frame_len` frames
+    /// every `hop` samples, so any chunking yields the same events as
+    /// [`process_recording`](Self::process_recording) on the concatenated stream.
+    /// Frame indices (and event timestamps) count from the start of the stream (the
+    /// last [`reset_streaming`](Self::reset_streaming)).
+    ///
+    /// Steady state performs no heap allocation for channel counts up to 32: frame
+    /// buffers are recycled, the mixdown scratch is preallocated, and channel views
+    /// live on the stack (`events` only allocates when events actually fire).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count is wrong, the channels have unequal
+    /// lengths, or an analysis stage fails. If an analysis stage fails, the frame
+    /// being analyzed has already been consumed from the stream (its `hop` advance
+    /// applied) and its result is lost; the remaining buffered samples are
+    /// preserved, so a caller may continue streaming from the next frame after
+    /// handling the error.
+    pub fn push_chunk_into(
+        &mut self,
+        chunk: &[&[f64]],
+        events: &mut Vec<PerceptionEvent>,
+    ) -> Result<usize, PipelineError> {
+        if chunk.len() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: chunk.len(),
+            });
+        }
+        // Move the framing state out of `self` so the frame buffers can be borrowed
+        // while `process_frame` takes `&mut self`.
+        let mut framing = match self.framing.take() {
+            Some(f) => f,
+            None => Framing::new(self.num_channels, self.config.frame_len, self.config.hop)?,
+        };
+        let result = self.drain_assembler(&mut framing, chunk, events);
+        self.framing = Some(framing);
+        result
+    }
+
+    /// Convenience wrapper around [`push_chunk_into`](Self::push_chunk_into)
+    /// returning the events as a fresh `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_chunk_into`](Self::push_chunk_into).
+    pub fn push_chunk(&mut self, chunk: &[&[f64]]) -> Result<Vec<PerceptionEvent>, PipelineError> {
+        let mut events = Vec::new();
+        self.push_chunk_into(chunk, &mut events)?;
+        Ok(events)
+    }
+
+    fn drain_assembler(
+        &mut self,
+        framing: &mut Framing,
+        chunk: &[&[f64]],
+        events: &mut Vec<PerceptionEvent>,
+    ) -> Result<usize, PipelineError> {
+        framing.assembler.push(chunk)?;
+        let mut emitted = 0;
+        while framing.assembler.frame_ready() {
+            let index = framing.assembler.emit_into(&mut framing.frame_bufs)?;
+            let event = with_channel_views(&framing.frame_bufs, |views| {
+                self.process_frame(views, index)
+            })?;
+            if let Some(event) = event {
+                events.push(event);
+            }
+            emitted += 1;
+        }
+        Ok(emitted)
     }
 
     /// Processes a whole multichannel recording with the configured frame/hop,
     /// returning every emitted event.
+    ///
+    /// Implemented on the same streaming assembler as
+    /// [`push_chunk`](Self::push_chunk) (the recording is one big chunk); any
+    /// in-progress streaming state is reset before and after, and the trailing
+    /// samples that do not fill a final frame are dropped, as a batch framer would.
     ///
     /// # Errors
     ///
@@ -291,25 +435,12 @@ impl AcousticPerceptionPipeline {
                 actual: audio.num_channels(),
             });
         }
-        let len = audio.len();
-        let frame_len = self.config.frame_len;
-        let hop = self.config.hop;
+        self.reset_streaming();
         let mut events = Vec::new();
-        if len < frame_len {
-            return Ok(events);
-        }
-        let num_frames = (len - frame_len) / hop + 1;
-        for f in 0..num_frames {
-            let start = f * hop;
-            let frame: Vec<&[f64]> = audio
-                .channels()
-                .iter()
-                .map(|c| &c[start..start + frame_len])
-                .collect();
-            if let Some(event) = self.process_frame(&frame, f)? {
-                events.push(event);
-            }
-        }
+        with_channel_views(audio.channels(), |chunk| {
+            self.push_chunk_into(chunk, &mut events)
+        })?;
+        self.reset_streaming();
         Ok(events)
     }
 
@@ -320,7 +451,7 @@ impl AcousticPerceptionPipeline {
     ///
     /// Returns an error if the clip is shorter than one detector frame.
     pub fn classify_clip(&self, audio: &[f64]) -> Result<EventClass, PipelineError> {
-        Ok(self.detector.predict(audio)?)
+        self.stages.detect.classify_clip(audio)
     }
 }
 
@@ -328,14 +459,18 @@ impl AcousticPerceptionPipeline {
 mod tests {
     use super::*;
     use ispot_dsp::generator::{NoiseKind, NoiseSource};
+    use ispot_roadsim::engine::Simulator;
     use ispot_roadsim::geometry::Position;
     use ispot_roadsim::scene::SceneBuilder;
     use ispot_roadsim::source::SoundSource;
     use ispot_roadsim::trajectory::Trajectory;
-    use ispot_roadsim::engine::Simulator;
     use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
 
-    fn simulate_siren(azimuth_deg: f64, num_mics: usize, duration_s: f64) -> (MultichannelAudio, MicrophoneArray) {
+    fn simulate_siren(
+        azimuth_deg: f64,
+        num_mics: usize,
+        duration_s: f64,
+    ) -> (MultichannelAudio, MicrophoneArray) {
         let fs = 16_000.0;
         let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(duration_s);
         let az = azimuth_deg.to_radians();
@@ -365,7 +500,10 @@ mod tests {
         assert!(pipeline.localization_available());
         let events = pipeline.process_recording(&audio).unwrap();
         assert!(!events.is_empty(), "no events detected");
-        let alert = events.iter().find(|e| e.is_alert()).expect("an alert event");
+        let alert = events
+            .iter()
+            .find(|e| e.is_alert())
+            .expect("an alert event");
         assert!(alert.class.is_event());
         let az = alert.azimuth_deg.expect("localization ran");
         assert!(
@@ -471,10 +609,88 @@ mod tests {
     #[test]
     fn classify_clip_exposes_the_detector() {
         let fs = 16_000.0;
-        let pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let pipeline = AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
         let horn = ispot_sed::sirens::synthesize_event(ispot_sed::EventClass::CarHorn, fs, 1.0);
         let class = pipeline.classify_clip(&horn).unwrap();
         assert_eq!(class, ispot_sed::EventClass::CarHorn);
+    }
+
+    #[test]
+    fn push_chunk_matches_batch_processing_for_odd_chunk_sizes() {
+        let fs = 16_000.0;
+        let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
+        let audio = MultichannelAudio::new(vec![siren], fs);
+        let config = PipelineConfig::default();
+        let mut batch = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let batch_events = batch.process_recording(&audio).unwrap();
+        assert!(!batch_events.is_empty());
+
+        // Stream the same recording in deliberately awkward chunk sizes.
+        for chunk_size in [1usize, 7, 160, 1024, 2048, 5000] {
+            let mut streaming = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+            let mut events = Vec::new();
+            let mut frames = 0;
+            for chunk in audio.channel(0).chunks(chunk_size) {
+                frames += streaming.push_chunk_into(&[chunk], &mut events).unwrap();
+            }
+            assert_eq!(
+                frames,
+                (audio.len() - 2048) / 1024 + 1,
+                "chunk {chunk_size}"
+            );
+            assert_eq!(events.len(), batch_events.len(), "chunk {chunk_size}");
+            for (a, b) in batch_events.iter().zip(&events) {
+                assert_eq!(a.frame_index, b.frame_index);
+                assert_eq!(a.class, b.class);
+                assert!((a.confidence - b.confidence).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn push_chunk_buffers_partial_frames_across_calls() {
+        let fs = 16_000.0;
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let silence = vec![0.0; 1000];
+        assert_eq!(pipeline.push_chunk(&[&silence]).unwrap().len(), 0);
+        assert_eq!(pipeline.pending_samples(), 1000);
+        assert_eq!(pipeline.frames_processed(), 0);
+        // 1048 more samples complete the first 2048-sample frame.
+        let more = vec![0.0; 1048];
+        pipeline.push_chunk(&[&more]).unwrap();
+        assert_eq!(pipeline.frames_processed(), 1);
+        assert_eq!(pipeline.pending_samples(), 2048 - 1024);
+        pipeline.reset_streaming();
+        assert_eq!(pipeline.pending_samples(), 0);
+    }
+
+    #[test]
+    fn push_chunk_validates_channel_count() {
+        let fs = 16_000.0;
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let mono = vec![0.0; 64];
+        assert!(matches!(
+            pipeline.push_chunk(&[&mono]),
+            Err(PipelineError::ChannelMismatch { .. })
+        ));
+        let unequal = vec![0.0; 32];
+        assert!(pipeline.push_chunk(&[&mono[..], &unequal[..]]).is_err());
+    }
+
+    #[test]
+    fn process_recording_resets_streaming_state() {
+        let fs = 16_000.0;
+        let mut pipeline =
+            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        // Leave a partial frame buffered from streaming...
+        pipeline.push_chunk(&[&vec![0.0; 500][..]]).unwrap();
+        assert_eq!(pipeline.pending_samples(), 500);
+        // ...then batch-process: the partial frame must not leak into the batch.
+        let audio = MultichannelAudio::new(vec![vec![0.0; 4096]], fs);
+        pipeline.process_recording(&audio).unwrap();
+        assert_eq!(pipeline.frames_processed(), 3);
+        assert_eq!(pipeline.pending_samples(), 0);
     }
 }

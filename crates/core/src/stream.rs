@@ -1,37 +1,49 @@
 //! Threaded streaming runner.
 //!
-//! A real deployment receives microphone frames from a capture device while the
+//! A real deployment receives microphone chunks from a capture device while the
 //! analysis runs on its own core. [`StreamRunner`] reproduces that structure on the
-//! host: a producer thread slices a recording into frames and pushes them through a
-//! bounded channel (providing back-pressure, as a real-time capture buffer would),
-//! while the consumer side owns the [`AcousticPerceptionPipeline`] and emits events.
+//! host: a producer thread cuts a recording into capture-sized chunks and pushes
+//! them through a bounded channel (providing back-pressure, as a real-time capture
+//! buffer would), while the consumer side owns the [`AcousticPerceptionPipeline`]
+//! and feeds the chunks to [`AcousticPerceptionPipeline::push_chunk_into`] — the
+//! same chunk-to-frame assembler as every other entry point, so framing logic is
+//! not duplicated here.
+//!
+//! The producer borrows the recording through a scoped thread (no copy of the
+//! recording is made) and the chunk buffers travel in a cycle: producer → analysis
+//! → back to the producer through a recycling channel. Steady state therefore
+//! allocates nothing per chunk or per frame.
 
 use crate::error::PipelineError;
 use crate::events::PerceptionEvent;
-use crate::pipeline::AcousticPerceptionPipeline;
+use crate::pipeline::{with_channel_views, AcousticPerceptionPipeline};
 use crossbeam::channel;
 use ispot_roadsim::engine::MultichannelAudio;
 use std::thread;
 
-/// One frame travelling from the capture thread to the analysis thread.
-#[derive(Debug, Clone)]
-struct StreamFrame {
-    index: usize,
+/// One multichannel chunk travelling from the capture thread to the analysis
+/// thread. The buffers inside are recycled back to the producer after analysis.
+#[derive(Debug)]
+struct StreamChunk {
     channels: Vec<Vec<f64>>,
 }
 
 /// Runs a pipeline against a recording using a producer thread and a bounded channel.
 #[derive(Debug)]
 pub struct StreamRunner {
-    /// Capacity of the frame channel (number of frames buffered between capture and
+    /// Capacity of the chunk channel (number of chunks buffered between capture and
     /// analysis).
     pub channel_capacity: usize,
+    /// Samples per produced chunk; `None` mimics a capture driver delivering one
+    /// pipeline hop per chunk.
+    pub chunk_len: Option<usize>,
 }
 
 impl Default for StreamRunner {
     fn default() -> Self {
         StreamRunner {
             channel_capacity: 4,
+            chunk_len: None,
         }
     }
 }
@@ -41,65 +53,94 @@ impl StreamRunner {
     pub fn new(channel_capacity: usize) -> Self {
         StreamRunner {
             channel_capacity: channel_capacity.max(1),
+            chunk_len: None,
         }
     }
 
-    /// Streams `audio` through `pipeline` frame by frame, returning the emitted events
-    /// and the number of frames streamed.
+    /// Sets the chunk size in samples (clamped to at least 1).
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> Self {
+        self.chunk_len = Some(chunk_len.max(1));
+        self
+    }
+
+    /// Streams `audio` through `pipeline` chunk by chunk, returning the emitted
+    /// events and the number of frames processed (`streamed`).
+    ///
+    /// Any partially buffered streaming state in the pipeline is reset first, so the
+    /// recording is processed from a clean stream start; `streamed` then always
+    /// equals the recording's frame count `(len - frame_len) / hop + 1` (zero if the
+    /// recording is shorter than one frame), matching
+    /// [`AcousticPerceptionPipeline::process_recording`].
     ///
     /// # Errors
     ///
-    /// Returns an error if the recording does not match the pipeline configuration or
-    /// any frame fails to process.
+    /// Returns an error if the recording does not match the pipeline configuration
+    /// or any frame fails to process. Error handling is deterministic: the producer
+    /// side keeps running and every remaining chunk is drained (without analysis)
+    /// before the first error is returned, so no thread is left blocked and the
+    /// producer always delivers the full recording regardless of where the failure
+    /// occurred.
     pub fn run(
         &self,
         pipeline: &mut AcousticPerceptionPipeline,
         audio: &MultichannelAudio,
     ) -> Result<(Vec<PerceptionEvent>, usize), PipelineError> {
-        let frame_len = pipeline.config().frame_len;
-        let hop = pipeline.config().hop;
+        let chunk_len = self
+            .chunk_len
+            .unwrap_or_else(|| pipeline.config().hop)
+            .max(1);
+        let num_channels = audio.num_channels();
         let len = audio.len();
-        if len < frame_len {
-            return Ok((Vec::new(), 0));
-        }
-        let num_frames = (len - frame_len) / hop + 1;
-        let (tx, rx) = channel::bounded::<StreamFrame>(self.channel_capacity);
-        // The producer owns a copy of the channel data; for the recording sizes used in
-        // the experiments this mirrors a capture driver filling DMA buffers.
-        let channels: Vec<Vec<f64>> = audio.channels().to_vec();
-        let producer = thread::spawn(move || {
-            for f in 0..num_frames {
-                let start = f * hop;
-                let frame = StreamFrame {
-                    index: f,
-                    channels: channels
-                        .iter()
-                        .map(|c| c[start..start + frame_len].to_vec())
-                        .collect(),
-                };
-                if tx.send(frame).is_err() {
-                    break;
-                }
-            }
-        });
+        pipeline.reset_streaming();
+        let (tx, rx) = channel::bounded::<StreamChunk>(self.channel_capacity.max(1));
+        // Buffers return to the producer on this channel. Capacity covers every
+        // buffer that can be alive at once (in flight + one at each end), so
+        // recycling sends never block.
+        let (recycle_tx, recycle_rx) =
+            channel::bounded::<StreamChunk>(self.channel_capacity.max(1) + 2);
         let mut events = Vec::new();
         let mut streamed = 0usize;
         let mut first_error: Option<PipelineError> = None;
-        for frame in rx.iter() {
-            streamed += 1;
-            let views: Vec<&[f64]> = frame.channels.iter().map(|c| c.as_slice()).collect();
-            match pipeline.process_frame(&views, frame.index) {
-                Ok(Some(event)) => events.push(event),
-                Ok(None) => {}
-                Err(e) => {
-                    first_error = Some(e);
-                    break;
+        thread::scope(|scope| {
+            // Producer: slice the borrowed recording into chunks, reusing recycled
+            // buffers. Allocates only until the buffer pool is primed.
+            scope.spawn(move || {
+                let mut start = 0;
+                while start < len {
+                    let end = (start + chunk_len).min(len);
+                    let mut chunk = recycle_rx.try_recv().unwrap_or_else(|_| StreamChunk {
+                        channels: vec![Vec::with_capacity(chunk_len); num_channels],
+                    });
+                    for (buf, ch) in chunk.channels.iter_mut().zip(audio.channels()) {
+                        buf.clear();
+                        buf.extend_from_slice(&ch[start..end]);
+                    }
+                    if tx.send(chunk).is_err() {
+                        // Consumer vanished (it never does in the drain protocol,
+                        // but do not hang if it ever happens).
+                        break;
+                    }
+                    start = end;
                 }
+                // `tx` drops here, closing the channel and ending the consumer loop.
+            });
+            // Consumer: feed chunks to the pipeline; after an error, keep draining
+            // so the producer deterministically delivers the whole recording.
+            for chunk in rx.iter() {
+                if first_error.is_none() {
+                    let outcome = with_channel_views(&chunk.channels, |views| {
+                        pipeline.push_chunk_into(views, &mut events)
+                    });
+                    match outcome {
+                        Ok(frames) => streamed += frames,
+                        Err(e) => first_error = Some(e),
+                    }
+                }
+                // Hand the buffers back; if the producer is done the buffers are
+                // simply dropped.
+                let _ = recycle_tx.send(chunk);
             }
-        }
-        // Dropping the receiver unblocks the producer if we bailed out early.
-        drop(rx);
-        producer.join().expect("producer thread panicked");
+        });
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -134,6 +175,30 @@ mod tests {
     }
 
     #[test]
+    fn capture_style_chunk_sizes_do_not_change_the_events() {
+        let fs = 16_000.0;
+        let siren = SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0);
+        let audio = MultichannelAudio::new(vec![siren], fs);
+        let config = PipelineConfig::default();
+        let mut reference = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let reference_events = reference.process_recording(&audio).unwrap();
+        // 160 samples = a 10 ms capture block at 16 kHz; 4096 = several frames.
+        for chunk_len in [1usize, 160, 333, 4096] {
+            let mut pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+            let (events, streamed) = StreamRunner::new(3)
+                .with_chunk_len(chunk_len)
+                .run(&mut pipeline, &audio)
+                .unwrap();
+            assert_eq!(streamed, (audio.len() - 2048) / 1024 + 1);
+            assert_eq!(events.len(), reference_events.len(), "chunk {chunk_len}");
+            for (a, b) in reference_events.iter().zip(&events) {
+                assert_eq!(a.frame_index, b.frame_index);
+                assert_eq!(a.class, b.class);
+            }
+        }
+    }
+
+    #[test]
     fn short_recordings_stream_zero_frames() {
         let fs = 16_000.0;
         let audio = MultichannelAudio::new(vec![vec![0.0; 100]], fs);
@@ -145,11 +210,14 @@ mod tests {
     }
 
     #[test]
-    fn channel_mismatch_is_propagated() {
+    fn channel_mismatch_is_propagated_and_drained() {
         let fs = 16_000.0;
-        let audio = MultichannelAudio::new(vec![vec![0.0; 4096]; 3], fs);
+        let audio = MultichannelAudio::new(vec![vec![0.0; 100_000]; 3], fs);
         let mut pipeline =
             AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
-        assert!(StreamRunner::default().run(&mut pipeline, &audio).is_err());
+        // Errors on the very first chunk; the runner must drain the remaining
+        // ~97 chunks without deadlocking on the bounded channel.
+        let result = StreamRunner::new(2).run(&mut pipeline, &audio);
+        assert!(matches!(result, Err(PipelineError::ChannelMismatch { .. })));
     }
 }

@@ -94,7 +94,14 @@ impl BiquadDesign {
         let (b0, b1, b2, a0, a1, a2) = match self {
             BiquadDesign::Lowpass { .. } => {
                 let b1 = 1.0 - cosw;
-                (b1 / 2.0, b1, b1 / 2.0, 1.0 + alpha, -2.0 * cosw, 1.0 - alpha)
+                (
+                    b1 / 2.0,
+                    b1,
+                    b1 / 2.0,
+                    1.0 + alpha,
+                    -2.0 * cosw,
+                    1.0 - alpha,
+                )
             }
             BiquadDesign::Highpass { .. } => {
                 let b1 = -(1.0 + cosw);

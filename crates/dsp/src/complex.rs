@@ -185,6 +185,7 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w⁻¹ by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

@@ -73,7 +73,11 @@ pub fn fft_convolve(x: &[f64], h: &[f64], mode: ConvMode) -> Result<Vec<f64>, Ds
     let fx = fft.forward(&xa)?;
     let fh = fft.forward(&hb)?;
     let prod: Vec<Complex> = fx.iter().zip(&fh).map(|(a, b)| *a * *b).collect();
-    let full: Vec<f64> = fft.inverse_real(&prod)?.into_iter().take(full_len).collect();
+    let full: Vec<f64> = fft
+        .inverse_real(&prod)?
+        .into_iter()
+        .take(full_len)
+        .collect();
     Ok(trim_mode(full, n, m, mode))
 }
 
@@ -140,7 +144,9 @@ mod tests {
     #[test]
     fn empty_inputs_give_empty_output() {
         assert!(convolve(&[], &[1.0], ConvMode::Full).is_empty());
-        assert!(fft_convolve(&[1.0], &[], ConvMode::Full).unwrap().is_empty());
+        assert!(fft_convolve(&[1.0], &[], ConvMode::Full)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -155,9 +161,7 @@ mod tests {
         // i.e. index (y.len()-1) - 3 when correlating y against x.
         let x = vec![0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0];
         let mut y = vec![0.0; x.len()];
-        for i in 0..x.len() - 3 {
-            y[i + 3] = x[i];
-        }
+        y[3..].copy_from_slice(&x[..x.len() - 3]);
         let corr = cross_correlate(&y, &x);
         let peak = corr
             .iter()

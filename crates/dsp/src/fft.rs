@@ -244,12 +244,12 @@ impl Fft {
                 b[padded - i] = plan.chirp[i];
             }
             let fb = plan.inner.forward(&b).expect("length matches inner plan");
-            for i in 0..padded {
-                fa[i] = fa[i] * fb[i];
+            for (a, b) in fa.iter_mut().zip(&fb) {
+                *a *= *b;
             }
         } else {
-            for i in 0..padded {
-                fa[i] = fa[i] * plan.chirp_spectrum[i];
+            for (a, c) in fa.iter_mut().zip(&plan.chirp_spectrum) {
+                *a *= *c;
             }
         }
         let conv = plan.inner.inverse(&fa).expect("length matches inner plan");
@@ -336,7 +336,9 @@ mod tests {
     #[test]
     fn roundtrip_preserves_signal() {
         for n in [8usize, 10, 64, 100] {
-            let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
             let fft = Fft::new(n);
             let back = fft.inverse(&fft.forward(&x).unwrap()).unwrap();
             assert_close(&back, &x, 1e-7);

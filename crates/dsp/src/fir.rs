@@ -73,11 +73,7 @@ impl FirDesign {
         }
         let lp_high = Self::lowpass(taps, high_hz, fs)?;
         let lp_low = Self::lowpass(taps, low_hz, fs)?;
-        Ok(lp_high
-            .iter()
-            .zip(&lp_low)
-            .map(|(a, b)| a - b)
-            .collect())
+        Ok(lp_high.iter().zip(&lp_low).map(|(a, b)| a - b).collect())
     }
 
     /// Designs an FIR filter matching an arbitrary magnitude response specified on a
@@ -92,7 +88,7 @@ impl FirDesign {
     /// Returns an error if fewer than two magnitude points are given or `taps` is zero
     /// or even.
     pub fn from_magnitude_response(taps: usize, magnitudes: &[f64]) -> Result<Vec<f64>, DspError> {
-        if taps == 0 || taps % 2 == 0 {
+        if taps == 0 || taps.is_multiple_of(2) {
             return Err(DspError::InvalidSize {
                 name: "taps",
                 value: taps,
@@ -127,7 +123,7 @@ impl FirDesign {
     }
 
     fn validate(taps: usize, cutoff_hz: f64, fs: f64) -> Result<(), DspError> {
-        if taps == 0 || taps % 2 == 0 {
+        if taps == 0 || taps.is_multiple_of(2) {
             return Err(DspError::InvalidSize {
                 name: "taps",
                 value: taps,
@@ -295,9 +291,7 @@ mod tests {
     #[test]
     fn from_magnitude_response_approximates_target() {
         // Target: gentle high-shelf attenuation, similar to an air-absorption curve.
-        let grid: Vec<f64> = (0..64)
-            .map(|k| 1.0 - 0.6 * k as f64 / 63.0)
-            .collect();
+        let grid: Vec<f64> = (0..64).map(|k| 1.0 - 0.6 * k as f64 / 63.0).collect();
         let h = FirDesign::from_magnitude_response(101, &grid).unwrap();
         let f = FirFilter::new(h).unwrap();
         let fs = 16_000.0;

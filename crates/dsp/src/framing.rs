@@ -1,0 +1,373 @@
+//! Multichannel chunk-to-frame assembly for streaming pipelines.
+//!
+//! Real capture front-ends deliver audio in whatever block size the driver uses —
+//! rarely the analysis frame length. [`FrameAssembler`] sits between the two: it
+//! accepts multichannel chunks of **arbitrary** size (one sample up to many frames)
+//! and yields exactly-`frame_len` frames advanced by `hop`, byte-identical to slicing
+//! the concatenated stream directly. It is built on [`RingBuffer`] (one per channel)
+//! and performs **no heap allocation in steady state**: the rings only grow (once)
+//! when a larger chunk than ever seen before arrives, and frames are emitted into
+//! caller-provided buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_dsp::framing::FrameAssembler;
+//!
+//! # fn main() -> Result<(), ispot_dsp::DspError> {
+//! let mut asm = FrameAssembler::new(1, 4, 2)?;
+//! let mut frame = vec![Vec::new()];
+//! asm.push(&[&[1.0, 2.0, 3.0]])?;
+//! assert!(!asm.frame_ready());
+//! asm.push(&[&[4.0, 5.0]])?;
+//! assert!(asm.frame_ready());
+//! assert_eq!(asm.emit_into(&mut frame)?, 0); // frame index 0
+//! assert_eq!(frame[0], [1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::DspError;
+use crate::ring::RingBuffer;
+
+/// Reassembles arbitrary-sized multichannel chunks into fixed frames.
+///
+/// The assembler guarantees *chunk-size invariance*: however the input stream is cut
+/// into [`push`](FrameAssembler::push) calls, the emitted frames are identical to
+/// framing the whole stream at once with the same `frame_len`/`hop`.
+#[derive(Debug, Clone)]
+pub struct FrameAssembler {
+    rings: Vec<RingBuffer>,
+    frame_len: usize,
+    hop: usize,
+    /// Samples that still have to be discarded before the next frame starts
+    /// (non-zero only while `hop > frame_len` and the gap has not fully arrived).
+    pending_discard: usize,
+    next_frame_index: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an assembler for `num_channels` channels yielding `frame_len`-sample
+    /// frames every `hop` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidSize`] if any parameter is zero.
+    pub fn new(num_channels: usize, frame_len: usize, hop: usize) -> Result<Self, DspError> {
+        if num_channels == 0 {
+            return Err(DspError::InvalidSize {
+                name: "num_channels",
+                value: 0,
+                constraint: "must be positive",
+            });
+        }
+        if frame_len == 0 {
+            return Err(DspError::InvalidSize {
+                name: "frame_len",
+                value: 0,
+                constraint: "must be positive",
+            });
+        }
+        if hop == 0 {
+            return Err(DspError::InvalidSize {
+                name: "hop",
+                value: 0,
+                constraint: "must be positive",
+            });
+        }
+        // Enough for one frame plus one hop of look-ahead; grows on demand if the
+        // producer delivers larger chunks.
+        let capacity = frame_len + hop;
+        let rings = (0..num_channels)
+            .map(|_| RingBuffer::new(capacity))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FrameAssembler {
+            rings,
+            frame_len,
+            hop,
+            pending_discard: 0,
+            next_frame_index: 0,
+        })
+    }
+
+    /// Number of input channels.
+    pub fn num_channels(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Hop between consecutive frames in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Index the next emitted frame will carry (counts from 0, advances per emit).
+    pub fn next_frame_index(&self) -> usize {
+        self.next_frame_index
+    }
+
+    /// Samples currently buffered per channel.
+    pub fn samples_buffered(&self) -> usize {
+        self.rings[0].available()
+    }
+
+    /// Clears all buffered samples and restarts frame numbering at 0. Ring capacity
+    /// is retained, so a reset does not reintroduce allocations.
+    pub fn reset(&mut self) {
+        for ring in &mut self.rings {
+            ring.clear();
+        }
+        self.pending_discard = 0;
+        self.next_frame_index = 0;
+    }
+
+    /// Appends one multichannel chunk (`chunk[channel][sample]`; every channel the
+    /// same length, any length including zero).
+    ///
+    /// Allocates only if the buffered backlog would exceed the current ring capacity
+    /// — with a consumer that drains ready frames between pushes, capacity converges
+    /// after the first few chunks and steady state is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if the channel count differs from
+    /// construction or the channels have unequal lengths. The assembler is unchanged
+    /// on error.
+    pub fn push(&mut self, chunk: &[&[f64]]) -> Result<(), DspError> {
+        if chunk.len() != self.rings.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.rings.len(),
+                actual: chunk.len(),
+            });
+        }
+        let chunk_len = chunk[0].len();
+        for ch in chunk {
+            if ch.len() != chunk_len {
+                return Err(DspError::LengthMismatch {
+                    expected: chunk_len,
+                    actual: ch.len(),
+                });
+            }
+        }
+        let needed = self.rings[0].available() + chunk_len;
+        if needed > self.rings[0].capacity() {
+            for ring in &mut self.rings {
+                ring.grow(needed.next_power_of_two());
+            }
+        }
+        for (ring, ch) in self.rings.iter_mut().zip(chunk) {
+            ring.write(ch)?;
+        }
+        self.settle_discard();
+        Ok(())
+    }
+
+    /// Applies any outstanding inter-frame discard (`hop > frame_len` gaps) as soon
+    /// as the samples to be skipped have arrived.
+    fn settle_discard(&mut self) {
+        if self.pending_discard == 0 {
+            return;
+        }
+        let drop = self.pending_discard.min(self.rings[0].available());
+        if drop > 0 {
+            for ring in &mut self.rings {
+                ring.skip(drop).expect("discard bounded by available()");
+            }
+            self.pending_discard -= drop;
+        }
+    }
+
+    /// Returns true when a full frame is buffered and can be emitted.
+    pub fn frame_ready(&self) -> bool {
+        self.pending_discard == 0 && self.rings[0].available() >= self.frame_len
+    }
+
+    /// Emits the next frame into `out` (one `Vec<f64>` per channel, resized to
+    /// `frame_len`; reusing the same `out` across calls makes emission
+    /// allocation-free) and advances the stream position by `hop`. Returns the index
+    /// of the emitted frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if no frame is ready (check
+    /// [`frame_ready`](FrameAssembler::frame_ready) first) or
+    /// [`DspError::LengthMismatch`] if `out` has the wrong channel count.
+    pub fn emit_into(&mut self, out: &mut [Vec<f64>]) -> Result<usize, DspError> {
+        if out.len() != self.rings.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.rings.len(),
+                actual: out.len(),
+            });
+        }
+        if !self.frame_ready() {
+            return Err(DspError::InsufficientData {
+                required: self.frame_len + self.pending_discard,
+                available: self.rings[0].available(),
+            });
+        }
+        for (ring, buf) in self.rings.iter_mut().zip(out.iter_mut()) {
+            buf.resize(self.frame_len, 0.0);
+            ring.peek(buf)?;
+        }
+        // Advance by hop; if hop exceeds what is buffered (hop > frame_len streams),
+        // remember the shortfall and discard it as the gap samples arrive.
+        let advance = self.hop.min(self.rings[0].available());
+        for ring in &mut self.rings {
+            ring.skip(advance)?;
+        }
+        self.pending_discard = self.hop - advance;
+        self.next_frame_index += 1;
+        Ok(self.next_frame_index - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Frames `signal` directly by slicing, the reference for invariance tests.
+    fn reference_frames(signal: &[f64], frame_len: usize, hop: usize) -> Vec<Vec<f64>> {
+        if signal.len() < frame_len {
+            return Vec::new();
+        }
+        (0..(signal.len() - frame_len) / hop + 1)
+            .map(|f| signal[f * hop..f * hop + frame_len].to_vec())
+            .collect()
+    }
+
+    fn drain(asm: &mut FrameAssembler, out: &mut Vec<Vec<f64>>) {
+        let mut frame = vec![Vec::new(); asm.num_channels()];
+        while asm.frame_ready() {
+            asm.emit_into(&mut frame).unwrap();
+            out.push(frame[0].clone());
+        }
+    }
+
+    #[test]
+    fn single_push_matches_direct_slicing() {
+        let signal: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut asm = FrameAssembler::new(1, 16, 8).unwrap();
+        asm.push(&[&signal]).unwrap();
+        let mut got = Vec::new();
+        drain(&mut asm, &mut got);
+        assert_eq!(got, reference_frames(&signal, 16, 8));
+    }
+
+    #[test]
+    fn sample_by_sample_push_matches_direct_slicing() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let mut asm = FrameAssembler::new(1, 16, 4).unwrap();
+        let mut got = Vec::new();
+        for s in &signal {
+            asm.push(&[&[*s]]).unwrap();
+            drain(&mut asm, &mut got);
+        }
+        assert_eq!(got, reference_frames(&signal, 16, 4));
+    }
+
+    #[test]
+    fn hop_larger_than_frame_len_skips_the_gap() {
+        let signal: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut asm = FrameAssembler::new(1, 4, 10).unwrap();
+        let mut got = Vec::new();
+        for chunk in signal.chunks(3) {
+            asm.push(&[chunk]).unwrap();
+            drain(&mut asm, &mut got);
+        }
+        assert_eq!(got, reference_frames(&signal, 4, 10));
+    }
+
+    #[test]
+    fn multichannel_frames_stay_aligned() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| -(i as f64)).collect();
+        let mut asm = FrameAssembler::new(2, 8, 8).unwrap();
+        let mut frame = vec![Vec::new(); 2];
+        let mut count = 0;
+        for i in (0..50).step_by(5) {
+            asm.push(&[&a[i..i + 5], &b[i..i + 5]]).unwrap();
+            while asm.frame_ready() {
+                let idx = asm.emit_into(&mut frame).unwrap();
+                assert_eq!(idx, count);
+                for (x, y) in frame[0].iter().zip(&frame[1]) {
+                    assert_eq!(*x, -*y);
+                }
+                count += 1;
+            }
+        }
+        assert_eq!(count, reference_frames(&a, 8, 8).len());
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected_without_side_effects() {
+        let mut asm = FrameAssembler::new(2, 8, 4).unwrap();
+        assert!(asm.push(&[&[1.0]]).is_err());
+        assert!(asm.push(&[&[1.0][..], &[1.0, 2.0][..]]).is_err());
+        assert_eq!(asm.samples_buffered(), 0);
+        let mut short = vec![Vec::new()];
+        assert!(asm.emit_into(&mut short).is_err());
+        let mut ok = vec![Vec::new(), Vec::new()];
+        assert!(matches!(
+            asm.emit_into(&mut ok),
+            Err(DspError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_restarts_frame_numbering_without_shrinking() {
+        let mut asm = FrameAssembler::new(1, 4, 4).unwrap();
+        asm.push(&[&[0.0; 40]]).unwrap();
+        let mut frame = vec![Vec::new()];
+        while asm.frame_ready() {
+            asm.emit_into(&mut frame).unwrap();
+        }
+        assert!(asm.next_frame_index() > 0);
+        asm.reset();
+        assert_eq!(asm.next_frame_index(), 0);
+        assert_eq!(asm.samples_buffered(), 0);
+        assert!(!asm.frame_ready());
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(FrameAssembler::new(0, 4, 2).is_err());
+        assert!(FrameAssembler::new(1, 0, 2).is_err());
+        assert!(FrameAssembler::new(1, 4, 0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The core contract: any chunking of the stream yields frames identical to
+        /// slicing the whole signal at once.
+        #[test]
+        fn chunking_is_invariant(
+            signal in prop::collection::vec(-1.0f64..1.0, 0..400),
+            cuts in prop::collection::vec(1usize..97, 1..40),
+            frame_len in 1usize..33,
+            hop in 1usize..49,
+        ) {
+            let mut asm = FrameAssembler::new(1, frame_len, hop).unwrap();
+            let mut got = Vec::new();
+            let mut frame = vec![Vec::new()];
+            let mut pos = 0;
+            let mut cut_iter = cuts.iter().cycle();
+            while pos < signal.len() {
+                let take = (*cut_iter.next().unwrap()).min(signal.len() - pos);
+                asm.push(&[&signal[pos..pos + take]]).unwrap();
+                pos += take;
+                while asm.frame_ready() {
+                    asm.emit_into(&mut frame).unwrap();
+                    got.push(frame[0].clone());
+                }
+            }
+            let expected = reference_frames(&signal, frame_len, hop);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

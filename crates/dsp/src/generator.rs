@@ -91,7 +91,11 @@ impl Sweep {
     /// profile so that the sweep is continuous when it repeats).
     pub fn instantaneous_frequency(&self) -> f64 {
         let pos = (self.index % self.period_samples) as f64 / self.period_samples as f64;
-        let tri = if pos < 0.5 { 2.0 * pos } else { 2.0 * (1.0 - pos) };
+        let tri = if pos < 0.5 {
+            2.0 * pos
+        } else {
+            2.0 * (1.0 - pos)
+        };
         self.f_start + (self.f_end - self.f_start) * tri
     }
 }
@@ -315,7 +319,9 @@ mod tests {
 
     #[test]
     fn white_noise_is_roughly_zero_mean_and_bounded() {
-        let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 7).take(100_000).collect();
+        let x: Vec<f64> = NoiseSource::new(NoiseKind::White, 7)
+            .take(100_000)
+            .collect();
         let mean = x.iter().sum::<f64>() / x.len() as f64;
         assert!(mean.abs() < 0.02);
         assert!(x.iter().all(|v| v.abs() <= 1.0));

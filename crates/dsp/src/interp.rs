@@ -80,10 +80,7 @@ impl Interpolator {
                         pt.sin() / pt
                     };
                     // Hann window over the tap span.
-                    let w = 0.5
-                        + 0.5
-                            * (std::f64::consts::PI * t / taps as f64)
-                                .cos();
+                    let w = 0.5 + 0.5 * (std::f64::consts::PI * t / taps as f64).cos();
                     let coeff = sinc * w.max(0.0);
                     acc += coeff * clamp(idx);
                     norm += coeff;

@@ -97,7 +97,11 @@ pub fn measure_snr(signal: &[f64], noise: &[f64]) -> Result<f64, DspError> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn mix_at_snr(signal: &[f64], noise: &[f64], snr_db: f64) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+pub fn mix_at_snr(
+    signal: &[f64],
+    noise: &[f64],
+    snr_db: f64,
+) -> Result<(Vec<f64>, Vec<f64>), DspError> {
     if signal.is_empty() {
         return Err(DspError::invalid_parameter("signal", "must not be empty"));
     }
@@ -167,7 +171,9 @@ mod tests {
     #[test]
     fn mix_at_snr_achieves_requested_snr() {
         let signal: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.07).sin()).collect();
-        let noise: Vec<f64> = (0..1500).map(|i| ((i * 17 % 31) as f64 / 15.0) - 1.0).collect();
+        let noise: Vec<f64> = (0..1500)
+            .map(|i| ((i * 17 % 31) as f64 / 15.0) - 1.0)
+            .collect();
         for snr in [-30.0, -20.0, -10.0, 0.0, 10.0] {
             let (_, scaled) = mix_at_snr(&signal, &noise, snr).unwrap();
             let measured = measure_snr(&signal, &scaled).unwrap();

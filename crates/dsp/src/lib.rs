@@ -12,7 +12,8 @@
 //! * fractional, variable-length [`delay`] lines (the core of the Doppler model)
 //! * [`interp`]olation, [`resample`]rs, [`convolution`]
 //! * signal [`generator`]s (tones, sweeps, noise) and [`level`] / SNR utilities
-//! * a simple [`ring`] buffer for streaming use
+//! * a simple [`ring`] buffer and a chunk-to-frame [`framing`] assembler for
+//!   streaming use
 //!
 //! # Example
 //!
@@ -48,6 +49,7 @@ pub mod delay;
 pub mod error;
 pub mod fft;
 pub mod fir;
+pub mod framing;
 pub mod generator;
 pub mod iir;
 pub mod interp;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::error::DspError;
     pub use crate::fft::Fft;
     pub use crate::fir::{FirDesign, FirFilter};
+    pub use crate::framing::FrameAssembler;
     pub use crate::generator::{Chirp, NoiseKind, NoiseSource, Sine, Sweep};
     pub use crate::iir::IirFilter;
     pub use crate::interp::Interpolator;

@@ -156,6 +156,29 @@ impl RingBuffer {
         Ok(())
     }
 
+    /// Grows the buffer to `new_capacity` samples, preserving the stored samples and
+    /// their order. A `new_capacity` at or below the current capacity is a no-op.
+    ///
+    /// This is the only allocating operation on an existing ring buffer; streaming
+    /// code calls it when a producer hands over a larger chunk than ever seen before,
+    /// so steady-state operation stays allocation-free.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity <= self.buffer.len() {
+            return;
+        }
+        let stored = self.available();
+        let mut buffer = vec![0.0; new_capacity];
+        let mut idx = self.tail;
+        for slot in buffer.iter_mut().take(stored) {
+            *slot = self.buffer[idx];
+            idx = (idx + 1) % self.buffer.len();
+        }
+        self.buffer = buffer;
+        self.tail = 0;
+        self.head = stored;
+        self.full = false;
+    }
+
     /// Discards the oldest `count` samples.
     ///
     /// # Errors
@@ -234,6 +257,32 @@ mod tests {
         rb.read(&mut out).unwrap();
         assert_eq!(out, [3.0]);
         assert!(rb.skip(5).is_err());
+    }
+
+    #[test]
+    fn grow_preserves_contents_across_wraparound() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut out = [0.0; 2];
+        rb.read(&mut out).unwrap();
+        rb.write(&[5.0, 6.0]).unwrap(); // head has wrapped; buffer is full again
+        rb.grow(8);
+        assert_eq!(rb.capacity(), 8);
+        assert_eq!(rb.available(), 4);
+        rb.write(&[7.0, 8.0]).unwrap();
+        let mut all = [0.0; 6];
+        rb.read(&mut all).unwrap();
+        assert_eq!(all, [3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn grow_to_smaller_or_equal_capacity_is_a_noop() {
+        let mut rb = RingBuffer::new(4).unwrap();
+        rb.write(&[1.0, 2.0]).unwrap();
+        rb.grow(3);
+        rb.grow(4);
+        assert_eq!(rb.capacity(), 4);
+        assert_eq!(rb.available(), 2);
     }
 
     #[test]

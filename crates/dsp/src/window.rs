@@ -32,12 +32,9 @@ impl WindowKind {
             WindowKind::Rectangular => 1.0,
             WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            WindowKind::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            WindowKind::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             WindowKind::FlatTop => {
-                0.21557895 - 0.41663158 * (2.0 * PI * x).cos()
-                    + 0.277263158 * (4.0 * PI * x).cos()
+                0.21557895 - 0.41663158 * (2.0 * PI * x).cos() + 0.277263158 * (4.0 * PI * x).cos()
                     - 0.083578947 * (6.0 * PI * x).cos()
                     + 0.006947368 * (8.0 * PI * x).cos()
             }
@@ -213,7 +210,10 @@ mod tests {
             WindowKind::Triangular,
         ] {
             let w = Window::new(kind, 64);
-            assert!(w.coefficients().iter().all(|&c| c <= 1.0 + 1e-12 && c >= -1e-12));
+            assert!(w
+                .coefficients()
+                .iter()
+                .all(|&c| (-1e-12..=1.0 + 1e-12).contains(&c)));
         }
     }
 

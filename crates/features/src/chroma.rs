@@ -63,7 +63,10 @@ impl ChromaExtractor {
     /// Returns an error if the configuration is invalid.
     pub fn with_config(config: ChromaConfig, fs: f64) -> Result<Self, FeatureError> {
         if config.tuning_hz <= 0.0 {
-            return Err(FeatureError::invalid_config("tuning_hz", "must be positive"));
+            return Err(FeatureError::invalid_config(
+                "tuning_hz",
+                "must be positive",
+            ));
         }
         if !(config.f_min > 0.0 && config.f_min < config.f_max) {
             return Err(FeatureError::invalid_config(

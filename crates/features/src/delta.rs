@@ -59,7 +59,11 @@ mod tests {
         let m = FeatureMatrix::from_rows((0..10).map(|i| vec![i as f64]).collect());
         let d = compute_deltas(&m, 2);
         for t in 2..8 {
-            assert!((d.get(t, 0) - 1.0).abs() < 1e-12, "t = {t}: {}", d.get(t, 0));
+            assert!(
+                (d.get(t, 0) - 1.0).abs() < 1e-12,
+                "t = {t}: {}",
+                d.get(t, 0)
+            );
         }
     }
 

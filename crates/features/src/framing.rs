@@ -24,9 +24,16 @@ use crate::error::FeatureError;
 /// # Ok(())
 /// # }
 /// ```
-pub fn frame_signal(signal: &[f64], frame_len: usize, hop: usize) -> Result<Vec<Vec<f64>>, FeatureError> {
+pub fn frame_signal(
+    signal: &[f64],
+    frame_len: usize,
+    hop: usize,
+) -> Result<Vec<Vec<f64>>, FeatureError> {
     if frame_len == 0 {
-        return Err(FeatureError::invalid_config("frame_len", "must be positive"));
+        return Err(FeatureError::invalid_config(
+            "frame_len",
+            "must be positive",
+        ));
     }
     if hop == 0 {
         return Err(FeatureError::invalid_config("hop", "must be positive"));
@@ -55,10 +62,7 @@ pub fn clip_signal(signal: &[f64], clip_len: usize, pad_last: bool) -> Vec<Vec<f
     if clip_len == 0 {
         return Vec::new();
     }
-    let mut clips: Vec<Vec<f64>> = signal
-        .chunks_exact(clip_len)
-        .map(|c| c.to_vec())
-        .collect();
+    let mut clips: Vec<Vec<f64>> = signal.chunks_exact(clip_len).map(|c| c.to_vec()).collect();
     let rem = signal.len() % clip_len;
     if pad_last && rem > 0 {
         let mut last = signal[signal.len() - rem..].to_vec();

@@ -93,7 +93,10 @@ impl GammatoneExtractor {
     /// Returns an error if the configuration is inconsistent.
     pub fn new(config: GammatoneConfig, fs: f64) -> Result<Self, FeatureError> {
         if config.num_bands == 0 {
-            return Err(FeatureError::invalid_config("num_bands", "must be positive"));
+            return Err(FeatureError::invalid_config(
+                "num_bands",
+                "must be positive",
+            ));
         }
         if config.num_gfcc == 0 || config.num_gfcc > config.num_bands {
             return Err(FeatureError::invalid_config(

@@ -44,7 +44,10 @@ impl GccPhat {
     /// Returns an error if `frame_len` is zero.
     pub fn new(frame_len: usize) -> Result<Self, FeatureError> {
         if frame_len == 0 {
-            return Err(FeatureError::invalid_config("frame_len", "must be positive"));
+            return Err(FeatureError::invalid_config(
+                "frame_len",
+                "must be positive",
+            ));
         }
         // Zero-pad to twice the frame length so the circular correlation is linear over
         // the lags of interest.
@@ -68,7 +71,12 @@ impl GccPhat {
     ///
     /// Returns an error if the inputs are not exactly `frame_len` samples long or
     /// `max_lag` exceeds the FFT half-length.
-    pub fn correlate(&self, x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, FeatureError> {
+    pub fn correlate(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        max_lag: usize,
+    ) -> Result<Vec<f64>, FeatureError> {
         if x.len() != self.frame_len || y.len() != self.frame_len {
             return Err(FeatureError::invalid_config(
                 "frame",
@@ -176,9 +184,7 @@ mod tests {
 
     fn delayed_copy(x: &[f64], delay: usize) -> Vec<f64> {
         let mut y = vec![0.0; x.len()];
-        for i in 0..x.len() - delay {
-            y[i + delay] = x[i];
-        }
+        y[delay..].copy_from_slice(&x[..x.len() - delay]);
         y
     }
 

@@ -50,7 +50,10 @@ impl MelFilterbank {
         f_max: f64,
     ) -> Result<Self, FeatureError> {
         if num_bands == 0 {
-            return Err(FeatureError::invalid_config("num_bands", "must be positive"));
+            return Err(FeatureError::invalid_config(
+                "num_bands",
+                "must be positive",
+            ));
         }
         if num_bins < 2 {
             return Err(FeatureError::invalid_config(

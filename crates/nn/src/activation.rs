@@ -127,9 +127,10 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let input = self.cached_input.as_ref().ok_or_else(|| {
-            NnError::invalid_parameter("state", "backward called before forward")
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::invalid_parameter("state", "backward called before forward"))?;
         if input.shape() != grad_output.shape() {
             return Err(NnError::shape_mismatch(
                 format!("{:?}", input.shape()),

@@ -436,6 +436,7 @@ mod tests {
         conv.forward(&x).unwrap();
         conv.backward(&ones).unwrap();
         let analytic = conv.grad_weights.clone();
+        #[allow(clippy::needless_range_loop)] // idx also mutates conv.weights
         for idx in 0..conv.weights.len() {
             let orig = conv.weights[idx];
             conv.weights[idx] = orig + eps;

@@ -108,9 +108,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
-        let input = self.cached_input.as_ref().ok_or_else(|| {
-            NnError::invalid_parameter("state", "backward called before forward")
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::invalid_parameter("state", "backward called before forward"))?;
         let batch = input.shape()[0];
         if grad_output.shape() != [batch, self.out_features] {
             return Err(NnError::shape_mismatch(
@@ -194,6 +195,7 @@ mod tests {
         layer.forward(&x).unwrap();
         layer.backward(&ones).unwrap();
         let analytic = layer.grad_weights.clone();
+        #[allow(clippy::needless_range_loop)] // idx also mutates layer.weights
         for idx in 0..layer.weights.len() {
             let orig = layer.weights[idx];
             layer.weights[idx] = orig + eps;

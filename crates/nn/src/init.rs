@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 pub fn xavier_uniform(count: usize, fan_in: usize, fan_out: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
-    (0..count).map(|_| rng.random_range(-limit..limit)).collect()
+    (0..count)
+        .map(|_| rng.random_range(-limit..limit))
+        .collect()
 }
 
 /// Draws `count` weights from a uniform distribution scaled by the He/Kaiming rule for
@@ -17,7 +19,9 @@ pub fn xavier_uniform(count: usize, fan_in: usize, fan_out: usize, seed: u64) ->
 pub fn he_uniform(count: usize, fan_in: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let limit = (6.0 / fan_in.max(1) as f64).sqrt();
-    (0..count).map(|_| rng.random_range(-limit..limit)).collect()
+    (0..count)
+        .map(|_| rng.random_range(-limit..limit))
+        .collect()
 }
 
 #[cfg(test)]

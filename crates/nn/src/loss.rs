@@ -50,8 +50,8 @@ impl CrossEntropyLoss {
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
             let sum: f64 = exps.iter().sum();
-            for c in 0..classes {
-                out.set2(b, c, exps[c] / sum);
+            for (c, e) in exps.iter().enumerate() {
+                out.set2(b, c, e / sum);
             }
         }
         out
@@ -107,7 +107,11 @@ impl MseLoss {
     /// # Errors
     ///
     /// Returns an error if the shapes differ.
-    pub fn compute_values(&self, output: &Tensor, targets: &Tensor) -> Result<(f64, Tensor), NnError> {
+    pub fn compute_values(
+        &self,
+        output: &Tensor,
+        targets: &Tensor,
+    ) -> Result<(f64, Tensor), NnError> {
         if output.shape() != targets.shape() {
             return Err(NnError::shape_mismatch(
                 format!("{:?}", output.shape()),
@@ -117,12 +121,7 @@ impl MseLoss {
         let n = output.len().max(1) as f64;
         let mut grad = Tensor::zeros(output.shape());
         let mut loss = 0.0;
-        for (i, (&o, &t)) in output
-            .as_slice()
-            .iter()
-            .zip(targets.as_slice())
-            .enumerate()
-        {
+        for (i, (&o, &t)) in output.as_slice().iter().zip(targets.as_slice()).enumerate() {
             let d = o - t;
             loss += d * d;
             grad.as_mut_slice()[i] = 2.0 * d / n;

@@ -208,7 +208,9 @@ mod tests {
     fn max_pooling_picks_window_maxima() {
         let mut pool = MaxPool2d::new((2, 2)).unwrap();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 1.0, 2.0, 3.0, 0.0, 5.0, 4.0, 1.0],
+            vec![
+                1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 1.0, 2.0, 3.0, 0.0, 5.0, 4.0, 1.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -221,7 +223,9 @@ mod tests {
     fn max_pool_backward_routes_gradient_to_argmax() {
         let mut pool = MaxPool2d::new((2, 2)).unwrap();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -239,8 +243,11 @@ mod tests {
     #[test]
     fn global_average_pool_values_and_gradient() {
         let mut gap = GlobalAveragePool::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = gap.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[2.5, 25.0]);
         let gx = gap

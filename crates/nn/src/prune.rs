@@ -97,7 +97,7 @@ mod tests {
         let mut m = model();
         prune_magnitude(&mut m, 0.7).unwrap();
         let s = sparsity(&mut m);
-        assert!(s >= 0.6 && s <= 0.8, "sparsity {s}");
+        assert!((0.6..=0.8).contains(&s), "sparsity {s}");
     }
 
     #[test]
@@ -121,13 +121,7 @@ mod tests {
         let mut m = Sequential::new();
         let mut dense = Dense::new(2, 2, 0).unwrap();
         // Hand-set weights with clearly separated magnitudes.
-        for (i, w) in dense
-            .params_and_grads()
-            .remove(0)
-            .0
-            .iter_mut()
-            .enumerate()
-        {
+        for (i, w) in dense.params_and_grads().remove(0).0.iter_mut().enumerate() {
             *w = if i % 2 == 0 { 10.0 } else { 0.01 };
         }
         m.push(dense);

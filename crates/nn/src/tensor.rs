@@ -194,7 +194,10 @@ impl Tensor {
     /// Panics if the tensor is not 2-D.
     pub fn rows(&self) -> Vec<Vec<f64>> {
         assert_eq!(self.shape.len(), 2, "rows requires a 2-D tensor");
-        self.data.chunks(self.shape[1]).map(|c| c.to_vec()).collect()
+        self.data
+            .chunks(self.shape[1])
+            .map(|c| c.to_vec())
+            .collect()
     }
 }
 

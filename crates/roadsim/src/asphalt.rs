@@ -96,8 +96,8 @@ impl AsphaltModel {
     pub fn reflection_at(&self, freq_hz: f64) -> f64 {
         let f = freq_hz.max(0.0);
         let t = (f / self.reference_freq_hz).clamp(0.0, 1.0);
-        let mut r = self.low_freq_reflection
-            + (self.high_freq_reflection - self.low_freq_reflection) * t;
+        let mut r =
+            self.low_freq_reflection + (self.high_freq_reflection - self.low_freq_reflection) * t;
         if let Some(fc) = self.absorption_peak_hz {
             // Gaussian absorption dip one octave wide around fc.
             let bw = fc * 0.7;

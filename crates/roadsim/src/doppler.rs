@@ -25,7 +25,12 @@ pub fn radial_velocity(trajectory: &Trajectory, microphone: Position, t: f64) ->
 /// // While approaching, the observed frequency is higher than emitted.
 /// assert!(doppler_ratio(&t, mic, 0.5, 343.0) > 1.0);
 /// ```
-pub fn doppler_ratio(trajectory: &Trajectory, microphone: Position, t: f64, speed_of_sound: f64) -> f64 {
+pub fn doppler_ratio(
+    trajectory: &Trajectory,
+    microphone: Position,
+    t: f64,
+    speed_of_sound: f64,
+) -> f64 {
     let v_r = radial_velocity(trajectory, microphone, t);
     speed_of_sound / (speed_of_sound - v_r)
 }

@@ -140,10 +140,7 @@ impl Simulator {
     /// Returns an error if any sampled source position lies below the road surface.
     pub fn new(scene: Scene) -> Result<Self, RoadSimError> {
         let n = scene.source.len();
-        let source_positions = scene
-            .source
-            .trajectory()
-            .sample(scene.sample_rate, n);
+        let source_positions = scene.source.trajectory().sample(scene.sample_rate, n);
         if let Some(bad) = source_positions.iter().find(|p| p.z < 0.0) {
             return Err(RoadSimError::invalid_scene(format!(
                 "source trajectory dips below the road surface (z = {})",
@@ -394,7 +391,11 @@ mod tests {
                 vec![0.1; 16],
                 Trajectory::fixed(Position::new(5.0, 0.0, -1.0)),
             ))
-            .array(MicrophoneArray::linear(1, 0.1, Position::new(0.0, 0.0, 1.0)))
+            .array(MicrophoneArray::linear(
+                1,
+                0.1,
+                Position::new(0.0, 0.0, 1.0),
+            ))
             .build()
             .unwrap();
         assert!(Simulator::new(scene).is_err());

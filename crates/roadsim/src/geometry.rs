@@ -128,7 +128,11 @@ pub fn reflection_point(source: Position, microphone: Position) -> Position {
     let zs = source.z.max(0.0);
     let zm = microphone.z.max(0.0);
     let denom = zs + zm;
-    let t = if denom <= f64::EPSILON { 0.5 } else { zs / denom };
+    let t = if denom <= f64::EPSILON {
+        0.5
+    } else {
+        zs / denom
+    };
     Position::new(
         source.x + (microphone.x - source.x) * t,
         source.y + (microphone.y - source.y) * t,

@@ -156,7 +156,9 @@ impl SceneBuilder {
     /// the source trajectory lies below the road surface.
     pub fn build(self) -> Result<Scene, RoadSimError> {
         if self.sample_rate <= 0.0 {
-            return Err(RoadSimError::invalid_scene("sampling rate must be positive"));
+            return Err(RoadSimError::invalid_scene(
+                "sampling rate must be positive",
+            ));
         }
         let source = self
             .source
@@ -175,7 +177,7 @@ impl SceneBuilder {
                 )));
             }
         }
-        if self.filter_taps == 0 || self.filter_taps % 2 == 0 {
+        if self.filter_taps == 0 || self.filter_taps.is_multiple_of(2) {
             return Err(RoadSimError::invalid_scene(
                 "filter_taps must be odd and non-zero",
             ));
@@ -207,7 +209,11 @@ mod tests {
                 vec![0.1; 64],
                 Trajectory::fixed(Position::new(10.0, 0.0, 1.0)),
             ))
-            .array(MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0)))
+            .array(MicrophoneArray::linear(
+                2,
+                0.2,
+                Position::new(0.0, 0.0, 1.0),
+            ))
     }
 
     #[test]
@@ -230,9 +236,8 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         assert!(valid_builder().filter_taps(64).build().is_err());
-        let below_road = valid_builder().array(
-            MicrophoneArray::custom(vec![Position::new(0.0, 0.0, -0.5)]).unwrap(),
-        );
+        let below_road = valid_builder()
+            .array(MicrophoneArray::custom(vec![Position::new(0.0, 0.0, -0.5)]).unwrap());
         assert!(below_road.build().is_err());
         assert!(SceneBuilder::new(0.0).build().is_err());
         let empty_signal = SceneBuilder::new(16_000.0)
@@ -240,7 +245,11 @@ mod tests {
                 vec![],
                 Trajectory::fixed(Position::new(1.0, 0.0, 1.0)),
             ))
-            .array(MicrophoneArray::linear(1, 0.1, Position::new(0.0, 0.0, 1.0)));
+            .array(MicrophoneArray::linear(
+                1,
+                0.1,
+                Position::new(0.0, 0.0, 1.0),
+            ));
         assert!(empty_signal.build().is_err());
     }
 

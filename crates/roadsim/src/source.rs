@@ -77,8 +77,8 @@ mod tests {
 
     #[test]
     fn sample_applies_gain_and_pads_with_silence() {
-        let s = SoundSource::new(vec![1.0, -0.5], Trajectory::fixed(Position::ORIGIN))
-            .with_gain(2.0);
+        let s =
+            SoundSource::new(vec![1.0, -0.5], Trajectory::fixed(Position::ORIGIN)).with_gain(2.0);
         assert_eq!(s.sample(0), 2.0);
         assert_eq!(s.sample(1), -1.0);
         assert_eq!(s.sample(5), 0.0);

@@ -144,7 +144,9 @@ impl Trajectory {
                     }
                     remaining -= seg;
                 }
-                *points.last().expect("validated to have at least two points")
+                *points
+                    .last()
+                    .expect("validated to have at least two points")
             }
             Trajectory::Bezier {
                 p0,

@@ -9,12 +9,12 @@
 //! * [`SpectralTemplateDetector`] — multi-class nearest-template classification on
 //!   time-averaged log-mel spectra built from clean synthesised prototypes.
 
+use crate::dataset::Dataset;
 use crate::error::SedError;
 use crate::labels::EventClass;
 use crate::metrics::ClassificationReport;
 use crate::noise::UrbanNoiseSynthesizer;
 use crate::sirens::synthesize_event;
-use crate::dataset::Dataset;
 use ispot_features::mel::MelFilterbank;
 use ispot_features::spectrogram::{SpectrogramConfig, SpectrogramExtractor, SpectrogramScale};
 
@@ -170,8 +170,7 @@ impl SpectralTemplateDetector {
             } else {
                 synthesize_event(class, sample_rate, 2.0)
             };
-            let template =
-                Self::mean_log_mel(&spectrogram, &filterbank, &prototype)?;
+            let template = Self::mean_log_mel(&spectrogram, &filterbank, &prototype)?;
             templates.push(template);
         }
         Ok(SpectralTemplateDetector {

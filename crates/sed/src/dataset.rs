@@ -13,12 +13,12 @@ use crate::labels::EventClass;
 use crate::noise::UrbanNoiseSynthesizer;
 use crate::sirens::synthesize_event;
 use ispot_dsp::level::mix_at_snr;
+use ispot_roadsim::engine::Simulator;
 use ispot_roadsim::geometry::Position;
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_roadsim::scene::SceneBuilder;
 use ispot_roadsim::source::SoundSource;
 use ispot_roadsim::trajectory::Trajectory;
-use ispot_roadsim::engine::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -344,7 +344,10 @@ mod tests {
         let d = Dataset::generate(&cfg, 5).unwrap();
         let hist = d.class_histogram();
         let background = hist[EventClass::Background.index()];
-        assert!(background > 15 && background < 45, "{background} backgrounds");
+        assert!(
+            background > 15 && background < 45,
+            "{background} backgrounds"
+        );
     }
 
     #[test]

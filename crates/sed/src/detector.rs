@@ -91,7 +91,7 @@ impl DetectorConfig {
                 "must be at least 4",
             ));
         }
-        if self.num_mels % 4 != 0 || self.num_frames % 4 != 0 {
+        if !self.num_mels.is_multiple_of(4) || !self.num_frames.is_multiple_of(4) {
             return Err(SedError::invalid_config(
                 "num_mels/num_frames",
                 "must be divisible by 4 (two 2x2 pooling stages)",
@@ -107,7 +107,10 @@ impl DetectorConfig {
             ));
         }
         if self.learning_rate <= 0.0 {
-            return Err(SedError::invalid_config("learning_rate", "must be positive"));
+            return Err(SedError::invalid_config(
+                "learning_rate",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -182,7 +185,11 @@ impl CnnDetector {
         model.push(MaxPool2d::new((2, 2))?);
         model.push(Flatten::new());
         let flat = config.conv2_channels * (config.num_mels / 4) * (config.num_frames / 4);
-        model.push(Dense::new(flat, config.hidden_units, config.seed.wrapping_add(2))?);
+        model.push(Dense::new(
+            flat,
+            config.hidden_units,
+            config.seed.wrapping_add(2),
+        )?);
         model.push(Activation::relu());
         model.push(Dense::new(
             config.hidden_units,

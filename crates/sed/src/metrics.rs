@@ -43,7 +43,11 @@ impl ClassificationReport {
         if truth.len() != predictions.len() {
             return Err(SedError::invalid_config(
                 "predictions",
-                format!("expected {} predictions, got {}", truth.len(), predictions.len()),
+                format!(
+                    "expected {} predictions, got {}",
+                    truth.len(),
+                    predictions.len()
+                ),
             ));
         }
         let mut confusion = [[0usize; EventClass::COUNT]; EventClass::COUNT];

@@ -188,7 +188,11 @@ impl CarHornSynthesizer {
                 sample += (2.0 * PI * self.f2_hz * hf * t).sin() / hf;
             }
             // Envelope.
-            let env_in = if i < ramp { i as f64 / ramp as f64 } else { 1.0 };
+            let env_in = if i < ramp {
+                i as f64 / ramp as f64
+            } else {
+                1.0
+            };
             let env_out = if n - i <= ramp {
                 (n - i) as f64 / ramp as f64
             } else {
@@ -206,7 +210,9 @@ impl CarHornSynthesizer {
 /// background is added separately by the dataset mixer.
 pub fn synthesize_event(class: EventClass, fs: f64, duration_s: f64) -> Vec<f64> {
     match class {
-        EventClass::HiLowSiren => SirenSynthesizer::new(SirenKind::HiLow, fs).synthesize(duration_s),
+        EventClass::HiLowSiren => {
+            SirenSynthesizer::new(SirenKind::HiLow, fs).synthesize(duration_s)
+        }
         EventClass::WailSiren => SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(duration_s),
         EventClass::YelpSiren => SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(duration_s),
         EventClass::CarHorn => CarHornSynthesizer::new(fs).synthesize(duration_s),

@@ -81,13 +81,13 @@ impl Cross3dConfig {
     }
 
     fn validate(&self) -> Result<(), SslError> {
-        if self.num_maps < 4 || self.num_maps % 4 != 0 {
+        if self.num_maps < 4 || !self.num_maps.is_multiple_of(4) {
             return Err(SslError::invalid_config(
                 "num_maps",
                 "must be at least 4 and divisible by 4",
             ));
         }
-        if self.map_resolution < 4 || self.map_resolution % 4 != 0 {
+        if self.map_resolution < 4 || !self.map_resolution.is_multiple_of(4) {
             return Err(SslError::invalid_config(
                 "map_resolution",
                 "must be at least 4 and divisible by 4",
@@ -126,7 +126,14 @@ impl Cross3dNet {
     pub fn new(config: Cross3dConfig) -> Result<Self, SslError> {
         config.validate()?;
         let mut model = Sequential::new();
-        model.push(Conv2d::new(1, config.conv1_channels, (3, 3), 1, 1, config.seed)?);
+        model.push(Conv2d::new(
+            1,
+            config.conv1_channels,
+            (3, 3),
+            1,
+            1,
+            config.seed,
+        )?);
         model.push(Activation::relu());
         model.push(MaxPool2d::new((2, 2))?);
         model.push(Conv2d::new(
@@ -141,7 +148,11 @@ impl Cross3dNet {
         model.push(MaxPool2d::new((2, 2))?);
         model.push(Flatten::new());
         let flat = config.conv2_channels * (config.num_maps / 4) * (config.map_resolution / 4);
-        model.push(Dense::new(flat, config.hidden_units, config.seed.wrapping_add(2))?);
+        model.push(Dense::new(
+            flat,
+            config.hidden_units,
+            config.seed.wrapping_add(2),
+        )?);
         model.push(Activation::relu());
         model.push(Dense::new(
             config.hidden_units,
@@ -234,7 +245,11 @@ impl Cross3dNet {
     /// # Errors
     ///
     /// Returns an error if the inputs are empty or inconsistent.
-    pub fn train(&mut self, patches: &[Vec<f64>], azimuths_deg: &[f64]) -> Result<Vec<f64>, SslError> {
+    pub fn train(
+        &mut self,
+        patches: &[Vec<f64>],
+        azimuths_deg: &[f64],
+    ) -> Result<Vec<f64>, SslError> {
         if patches.is_empty() || patches.len() != azimuths_deg.len() {
             return Err(SslError::invalid_config(
                 "patches",
@@ -261,7 +276,9 @@ impl Cross3dNet {
                 let batch: Vec<Vec<f64>> = chunk.iter().map(|&i| patches[i].clone()).collect();
                 let targets: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
                 let x = self.batch_tensor(&batch)?;
-                total += self.model.train_batch(&x, &targets, &loss_fn, &mut optimizer)?;
+                total += self
+                    .model
+                    .train_batch(&x, &targets, &loss_fn, &mut optimizer)?;
                 batches += 1;
             }
             epoch_losses.push(total / batches.max(1) as f64);
@@ -290,7 +307,12 @@ mod tests {
     /// Builds a synthetic "SRP-map sequence" patch with a Gaussian power bump at the
     /// given azimuth plus deterministic pseudo-noise — a cheap stand-in for simulated
     /// acoustic data that exercises exactly the same network path.
-    fn synthetic_patch(cfg: &Cross3dConfig, azimuth_deg: f64, noise_level: f64, seed: u64) -> Vec<f64> {
+    fn synthetic_patch(
+        cfg: &Cross3dConfig,
+        azimuth_deg: f64,
+        noise_level: f64,
+        seed: u64,
+    ) -> Vec<f64> {
         let t = cfg.num_maps;
         let g = cfg.map_resolution;
         let mut state = seed.max(1);

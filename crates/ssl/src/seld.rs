@@ -242,9 +242,9 @@ mod tests {
         let p = vec![
             SeldAnnotation::background(0),
             SeldAnnotation::event(1, EventClass::YelpSiren, 40.0), // wrong class
-            SeldAnnotation::background(2),                          // miss
-            SeldAnnotation::event(3, EventClass::CarHorn, -85.0),   // hit
-            SeldAnnotation::event(4, EventClass::CarHorn, 0.0),     // false alarm
+            SeldAnnotation::background(2),                         // miss
+            SeldAnnotation::event(3, EventClass::CarHorn, -85.0),  // hit
+            SeldAnnotation::event(4, EventClass::CarHorn, 0.0),    // false alarm
         ];
         let scores = score_seld(&r, &p, 20.0);
         assert_eq!(scores.true_positives, 1);

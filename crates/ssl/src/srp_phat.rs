@@ -66,7 +66,10 @@ impl SrpConfig {
             ));
         }
         if self.speed_of_sound <= 0.0 {
-            return Err(SslError::invalid_config("speed_of_sound", "must be positive"));
+            return Err(SslError::invalid_config(
+                "speed_of_sound",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -200,7 +203,11 @@ impl SrpPhat {
     /// # Errors
     ///
     /// Returns an error if the configuration or array is invalid.
-    pub fn new(config: SrpConfig, array: &MicrophoneArray, sample_rate: f64) -> Result<Self, SslError> {
+    pub fn new(
+        config: SrpConfig,
+        array: &MicrophoneArray,
+        sample_rate: f64,
+    ) -> Result<Self, SslError> {
         config.validate(sample_rate)?;
         let grid = SteeringGrid::azimuth_only(
             array,
@@ -342,12 +349,10 @@ pub(crate) mod test_support {
     ) -> (Vec<Vec<f64>>, MicrophoneArray) {
         let az = azimuth_deg.to_radians();
         let source_pos = Position::new(distance * az.cos(), distance * az.sin(), 1.0);
-        let signal: Vec<f64> = ispot_dsp::generator::NoiseSource::new(
-            ispot_dsp::generator::NoiseKind::White,
-            42,
-        )
-        .take(num_samples)
-        .collect();
+        let signal: Vec<f64> =
+            ispot_dsp::generator::NoiseSource::new(ispot_dsp::generator::NoiseKind::White, 42)
+                .take(num_samples)
+                .collect();
         let array = MicrophoneArray::circular(num_mics, 0.2, Position::new(0.0, 0.0, 1.0));
         let scene = SceneBuilder::new(fs)
             .source(SoundSource::new(signal, Trajectory::fixed(source_pos)))
@@ -376,7 +381,11 @@ mod tests {
             let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
             let est = srp.localize(&frame).unwrap();
             let err = angular_error_deg(est.azimuth_deg(), truth);
-            assert!(err < 8.0, "azimuth {truth}: estimated {} (err {err})", est.azimuth_deg());
+            assert!(
+                err < 8.0,
+                "azimuth {truth}: estimated {} (err {err})",
+                est.azimuth_deg()
+            );
         }
     }
 

@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Lower the network to the operator IR and explore the design space on the
     //    RasPi-4B-class platform model.
-    let graph = OpGraph::from_sequential(
-        "sed-cnn",
-        detector.model_mut(),
-        &[1, 16, 16],
-    );
+    let graph = OpGraph::from_sequential("sed-cnn", detector.model_mut(), &[1, 16, 16]);
     let platform = EdgePlatform::raspberry_pi4();
     println!(
         "baseline: {:.2} ms/frame, {:.0} kB weights (platform model `{}`)",
@@ -73,10 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * q.size_reduction()
         );
     }
-    println!("model sparsity after passes: {:.2}", sparsity(detector.model_mut()));
-    let compressed_accuracy = detector.evaluate(&test)?.accuracy();
     println!(
-        "accuracy: baseline {baseline_accuracy:.3} -> compressed {compressed_accuracy:.3}"
+        "model sparsity after passes: {:.2}",
+        sparsity(detector.model_mut())
     );
+    let compressed_accuracy = detector.evaluate(&test)?.accuracy();
+    println!("accuracy: baseline {baseline_accuracy:.3} -> compressed {compressed_accuracy:.3}");
     Ok(())
 }

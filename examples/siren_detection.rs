@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating {} samples...", config.num_samples);
     let dataset = Dataset::generate(&config, 42)?;
     let (train, test) = dataset.split(0.75)?;
-    println!("train: {} samples, test: {} samples", train.len(), test.len());
+    println!(
+        "train: {} samples, test: {} samples",
+        train.len(),
+        test.len()
+    );
 
     // Train the low-complexity CNN detector.
     let mut cnn = CnnDetector::new(DetectorConfig::tiny(), fs)?;

@@ -17,7 +17,10 @@ use ispot::ssl::srp_phat::{SrpConfig, SrpPhat};
 
 const FS: f64 = 16_000.0;
 
-fn render_static_siren(azimuth_deg: f64, mics: usize) -> (ispot::roadsim::engine::MultichannelAudio, MicrophoneArray) {
+fn render_static_siren(
+    azimuth_deg: f64,
+    mics: usize,
+) -> (ispot::roadsim::engine::MultichannelAudio, MicrophoneArray) {
     let siren = SirenSynthesizer::new(SirenKind::Wail, FS).synthesize(1.0);
     let az = azimuth_deg.to_radians();
     let array = MicrophoneArray::circular(mics, 0.2, Position::new(0.0, 0.0, 1.0));
@@ -43,11 +46,8 @@ fn simulated_siren_is_detected_and_localized_end_to_end() {
     let events = pipeline.process_recording(&audio).unwrap();
     let alerts: Vec<_> = events.iter().filter(|e| e.is_alert()).collect();
     assert!(!alerts.is_empty(), "the siren was not detected");
-    let mean_azimuth: f64 = alerts
-        .iter()
-        .filter_map(|e| e.azimuth_deg)
-        .sum::<f64>()
-        / alerts.len() as f64;
+    let mean_azimuth: f64 =
+        alerts.iter().filter_map(|e| e.azimuth_deg).sum::<f64>() / alerts.len() as f64;
     assert!(
         angular_error_deg(mean_azimuth, truth) < 20.0,
         "mean azimuth {mean_azimuth} vs truth {truth}"

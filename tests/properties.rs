@@ -100,7 +100,7 @@ proptest! {
         ][kind_idx];
         let w = Window::new(kind, len);
         prop_assert_eq!(w.len(), len);
-        prop_assert!(w.coefficients().iter().all(|&c| c <= 1.0 + 1e-12 && c >= -1e-9));
+        prop_assert!(w.coefficients().iter().all(|&c| (-1e-9..=1.0 + 1e-12).contains(&c)));
         prop_assert!(w.coherent_gain() <= 1.0 + 1e-12);
     }
 
@@ -141,6 +141,64 @@ proptest! {
         m.standardize();
         for mean in m.column_means() {
             prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+}
+
+// Chunk-size invariance of the streaming pipeline: however a recording is cut into
+// push_chunk calls, the emitted events must be identical (frame index, class,
+// confidence — byte-identical analysis) to batch `process_recording`. The pipeline
+// runs a full detector per frame, so the case count is kept small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn streaming_any_chunking_matches_batch_events(
+        cuts in prop::collection::vec(1usize..6144, 2..24),
+        seed in 0usize..1000,
+    ) {
+        use ispot::core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+        use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
+
+        let fs = 16_000.0;
+        // Half a second of siren bracketed by quiet noise; the seed varies the
+        // phase so different cases see different signals.
+        let mut signal: Vec<f64> = (0..2000)
+            .map(|i| 0.01 * ((i + seed) as f64 * 0.37).sin())
+            .collect();
+        signal.extend(SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(0.5));
+        signal.extend((0..1000).map(|i| 0.01 * ((i * 7 + seed) as f64 * 0.11).sin()));
+        let audio = ispot::roadsim::engine::MultichannelAudio::new(vec![signal.clone()], fs);
+
+        let config = PipelineConfig::default();
+        let mut batch = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let batch_events = batch.process_recording(&audio).unwrap();
+
+        let mut streaming = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let mut events = Vec::new();
+        let mut frames = 0usize;
+        let mut pos = 0usize;
+        let mut cut_iter = cuts.iter().cycle();
+        while pos < signal.len() {
+            let take = (*cut_iter.next().unwrap()).min(signal.len() - pos);
+            frames += streaming
+                .push_chunk_into(&[&signal[pos..pos + take]], &mut events)
+                .unwrap();
+            pos += take;
+        }
+
+        let expected_frames = if signal.len() < config.frame_len {
+            0
+        } else {
+            (signal.len() - config.frame_len) / config.hop + 1
+        };
+        prop_assert_eq!(frames, expected_frames);
+        prop_assert_eq!(events.len(), batch_events.len());
+        for (a, b) in batch_events.iter().zip(&events) {
+            prop_assert_eq!(a.frame_index, b.frame_index);
+            prop_assert_eq!(a.class, b.class);
+            prop_assert!((a.confidence - b.confidence).abs() == 0.0, "confidence drift");
+            prop_assert!((a.time_s - b.time_s).abs() == 0.0, "timestamp drift");
         }
     }
 }

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface used by this workspace).
+//!
+//! Provides [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the subset of
+//! [`Rng`] the codebase calls: `random::<f64>()`, `random::<bool>()`, and
+//! `random_range` over half-open and inclusive `f64` / integer ranges. The generator
+//! is SplitMix64 — statistically fine for simulation and dataset seeding, *not*
+//! cryptographic. Deterministic for a given seed, which is all the experiment
+//! protocol requires. Swap for crates.io `rand` when the registry is reachable; the
+//! call sites use only the stable 0.9 names.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A seedable pseudo-random generator (SplitMix64 core).
+    ///
+    /// The real `rand::rngs::StdRng` is ChaCha-based; this stand-in trades quality
+    /// guarantees for zero dependencies. Sequences are deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero state pathologies by pre-mixing the seed once.
+        let mut rng = StdRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's "standard" distribution.
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics if the range is empty.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "empty f64 range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        a + u * (b - a)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+                // irrelevant for simulation workloads.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty integer range");
+                if a == <$t>::MIN && b == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (b - a) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                a + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u32, u64, i32, i64);
+
+/// The subset of the `rand::Rng` trait used by this workspace.
+pub trait Rng {
+    /// Draws one value from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T;
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.random_range(-3.0..15.0);
+            assert!((-3.0..15.0).contains(&y));
+            let z = rng.random_range(-30.0..=0.0);
+            assert!((-30.0..=0.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.random_range(3usize..=4);
+            assert!(v == 3 || v == 4);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros from the vendored
+//! `serde_derive` so that `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile without network access. No
+//! serialization machinery is provided — nothing in the workspace calls a serializer
+//! yet. Replace with the real crates.io `serde` when the registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};

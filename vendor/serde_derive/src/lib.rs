@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! minimal substitute: the `Serialize` / `Deserialize` derive macros are accepted
+//! (including `#[serde(...)]` attributes) but expand to nothing. No trait impls are
+//! generated — the codebase only uses the derives as annotations and never calls a
+//! serializer. Swap this crate for the real `serde`/`serde_derive` once the registry
+//! is reachable; no source changes will be needed.
+
+use proc_macro::TokenStream;
+
+/// Derive macro stand-in for `serde::Serialize`. Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro stand-in for `serde::Deserialize`. Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
