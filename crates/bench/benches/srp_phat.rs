@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ispot_bench::{simulate_static_source, SAMPLE_RATE};
 use ispot_ssl::srp_fast::SrpPhatFast;
-use ispot_ssl::srp_phat::{SrpConfig, SrpPhat};
+use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpPhat};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -22,6 +22,27 @@ fn bench_srp(c: &mut Criterion) {
     });
     group.bench_function("low_complexity_lag_domain", |b| {
         b.iter(|| black_box(fast.compute_map(black_box(&frame)).unwrap()))
+    });
+    // The real hot path: scratch and output map reused across frames, precomputed
+    // steering taps, zero per-frame heap allocation.
+    group.bench_function("low_complexity_scratch_reuse", |b| {
+        let mut scratch = fast.make_scratch();
+        let mut map = SrpMap::default();
+        b.iter(|| {
+            fast.compute_map_into(black_box(&frame), &mut scratch, &mut map)
+                .unwrap();
+            black_box(map.power()[0])
+        })
+    });
+    group.bench_function("conventional_scratch_reuse", |b| {
+        let mut scratch = conventional.make_scratch();
+        let mut map = SrpMap::default();
+        b.iter(|| {
+            conventional
+                .compute_map_into(black_box(&frame), &mut scratch, &mut map)
+                .unwrap();
+            black_box(map.power()[0])
+        })
     });
     group.finish();
 }

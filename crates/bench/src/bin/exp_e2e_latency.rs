@@ -91,8 +91,20 @@ fn main() {
     let fast = SrpPhatFast::new(config, &array, SAMPLE_RATE).expect("fast srp");
     let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
     let profiler = HostProfiler::new(2, 10);
-    let conv = profiler.measure("conventional", || conventional.compute_map(&frame).unwrap());
-    let fst = profiler.measure("fast", || fast.compute_map(&frame).unwrap());
+    // Both sides reuse scratch so the ratio reflects the algorithms, not allocation.
+    let mut conv_scratch = conventional.make_scratch();
+    let mut conv_map = ispot_ssl::srp_phat::SrpMap::default();
+    let conv = profiler.measure("conventional", || {
+        conventional
+            .compute_map_into(&frame, &mut conv_scratch, &mut conv_map)
+            .unwrap()
+    });
+    let mut scratch = fast.make_scratch();
+    let mut map = ispot_ssl::srp_phat::SrpMap::default();
+    let fst = profiler.measure("fast", || {
+        fast.compute_map_into(&frame, &mut scratch, &mut map)
+            .unwrap()
+    });
     print_row(
         "baseline front-end (ms/frame)",
         format!("{:.3}", conv.mean_ms),

@@ -23,15 +23,27 @@ fn main() {
     let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
 
     let profiler = HostProfiler::new(2, 10);
+    let mut conv_scratch = conventional.make_scratch();
+    let mut conv_map = ispot_ssl::srp_phat::SrpMap::default();
     let conv_time = profiler.measure("conventional", || {
-        conventional.compute_map(&frame).expect("map")
+        conventional
+            .compute_map_into(&frame, &mut conv_scratch, &mut conv_map)
+            .expect("map")
     });
-    let fast_time = profiler.measure("fast", || fast.compute_map(&frame).expect("map"));
+    let mut fast_scratch = fast.make_scratch();
+    let mut fast_map = ispot_ssl::srp_phat::SrpMap::default();
+    let fast_time = profiler.measure("fast", || {
+        fast.compute_map_into(&frame, &mut fast_scratch, &mut fast_map)
+            .expect("map")
+    });
 
     let map_a = conventional.compute_map(&frame).expect("map");
     let map_b = fast.compute_map(&frame).expect("map");
 
-    print_row("microphones / pairs", format!("{} / {}", array.len(), 15));
+    print_row(
+        "microphones / pairs",
+        format!("{} / {}", array.len(), fast.grid().num_pairs()),
+    );
     print_row("grid directions", config.num_directions);
     print_row("frame length (samples)", config.frame_len);
     println!();
@@ -62,8 +74,10 @@ fn main() {
         "map correlation (equivalence)",
         format!("{:.4}", map_a.correlation(&map_b)),
     );
+    let az_a = map_a.peak().expect("non-empty map").1;
+    let az_b = map_b.peak().expect("non-empty map").1;
     print_row(
         "peak azimuth conventional / fast (deg)",
-        format!("{:.1} / {:.1}", map_a.peak().1, map_b.peak().1),
+        format!("{az_a:.1} / {az_b:.1}"),
     );
 }

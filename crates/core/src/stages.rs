@@ -20,7 +20,7 @@ use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_sed::baseline::SpectralTemplateDetector;
 use ispot_sed::EventClass;
 use ispot_ssl::srp_fast::SrpPhatFast;
-use ispot_ssl::srp_phat::SrpConfig;
+use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpScratch};
 use ispot_ssl::tracking::AzimuthKalmanTracker;
 
 /// A named unit of per-frame work inside the perception pipeline.
@@ -122,9 +122,20 @@ impl Stage for DetectStage {
 
 /// Localization stage: low-complexity SRP-PHAT over the multichannel frame.
 /// Absent (None) when the array geometry is unknown or has fewer than two mics.
+///
+/// The stage owns the localizer's [`SrpScratch`] and output [`SrpMap`], so the
+/// per-frame localization path performs no heap allocation.
 #[derive(Debug)]
 pub struct LocalizeStage {
-    localizer: Option<SrpPhatFast>,
+    localizer: Option<ActiveLocalizer>,
+}
+
+/// A live localizer plus the scratch memory its frame path reuses.
+#[derive(Debug)]
+struct ActiveLocalizer {
+    srp: SrpPhatFast,
+    scratch: SrpScratch,
+    map: SrpMap,
 }
 
 impl LocalizeStage {
@@ -146,8 +157,15 @@ impl LocalizeStage {
         if array.len() < 2 {
             return Ok(Self::disabled());
         }
+        let srp = SrpPhatFast::new(config, array, sample_rate)?;
+        let scratch = srp.make_scratch();
+        // Pre-size the output map too, so the very first frame allocates nothing.
+        let map = SrpMap::new(
+            srp.grid().azimuths_deg().to_vec(),
+            vec![0.0; srp.grid().num_directions()],
+        );
         Ok(LocalizeStage {
-            localizer: Some(SrpPhatFast::new(config, array, sample_rate)?),
+            localizer: Some(ActiveLocalizer { srp, scratch, map }),
         })
     }
 
@@ -157,19 +175,25 @@ impl LocalizeStage {
     }
 
     /// Localizes the frame, returning the azimuth estimate in degrees (None when
-    /// disabled).
+    /// disabled). Reuses the stage-owned scratch and map: no per-frame allocation.
     pub fn localize(
-        &self,
+        &mut self,
         frame: &[&[f64]],
         latency: &mut LatencyReport,
     ) -> Result<Option<f64>, PipelineError> {
-        match &self.localizer {
+        match &mut self.localizer {
             None => Ok(None),
-            Some(localizer) => {
-                let estimate = latency.time(self.name(), || localizer.localize(frame))?;
-                Ok(Some(estimate.azimuth_deg()))
+            Some(ActiveLocalizer { srp, scratch, map }) => {
+                latency.time("localization", || srp.compute_map_into(frame, scratch, map))?;
+                Ok(map.peak().map(|(_, azimuth_deg)| azimuth_deg))
             }
         }
+    }
+
+    /// The SRP map produced by the most recent [`LocalizeStage::localize`] call
+    /// (empty before the first frame; None when the stage is disabled).
+    pub fn last_map(&self) -> Option<&SrpMap> {
+        self.localizer.as_ref().map(|a| &a.map)
     }
 }
 
@@ -290,13 +314,13 @@ impl StageGraph {
 
     /// Runs the graph on one multichannel frame.
     ///
-    /// `frame` must hold exactly `frame_len` samples per channel (validated by the
-    /// caller). The steady-state path performs no heap allocation: the mixdown
-    /// reuses the preallocated scratch and all stages borrow it.
+    /// The steady-state path performs no heap allocation: the mixdown reuses the
+    /// preallocated scratch and all stages borrow it.
     ///
     /// # Errors
     ///
-    /// Returns an error if the detection or localization stage fails.
+    /// Returns an error if `frame` is empty or any channel does not hold exactly
+    /// `frame_len` samples, or if the detection or localization stage fails.
     pub fn run_frame(
         &mut self,
         frame: &[&[f64]],
@@ -312,6 +336,26 @@ impl StageGraph {
             track,
             mono,
         } = self;
+        // An empty frame would turn the 1/N scale into infinity (NaN mixdown) and a
+        // short channel would panic on indexing below; reject both up front.
+        if frame.is_empty() {
+            return Err(PipelineError::invalid_config(
+                "frame",
+                "must contain at least one channel",
+            ));
+        }
+        for ch in frame {
+            if ch.len() != mono.len() {
+                return Err(PipelineError::invalid_config(
+                    "frame",
+                    format!(
+                        "every channel must have {} samples, got {}",
+                        mono.len(),
+                        ch.len()
+                    ),
+                ));
+            }
+        }
         let scale = 1.0 / frame.len() as f64;
         for (i, slot) in mono.iter_mut().enumerate() {
             *slot = frame.iter().map(|c| c[i]).sum::<f64>() * scale;
@@ -416,6 +460,51 @@ mod tests {
             }
         }
         assert!(gated > 10, "only {gated} frames gated");
+    }
+
+    #[test]
+    fn empty_and_short_frames_are_rejected() {
+        // Regression: an empty channel slice used to mix down to NaN (0.0 × ∞) and
+        // a short channel used to panic on out-of-bounds indexing.
+        let mut g = graph(512);
+        let mut latency = LatencyReport::new();
+        let params = FrameParams {
+            gate_on_trigger: false,
+            localization_enabled: false,
+            confidence_threshold: 0.2,
+        };
+        let empty: [&[f64]; 0] = [];
+        assert!(matches!(
+            g.run_frame(&empty, params, &mut latency),
+            Err(PipelineError::InvalidConfig { .. })
+        ));
+        let short = vec![0.0; 100];
+        let ok = vec![0.0; 512];
+        assert!(matches!(
+            g.run_frame(&[&ok, &short], params, &mut latency),
+            Err(PipelineError::InvalidConfig { .. })
+        ));
+        // A well-formed frame still runs after the rejected ones.
+        assert!(g.run_frame(&[&ok], params, &mut latency).is_ok());
+    }
+
+    #[test]
+    fn localize_stage_exposes_its_map_and_reuses_it() {
+        use ispot_roadsim::geometry::Position;
+        let fs = 16_000.0;
+        let array = MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0));
+        let mut stage = LocalizeStage::for_array(SrpConfig::default(), &array, fs).unwrap();
+        assert!(stage.is_available());
+        assert!(stage.last_map().is_some());
+        let mut latency = LatencyReport::new();
+        let ch: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.11).sin()).collect();
+        let frame: Vec<&[f64]> = vec![&ch; 4];
+        let az = stage.localize(&frame, &mut latency).unwrap();
+        assert!(az.is_some());
+        assert_eq!(stage.last_map().unwrap().len(), 181);
+        let mut disabled = LocalizeStage::disabled();
+        assert!(disabled.localize(&frame, &mut latency).unwrap().is_none());
+        assert!(disabled.last_map().is_none());
     }
 
     #[test]

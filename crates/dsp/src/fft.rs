@@ -154,8 +154,29 @@ impl Fft {
     /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
     pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex>, DspError> {
         self.check_len(input.len())?;
-        let buf: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
-        self.forward(&buf)
+        let mut buf = vec![Complex::ZERO; self.size];
+        self.forward_real_into(input, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Computes the forward DFT of a real-valued signal into a caller-provided
+    /// buffer, avoiding the output allocation of [`Fft::forward_real`].
+    ///
+    /// For power-of-two sizes this performs no heap allocation at all; the Bluestein
+    /// fallback for other sizes still allocates internal convolution workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len()` or `out.len()` differs
+    /// from `self.len()`.
+    pub fn forward_real_into(&self, input: &[f64], out: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(input.len())?;
+        self.check_len(out.len())?;
+        for (slot, &x) in out.iter_mut().zip(input) {
+            *slot = Complex::new(x, 0.0);
+        }
+        self.transform_in_place(out, false);
+        Ok(())
     }
 
     /// Computes the inverse DFT and returns only the real part.
@@ -167,7 +188,37 @@ impl Fft {
     ///
     /// Returns [`DspError::LengthMismatch`] if `input.len() != self.len()`.
     pub fn inverse_real(&self, input: &[Complex]) -> Result<Vec<f64>, DspError> {
-        Ok(self.inverse(input)?.into_iter().map(|c| c.re).collect())
+        let mut spectrum = input.to_vec();
+        let mut out = vec![0.0; self.size];
+        self.inverse_real_into(&mut spectrum, &mut out)?;
+        Ok(out)
+    }
+
+    /// Computes the inverse DFT of `spectrum` **in place** and writes the real part
+    /// (with the `1/N` normalization) into `out`.
+    ///
+    /// `spectrum` is consumed as the transform workspace and holds the unnormalized
+    /// inverse transform afterwards; callers that need it again must rebuild it. For
+    /// power-of-two sizes this performs no heap allocation; the Bluestein fallback
+    /// for other sizes still allocates internal convolution workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `spectrum.len()` or `out.len()`
+    /// differs from `self.len()`.
+    pub fn inverse_real_into(
+        &self,
+        spectrum: &mut [Complex],
+        out: &mut [f64],
+    ) -> Result<(), DspError> {
+        self.check_len(spectrum.len())?;
+        self.check_len(out.len())?;
+        self.transform_in_place(spectrum, true);
+        let scale = 1.0 / self.size as f64;
+        for (o, c) in out.iter_mut().zip(spectrum.iter()) {
+            *o = c.re * scale;
+        }
+        Ok(())
     }
 
     fn check_len(&self, len: usize) -> Result<(), DspError> {
@@ -400,5 +451,45 @@ mod tests {
     fn bin_frequency_maps_negative_half() {
         assert_eq!(bin_frequency(4, 8, 800.0), 400.0);
         assert_eq!(bin_frequency(5, 8, 800.0), -300.0);
+    }
+
+    #[test]
+    fn forward_real_into_matches_allocating_variant() {
+        for n in [16usize, 12] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let fft = Fft::new(n);
+            let expected = fft.forward_real(&x).unwrap();
+            let mut out = vec![Complex::ZERO; n];
+            fft.forward_real_into(&x, &mut out).unwrap();
+            assert_close(&out, &expected, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_real_into_round_trips_through_scratch() {
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let fft = Fft::new(n);
+        let mut spectrum = vec![Complex::ZERO; n];
+        let mut back = vec![0.0; n];
+        fft.forward_real_into(&x, &mut spectrum).unwrap();
+        fft.inverse_real_into(&mut spectrum, &mut back).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reject_wrong_lengths() {
+        let fft = Fft::new(8);
+        let x = [0.0; 8];
+        let mut short = vec![Complex::ZERO; 4];
+        assert!(fft.forward_real_into(&x, &mut short).is_err());
+        assert!(fft
+            .forward_real_into(&x[..4], &mut [Complex::ZERO; 8])
+            .is_err());
+        let mut spec = vec![Complex::ZERO; 8];
+        assert!(fft.inverse_real_into(&mut spec, &mut [0.0; 4]).is_err());
+        assert!(fft.inverse_real_into(&mut short, &mut [0.0; 8]).is_err());
     }
 }

@@ -1,4 +1,4 @@
-//! The simulation engine: renders a [`Scene`](crate::scene::Scene) into multichannel
+//! The simulation engine: renders a [`Scene`] into multichannel
 //! audio.
 //!
 //! The engine reproduces the pyroadacoustics block scheme (Fig. 2 of the paper): per

@@ -1,6 +1,6 @@
 //! Cross3D-style CNN back-end for robust localization.
 //!
-//! Cross3D (Diaz-Guerra et al., cited as [38] in the paper) replaces the explicit
+//! Cross3D (Diaz-Guerra et al., cited as \[38\] in the paper) replaces the explicit
 //! argmax over the SRP-PHAT map — which is brittle under noise and reverberation — with
 //! a convolutional network that consumes a *sequence* of SRP maps (a time × azimuth
 //! power image) and predicts the source direction. Sec. IV-B of the I-SPOT paper uses

@@ -11,9 +11,12 @@
 //!   unfriendly beamforming computation" the paper refers to;
 //! * the **low-complexity SRP-PHAT** ([`srp_fast::SrpPhatFast`]) that samples each
 //!   cross-correlation at integer lags (Nyquist-rate sampling of the bandlimited GCC,
-//!   after Dietzen et al.) and interpolates — mathematically equivalent up to
+//!   after Dietzen et al.) and steers through windowed-sinc interpolation taps
+//!   precomputed at construction — mathematically equivalent up to
 //!   bandlimited-interpolation error, with roughly 10× lower latency and half the
-//!   stored coefficients;
+//!   stored coefficients. Both processors expose `compute_map_into` entry points
+//!   that reuse a [`srp_phat::SrpScratch`] and an output map, so the per-frame hot
+//!   path performs no heap allocation;
 //! * a Cross3D-style CNN back-end operating on stacked SRP maps ([`cross3d`]);
 //! * a constant-velocity Kalman tracker for the azimuth trajectory ([`tracking`]);
 //! * angular-error metrics ([`metrics`]).
@@ -69,7 +72,7 @@ pub mod prelude {
     pub use crate::metrics::{angular_error_deg, mean_angular_error_deg};
     pub use crate::seld::{score_seld, SeldAnnotation, SeldScores};
     pub use crate::srp_fast::SrpPhatFast;
-    pub use crate::srp_phat::{DoaEstimate, SrpConfig, SrpMap, SrpPhat};
+    pub use crate::srp_phat::{DoaEstimate, SrpConfig, SrpMap, SrpPhat, SrpScratch};
     pub use crate::steering::SteeringGrid;
     pub use crate::tracking::AzimuthKalmanTracker;
 }

@@ -1,7 +1,7 @@
 //! Low-complexity SRP-PHAT by Nyquist-rate sampling of the cross-correlations.
 //!
 //! The key observation of Dietzen, De Sena & van Waterschoot (WASPAA 2021, cited as
-//! [41] in the I-SPOT paper) is that the steered response power is a sum of
+//! \[41\] in the I-SPOT paper) is that the steered response power is a sum of
 //! *bandlimited* cross-correlation functions evaluated at the candidate TDOAs, so each
 //! GCC only needs to be known on an integer-lag grid covering the physically possible
 //! TDOA range (a handful of samples for an automotive array) and can then be
@@ -15,31 +15,52 @@
 //!
 //! The paper reports ≈10× latency improvement and ≈50 % coefficient reduction for this
 //! mathematically equivalent reformulation; experiment E4 regenerates those numbers.
+//!
+//! # Hot-path architecture
+//!
+//! The windowed-sinc interpolation weights depend only on the steering grid, so
+//! [`SrpPhatFast::new`] bakes them into a flat sparse steering operator: for every
+//! (direction, pair) it stores `K = 2 × half_taps` weights plus the window's start
+//! offset into that pair's zero-padded lag table. Per frame, steering then collapses
+//! to `pairs × directions × K` real multiply-adds with **no trig or sinc evaluation**,
+//! and [`SrpPhatFast::compute_map_into`] runs without any heap allocation in steady
+//! state: the cross spectra, the rebuilt full-band spectrum, the inverse transform
+//! and the lag tables all live in a caller-owned [`SrpScratch`].
 
 use crate::error::SslError;
-use crate::srp_phat::{DoaEstimate, SrpConfig, SrpMap, SrpPhat};
+use crate::srp_phat::{DoaEstimate, SrpConfig, SrpMap, SrpPhat, SrpScratch};
 use crate::steering::SteeringGrid;
 use ispot_dsp::complex::Complex;
-use ispot_dsp::fft::Fft;
 use ispot_roadsim::microphone::MicrophoneArray;
+
+/// Number of sinc-interpolation taps on each side of the steering delay.
+const INTERP_HALF_TAPS: usize = 4;
 
 /// The low-complexity SRP-PHAT processor.
 ///
-/// It reuses the configuration, steering grid and PHAT front-end of [`SrpPhat`] but
-/// evaluates the map from Nyquist-sampled cross-correlations.
+/// It reuses the configuration, steering grid, FFT plan and PHAT front-end of
+/// [`SrpPhat`] but evaluates the map from Nyquist-sampled cross-correlations through
+/// a steering operator precomputed at construction.
 #[derive(Debug, Clone)]
 pub struct SrpPhatFast {
     inner: SrpPhat,
-    /// Inverse-FFT plan (same size as the analysis frame).
-    fft: Fft,
     /// Maximum integer lag retained per pair.
     max_lag: usize,
     /// Number of sinc-interpolation taps on each side.
     interp_half_taps: usize,
+    /// Length of one zero-padded lag table (`2·max_lag + 1 + 2·half_taps`).
+    padded_len: usize,
+    /// Flat steering operator: `K` windowed-sinc weights per (direction, pair),
+    /// direction-major (`(d * num_pairs + p) * K ..`). Weights for taps that fall
+    /// outside the unpadded lag table are zero, matching the reference interpolator.
+    tap_weights: Vec<f64>,
+    /// Start offset of each (direction, pair) tap window into the padded lag table.
+    tap_starts: Vec<u32>,
 }
 
 impl SrpPhatFast {
-    /// Creates a processor for the given array and sampling rate.
+    /// Creates a processor for the given array and sampling rate, precomputing the
+    /// per-(direction, pair) interpolation taps.
     ///
     /// # Errors
     ///
@@ -51,11 +72,39 @@ impl SrpPhatFast {
     ) -> Result<Self, SslError> {
         let inner = SrpPhat::new(config, array, sample_rate)?;
         let max_lag = inner.grid().max_tdoa_samples().ceil() as usize + 2;
+        let interp_half_taps = INTERP_HALF_TAPS;
+        let table_len = 2 * max_lag + 1;
+        let padded_len = table_len + 2 * interp_half_taps;
+        let grid = inner.grid();
+        let (num_dirs, num_pairs) = (grid.num_directions(), grid.num_pairs());
+        let k_taps = 2 * interp_half_taps;
+        let mut tap_weights = vec![0.0; num_dirs * num_pairs * k_taps];
+        let mut tap_starts = vec![0u32; num_dirs * num_pairs];
+        for d in 0..num_dirs {
+            for p in 0..num_pairs {
+                let idx = d * num_pairs + p;
+                let weights = &mut tap_weights[idx * k_taps..(idx + 1) * k_taps];
+                let first = precompute_taps(
+                    -grid.tdoa(d, p),
+                    max_lag,
+                    interp_half_taps,
+                    table_len,
+                    weights,
+                );
+                let start = first + interp_half_taps as isize;
+                // The padding is sized so every window fits; max_lag covers the grid's
+                // TDOA range with two samples of slack, keeping `first >= -half_taps`.
+                debug_assert!(start >= 0 && start as usize + k_taps <= padded_len);
+                tap_starts[idx] = start as u32;
+            }
+        }
         Ok(SrpPhatFast {
-            fft: Fft::new(config.frame_len),
             inner,
             max_lag,
-            interp_half_taps: 4,
+            interp_half_taps,
+            padded_len,
+            tap_weights,
+            tap_starts,
         })
     }
 
@@ -86,48 +135,103 @@ impl SrpPhatFast {
         1.0 - self.coefficients_per_pair() as f64 / self.inner.coefficients_per_pair() as f64
     }
 
+    /// Creates a scratch pre-sized for this processor, so even the first
+    /// [`SrpPhatFast::compute_map_into`] call allocates nothing.
+    pub fn make_scratch(&self) -> SrpScratch {
+        let mut scratch = self.inner.make_scratch();
+        scratch.corr = vec![0.0; self.config().frame_len];
+        scratch.lag_tables = vec![0.0; self.grid().num_pairs() * self.padded_len];
+        scratch
+    }
+
+    /// Computes the SRP map for one multichannel frame, writing the result into
+    /// `out` without allocating in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SrpPhat::cross_spectra_into`].
+    pub fn compute_map_into(
+        &self,
+        frame: &[&[f64]],
+        scratch: &mut SrpScratch,
+        out: &mut SrpMap,
+    ) -> Result<(), SslError> {
+        self.inner.cross_spectra_into(frame, scratch)?;
+        self.fill_lag_tables(scratch)?;
+        let grid = self.inner.grid();
+        let num_pairs = grid.num_pairs();
+        let k_taps = 2 * self.interp_half_taps;
+        let power = out.prepare(grid.azimuths_deg());
+        for (d, p) in power.iter_mut().enumerate() {
+            let row = d * num_pairs;
+            let mut acc = 0.0;
+            for pair_idx in 0..num_pairs {
+                let start = self.tap_starts[row + pair_idx] as usize;
+                let weights = &self.tap_weights[(row + pair_idx) * k_taps..][..k_taps];
+                let taps = &scratch.lag_tables[pair_idx * self.padded_len + start..][..k_taps];
+                let mut dot = 0.0;
+                for (w, t) in weights.iter().zip(taps) {
+                    dot += w * t;
+                }
+                acc += dot;
+            }
+            *p = acc;
+        }
+        Ok(())
+    }
+
+    /// Per pair: rebuilds the full-band cross spectrum (zeros outside the band) in
+    /// `scratch.spec`, inverse-FFTs once into `scratch.corr`, and gathers the lags
+    /// within `±max_lag` into the pair's zero-padded lag table.
+    fn fill_lag_tables(&self, scratch: &mut SrpScratch) -> Result<(), SslError> {
+        let n = self.config().frame_len;
+        let (kmin, _) = self.inner.bin_range();
+        let nb = self.inner.num_bins();
+        let num_pairs = self.inner.grid().num_pairs();
+        scratch.corr.resize(n, 0.0);
+        scratch.lag_tables.resize(num_pairs * self.padded_len, 0.0);
+        for pair_idx in 0..num_pairs {
+            scratch.spec.fill(Complex::ZERO);
+            for idx in 0..nb {
+                let c = scratch.cross[pair_idx * nb + idx];
+                let k = kmin + idx;
+                if 2 * k == n {
+                    // The Nyquist bin is its own mirror: force it real so the spectrum
+                    // stays conjugate-symmetric and the inverse transform is real.
+                    scratch.spec[k] = Complex::new(c.re, 0.0);
+                } else {
+                    // Maintain conjugate symmetry so the inverse transform is real.
+                    scratch.spec[k] = c;
+                    scratch.spec[n - k] = c.conj();
+                }
+            }
+            self.inner
+                .fft()
+                .inverse_real_into(&mut scratch.spec, &mut scratch.corr)?;
+            let pad = self.interp_half_taps;
+            let table = &mut scratch.lag_tables[pair_idx * self.padded_len..][..self.padded_len];
+            for (slot, lag) in (-(self.max_lag as isize)..=self.max_lag as isize).enumerate() {
+                let idx = lag.rem_euclid(n as isize) as usize;
+                table[pad + slot] = scratch.corr[idx];
+            }
+        }
+        Ok(())
+    }
+
     /// Computes the SRP map for one multichannel frame.
+    ///
+    /// Allocating convenience wrapper around [`SrpPhatFast::compute_map_into`]; the
+    /// hot path should hold a [`SrpScratch`] and an output map and call the `_into`
+    /// variant instead.
     ///
     /// # Errors
     ///
     /// Same as [`SrpPhat::compute_map`].
     pub fn compute_map(&self, frame: &[&[f64]]) -> Result<SrpMap, SslError> {
-        let cross = self.inner.cross_spectra(frame)?;
-        let n = self.config().frame_len;
-        let (kmin, _) = self.bin_range();
-        // Per pair: rebuild the full-band cross spectrum (zeros outside the band) and
-        // inverse-FFT once to obtain the GCC, keeping only lags within +-max_lag.
-        let grid = self.inner.grid();
-        let mut lag_tables: Vec<Vec<f64>> = Vec::with_capacity(cross.len());
-        for w in &cross {
-            let mut full = vec![Complex::ZERO; n];
-            for (idx, &c) in w.iter().enumerate() {
-                let k = kmin + idx;
-                full[k] = c;
-                // Maintain conjugate symmetry so the inverse transform is real.
-                if k != 0 && k != n / 2 {
-                    full[n - k] = c.conj();
-                }
-            }
-            let corr = self.fft.inverse_real(&full)?;
-            let mut table = vec![0.0; 2 * self.max_lag + 1];
-            for (slot, lag) in (-(self.max_lag as isize)..=self.max_lag as isize).enumerate() {
-                let idx = lag.rem_euclid(n as isize) as usize;
-                table[slot] = corr[idx];
-            }
-            lag_tables.push(table);
-        }
-        // Steer: interpolate each pair's correlation at -tdoa(d) with a windowed sinc.
-        let mut power = vec![0.0; grid.num_directions()];
-        for (d, p) in power.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (pair_idx, table) in lag_tables.iter().enumerate() {
-                let target_lag = -grid.tdoa(d, pair_idx);
-                acc += self.interpolate(table, target_lag);
-            }
-            *p = acc;
-        }
-        Ok(SrpMap::new(grid.azimuths_deg().to_vec(), power))
+        let mut scratch = self.make_scratch();
+        let mut out = SrpMap::default();
+        self.compute_map_into(frame, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Localizes the dominant source in one frame.
@@ -136,25 +240,69 @@ impl SrpPhatFast {
     ///
     /// Same as [`SrpPhatFast::compute_map`].
     pub fn localize(&self, frame: &[&[f64]]) -> Result<DoaEstimate, SslError> {
-        Ok(DoaEstimate::from_map(self.compute_map(frame)?))
+        DoaEstimate::from_map(self.compute_map(frame)?)
+            .ok_or_else(|| SslError::invalid_config("map", "empty SRP map has no peak"))
     }
+}
 
-    fn bin_range(&self) -> (usize, usize) {
-        // Reconstruct the bin range exactly as the inner processor computed it.
-        let cfg = self.inner.config();
-        let bin_hz = self.inner.sample_rate() / cfg.frame_len as f64;
-        let kmin = (cfg.freq_min_hz / bin_hz).ceil().max(1.0) as usize;
-        let kmax = ((cfg.freq_max_hz / bin_hz).floor() as usize).min(cfg.frame_len / 2);
-        (kmin, kmax)
+/// Computes the normalized windowed-sinc weights for interpolating a lag table
+/// (centered at index `max_lag`, `table_len` entries) at fractional lag `lag`.
+///
+/// Fills `weights` (length `2 × half_taps`) with one weight per tap of the window
+/// `(base - half_taps + 1)..=(base + half_taps)` where `base = floor(max_lag + lag)`;
+/// taps outside the table get weight zero and are excluded from the normalization,
+/// exactly like the reference interpolator. Returns the index of the first tap
+/// (which may be negative at the table edges).
+fn precompute_taps(
+    lag: f64,
+    max_lag: usize,
+    half_taps: usize,
+    table_len: usize,
+    weights: &mut [f64],
+) -> isize {
+    let pos = max_lag as f64 + lag;
+    let base = pos.floor() as isize;
+    let taps = half_taps as isize;
+    let first = base - taps + 1;
+    let mut norm = 0.0;
+    for (slot, k) in (first..=base + taps).enumerate() {
+        weights[slot] = 0.0;
+        if k < 0 || k >= table_len as isize {
+            continue;
+        }
+        let t = pos - k as f64;
+        let sinc = if t.abs() < 1e-12 {
+            1.0
+        } else {
+            let pt = std::f64::consts::PI * t;
+            pt.sin() / pt
+        };
+        let w = 0.5 + 0.5 * (std::f64::consts::PI * t / taps as f64).cos();
+        let coeff = sinc * w.max(0.0);
+        weights[slot] = coeff;
+        norm += coeff;
     }
+    if norm.abs() > 1e-9 {
+        for w in weights.iter_mut() {
+            *w /= norm;
+        }
+    }
+    first
+}
 
-    /// Windowed-sinc interpolation of the lag table (centered at index `max_lag`) at a
-    /// fractional lag.
-    fn interpolate(&self, table: &[f64], lag: f64) -> f64 {
-        let center = self.max_lag as f64;
-        let pos = center + lag;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::angular_error_deg;
+    use crate::srp_phat::test_support::simulate_static_source;
+
+    /// Reference windowed-sinc interpolation of a lag table (centered at index
+    /// `max_lag`) at a fractional lag — the pre-precompute hot-loop implementation,
+    /// kept to pin the steering operator against.
+    fn interpolate_reference(table: &[f64], max_lag: usize, half_taps: usize, lag: f64) -> f64 {
+        let pos = max_lag as f64 + lag;
         let base = pos.floor() as isize;
-        let taps = self.interp_half_taps as isize;
+        let taps = half_taps as isize;
         let mut acc = 0.0;
         let mut norm = 0.0;
         for k in (base - taps + 1)..=(base + taps) {
@@ -179,13 +327,32 @@ impl SrpPhatFast {
             acc
         }
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::metrics::angular_error_deg;
-    use crate::srp_phat::test_support::simulate_static_source;
+    /// Computes the map the way the pre-precompute implementation did: fill the lag
+    /// tables, then interpolate each (direction, pair) on the fly.
+    fn compute_map_via_reference_interpolation(fast: &SrpPhatFast, frame: &[&[f64]]) -> SrpMap {
+        let mut scratch = fast.make_scratch();
+        fast.inner.cross_spectra_into(frame, &mut scratch).unwrap();
+        fast.fill_lag_tables(&mut scratch).unwrap();
+        let grid = fast.grid();
+        let pad = fast.interp_half_taps;
+        let table_len = 2 * fast.max_lag + 1;
+        let mut power = vec![0.0; grid.num_directions()];
+        for (d, p) in power.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for pair_idx in 0..grid.num_pairs() {
+                let table = &scratch.lag_tables[pair_idx * fast.padded_len + pad..][..table_len];
+                acc += interpolate_reference(
+                    table,
+                    fast.max_lag,
+                    fast.interp_half_taps,
+                    -grid.tdoa(d, pair_idx),
+                );
+            }
+            *p = acc;
+        }
+        SrpMap::new(grid.azimuths_deg().to_vec(), power)
+    }
 
     #[test]
     fn fast_map_matches_conventional_map() {
@@ -199,12 +366,71 @@ mod tests {
         let map_b = fast.compute_map(&frame).unwrap();
         let corr = map_a.correlation(&map_b);
         assert!(corr > 0.98, "map correlation {corr}");
-        let (_, az_a) = map_a.peak();
-        let (_, az_b) = map_b.peak();
+        let (_, az_a) = map_a.peak().unwrap();
+        let (_, az_b) = map_b.peak().unwrap();
         assert!(
             angular_error_deg(az_a, az_b) <= 4.0,
             "peaks differ: {az_a} vs {az_b}"
         );
+    }
+
+    #[test]
+    fn precomputed_taps_match_reference_interpolation() {
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(-30.0, 15.0, fs, 8192, 6);
+        let fast = SrpPhatFast::new(SrpConfig::default(), &array, fs).unwrap();
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let tap_map = fast.compute_map(&frame).unwrap();
+        let ref_map = compute_map_via_reference_interpolation(&fast, &frame);
+        let corr = tap_map.correlation(&ref_map);
+        assert!(corr > 0.999, "tap/reference correlation {corr}");
+        for (a, b) in tap_map.power().iter().zip(ref_map.power()) {
+            assert!((a - b).abs() < 1e-9, "power mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compute_map_into_reuses_scratch_and_matches() {
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(10.0, 20.0, fs, 8192, 4);
+        let fast = SrpPhatFast::new(SrpConfig::default(), &array, fs).unwrap();
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let expected = fast.compute_map(&frame).unwrap();
+        let mut scratch = fast.make_scratch();
+        let mut out = SrpMap::default();
+        for _ in 0..3 {
+            fast.compute_map_into(&frame, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, expected);
+        }
+        // An empty scratch grows on first use and converges to the same result.
+        let mut lazy = SrpScratch::new();
+        fast.compute_map_into(&frame, &mut lazy, &mut out).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn nyquist_band_edge_keeps_the_spectrum_real_symmetric() {
+        // Regression: with freq_max_hz == fs/2 the k == n/2 bin used to be copied
+        // complex-valued without the conjugate-symmetry guard applying, feeding
+        // inverse_real a non-real-symmetric spectrum.
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(50.0, 18.0, fs, 8192, 6);
+        let cfg = SrpConfig {
+            freq_max_hz: fs / 2.0,
+            ..SrpConfig::default()
+        };
+        let conventional = SrpPhat::new(cfg, &array, fs).unwrap();
+        let fast = SrpPhatFast::new(cfg, &array, fs).unwrap();
+        let (_, kmax) = conventional.bin_range();
+        assert_eq!(2 * kmax, cfg.frame_len, "config must hit the Nyquist bin");
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let map_a = conventional.compute_map(&frame).unwrap();
+        let map_b = fast.compute_map(&frame).unwrap();
+        assert!(map_b.power().iter().all(|p| p.is_finite()));
+        let corr = map_a.correlation(&map_b);
+        assert!(corr > 0.9, "map correlation {corr}");
+        assert!(angular_error_deg(map_a.peak().unwrap().1, map_b.peak().unwrap().1) <= 4.0);
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl SrpConfig {
 }
 
 /// A steered-response-power map over the azimuth grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SrpMap {
     azimuths_deg: Vec<f64>,
     power: Vec<f64>,
@@ -90,6 +90,20 @@ impl SrpMap {
             azimuths_deg,
             power,
         }
+    }
+
+    /// Retargets this map at `azimuths` (copying them only when they changed) and
+    /// returns the power vector, resized to match, for in-place writing. In steady
+    /// state — same grid, same length — this performs no heap allocation.
+    pub(crate) fn prepare(&mut self, azimuths: &[f64]) -> &mut [f64] {
+        if self.azimuths_deg.as_slice() != azimuths {
+            self.azimuths_deg.clear();
+            self.azimuths_deg.extend_from_slice(azimuths);
+        }
+        if self.power.len() != azimuths.len() {
+            self.power.resize(azimuths.len(), 0.0);
+        }
+        &mut self.power
     }
 
     /// The azimuth grid in degrees.
@@ -112,16 +126,13 @@ impl SrpMap {
         self.power.is_empty()
     }
 
-    /// Index and azimuth (degrees) of the map maximum.
-    pub fn peak(&self) -> (usize, f64) {
-        let idx = self
-            .power
+    /// Index and azimuth (degrees) of the map maximum, or `None` for an empty map.
+    pub fn peak(&self) -> Option<(usize, f64)> {
+        self.power
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        (idx, self.azimuths_deg[idx])
+            .map(|(i, _)| (i, self.azimuths_deg[i]))
     }
 
     /// Power vector normalized to `[0, 1]` (useful as a CNN input feature).
@@ -160,14 +171,15 @@ pub struct DoaEstimate {
 }
 
 impl DoaEstimate {
-    /// Creates an estimate from a map by taking its peak.
-    pub fn from_map(map: SrpMap) -> Self {
-        let (idx, az) = map.peak();
-        DoaEstimate {
+    /// Creates an estimate from a map by taking its peak. Returns `None` for an
+    /// empty map, which has no peak.
+    pub fn from_map(map: SrpMap) -> Option<Self> {
+        let (idx, az) = map.peak()?;
+        Some(DoaEstimate {
             azimuth_deg: az,
             power: map.power()[idx],
             map,
-        }
+        })
     }
 
     /// Estimated azimuth in degrees.
@@ -183,6 +195,36 @@ impl DoaEstimate {
     /// The full SRP map behind the estimate.
     pub fn map(&self) -> &SrpMap {
         &self.map
+    }
+}
+
+/// Reusable scratch memory for the allocation-free SRP-PHAT entry points
+/// ([`SrpPhat::compute_map_into`], [`crate::srp_fast::SrpPhatFast::compute_map_into`]).
+///
+/// All buffers are sized lazily on first use and reused afterwards, so a scratch
+/// created by [`SrpPhat::make_scratch`] / `SrpPhatFast::make_scratch` (or even
+/// [`SrpScratch::new`]) settles into a zero-allocation steady state after the first
+/// frame. One scratch serves one processor at a time; it may be moved between
+/// processors of different geometry at the cost of a one-off reallocation.
+#[derive(Debug, Clone, Default)]
+pub struct SrpScratch {
+    /// Full-frame complex workspace: forward-FFT output per channel, and the
+    /// rebuilt full-band cross spectrum in the lag-domain path.
+    pub(crate) spec: Vec<Complex>,
+    /// Band-limited per-channel spectra, channel-major (`num_channels × num_bins`).
+    pub(crate) channel_bins: Vec<Complex>,
+    /// PHAT-weighted cross-power spectra, pair-major (`num_pairs × num_bins`).
+    pub(crate) cross: Vec<Complex>,
+    /// Full-frame real workspace for the inverse transform (lag-domain path).
+    pub(crate) corr: Vec<f64>,
+    /// Zero-padded Nyquist-rate lag tables, pair-major (lag-domain path).
+    pub(crate) lag_tables: Vec<f64>,
+}
+
+impl SrpScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SrpScratch::default()
     }
 }
 
@@ -243,15 +285,25 @@ impl SrpPhat {
     /// bins counted as two real coefficients). This is the quantity the low-complexity
     /// variant reduces by ≈50 % (Sec. IV-B of the paper).
     pub fn coefficients_per_pair(&self) -> usize {
-        2 * (self.bin_range.1 - self.bin_range.0 + 1)
+        2 * self.num_bins()
     }
 
-    /// Computes the PHAT-weighted cross-power spectra of all pairs for one frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the channel count or frame length does not match.
-    pub fn cross_spectra(&self, frame: &[&[f64]]) -> Result<Vec<Vec<Complex>>, SslError> {
+    /// The inclusive FFT bin range `(kmin, kmax)` covered by the steering sum.
+    pub fn bin_range(&self) -> (usize, usize) {
+        self.bin_range
+    }
+
+    /// Number of FFT bins in the steering band.
+    pub fn num_bins(&self) -> usize {
+        self.bin_range.1 - self.bin_range.0 + 1
+    }
+
+    /// The shared FFT plan (one per processor; the lag-domain variant reuses it).
+    pub(crate) fn fft(&self) -> &Fft {
+        &self.fft
+    }
+
+    fn validate_frame(&self, frame: &[&[f64]]) -> Result<(), SslError> {
         if frame.len() != self.num_channels {
             return Err(SslError::ChannelMismatch {
                 expected: self.num_channels,
@@ -270,37 +322,87 @@ impl SrpPhat {
                 ));
             }
         }
-        let spectra: Vec<Vec<Complex>> = frame
-            .iter()
-            .map(|ch| self.fft.forward_real(ch))
-            .collect::<Result<_, _>>()?;
-        let (kmin, kmax) = self.bin_range;
-        let mut out = Vec::with_capacity(self.grid.num_pairs());
-        for &(i, j) in self.grid.pairs() {
-            let mut w = vec![Complex::ZERO; kmax - kmin + 1];
-            for (idx, k) in (kmin..=kmax).enumerate() {
-                let c = spectra[i][k] * spectra[j][k].conj();
-                let mag = c.norm();
-                w[idx] = if mag > 1e-12 { c / mag } else { Complex::ZERO };
-            }
-            out.push(w);
-        }
-        Ok(out)
+        Ok(())
     }
 
-    /// Computes the SRP map for one multichannel frame by frequency-domain steering.
+    /// Creates a scratch pre-sized for this processor, so even the first
+    /// [`SrpPhat::compute_map_into`] call allocates nothing.
+    pub fn make_scratch(&self) -> SrpScratch {
+        SrpScratch {
+            spec: vec![Complex::ZERO; self.config.frame_len],
+            channel_bins: vec![Complex::ZERO; self.num_channels * self.num_bins()],
+            cross: vec![Complex::ZERO; self.grid.num_pairs() * self.num_bins()],
+            corr: Vec::new(),
+            lag_tables: Vec::new(),
+        }
+    }
+
+    /// Computes the PHAT-weighted cross-power spectra of all pairs for one frame
+    /// into `scratch.cross` (flat pair-major storage, `num_pairs × num_bins`).
+    ///
+    /// Steady state performs no heap allocation: every buffer lives in `scratch`
+    /// and is reused across frames.
     ///
     /// # Errors
     ///
-    /// Same as [`SrpPhat::cross_spectra`].
-    pub fn compute_map(&self, frame: &[&[f64]]) -> Result<SrpMap, SslError> {
-        let cross = self.cross_spectra(frame)?;
+    /// Returns an error if the channel count or frame length does not match.
+    pub fn cross_spectra_into(
+        &self,
+        frame: &[&[f64]],
+        scratch: &mut SrpScratch,
+    ) -> Result<(), SslError> {
+        self.validate_frame(frame)?;
+        let nb = self.num_bins();
+        let (kmin, kmax) = self.bin_range;
+        scratch.spec.resize(self.config.frame_len, Complex::ZERO);
+        scratch.channel_bins.resize(frame.len() * nb, Complex::ZERO);
+        for (ch_idx, ch) in frame.iter().enumerate() {
+            self.fft.forward_real_into(ch, &mut scratch.spec)?;
+            scratch.channel_bins[ch_idx * nb..(ch_idx + 1) * nb]
+                .copy_from_slice(&scratch.spec[kmin..=kmax]);
+        }
+        scratch
+            .cross
+            .resize(self.grid.num_pairs() * nb, Complex::ZERO);
+        for (pair_idx, &(i, j)) in self.grid.pairs().iter().enumerate() {
+            let (si, sj) = (
+                &scratch.channel_bins[i * nb..(i + 1) * nb],
+                &scratch.channel_bins[j * nb..(j + 1) * nb],
+            );
+            for (slot, (a, b)) in scratch.cross[pair_idx * nb..(pair_idx + 1) * nb]
+                .iter_mut()
+                .zip(si.iter().zip(sj))
+            {
+                let c = *a * b.conj();
+                let mag = c.norm();
+                *slot = if mag > 1e-12 { c / mag } else { Complex::ZERO };
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the SRP map for one multichannel frame by frequency-domain steering,
+    /// writing the result into `out` without allocating in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SrpPhat::cross_spectra_into`].
+    pub fn compute_map_into(
+        &self,
+        frame: &[&[f64]],
+        scratch: &mut SrpScratch,
+        out: &mut SrpMap,
+    ) -> Result<(), SslError> {
+        self.cross_spectra_into(frame, scratch)?;
         let n = self.config.frame_len as f64;
         let (kmin, _) = self.bin_range;
-        let mut power = vec![0.0; self.grid.num_directions()];
+        let nb = self.num_bins();
+        let num_pairs = self.grid.num_pairs();
+        let power = out.prepare(self.grid.azimuths_deg());
         for (d, p) in power.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for (pair_idx, w) in cross.iter().enumerate() {
+            for pair_idx in 0..num_pairs {
+                let w = &scratch.cross[pair_idx * nb..(pair_idx + 1) * nb];
                 let tdoa = self.grid.tdoa(d, pair_idx);
                 // The GCC peaks at lag -tdoa, so steer with exp(-j 2 pi k tdoa / N).
                 for (idx, c) in w.iter().enumerate() {
@@ -311,7 +413,23 @@ impl SrpPhat {
             }
             *p = acc;
         }
-        Ok(SrpMap::new(self.grid.azimuths_deg().to_vec(), power))
+        Ok(())
+    }
+
+    /// Computes the SRP map for one multichannel frame by frequency-domain steering.
+    ///
+    /// Allocating convenience wrapper around [`SrpPhat::compute_map_into`]; the hot
+    /// path should hold a [`SrpScratch`] and an output map and call the `_into`
+    /// variant instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SrpPhat::cross_spectra_into`].
+    pub fn compute_map(&self, frame: &[&[f64]]) -> Result<SrpMap, SslError> {
+        let mut scratch = self.make_scratch();
+        let mut out = SrpMap::default();
+        self.compute_map_into(frame, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Localizes the dominant source in one frame.
@@ -320,7 +438,8 @@ impl SrpPhat {
     ///
     /// Same as [`SrpPhat::compute_map`].
     pub fn localize(&self, frame: &[&[f64]]) -> Result<DoaEstimate, SslError> {
-        Ok(DoaEstimate::from_map(self.compute_map(frame)?))
+        DoaEstimate::from_map(self.compute_map(frame)?)
+            .ok_or_else(|| SslError::invalid_config("map", "empty SRP map has no peak"))
     }
 
     /// Sampling rate the processor was built for.
@@ -456,14 +575,41 @@ mod tests {
     #[test]
     fn map_utilities_behave() {
         let map = SrpMap::new(vec![-90.0, 0.0, 90.0], vec![0.1, 0.9, 0.5]);
-        assert_eq!(map.peak(), (1, 0.0));
+        assert_eq!(map.peak(), Some((1, 0.0)));
         let norm = map.normalized();
         assert_eq!(norm[1], 1.0);
         assert_eq!(norm[0], 0.0);
         let same = map.correlation(&map);
         assert!((same - 1.0).abs() < 1e-12);
-        let est = DoaEstimate::from_map(map.clone());
+        let est = DoaEstimate::from_map(map.clone()).unwrap();
         assert_eq!(est.azimuth_deg(), 0.0);
         assert_eq!(est.map().len(), 3);
+    }
+
+    #[test]
+    fn empty_map_has_no_peak_and_no_estimate() {
+        // Regression: peak()/from_map() used to index out of bounds on empty maps.
+        let empty = SrpMap::new(Vec::new(), Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.peak(), None);
+        assert!(DoaEstimate::from_map(empty).is_none());
+    }
+
+    #[test]
+    fn compute_map_into_matches_allocating_compute_map() {
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(25.0, 12.0, fs, 8192, 4);
+        let srp = SrpPhat::new(SrpConfig::default(), &array, fs).unwrap();
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let expected = srp.compute_map(&frame).unwrap();
+        let mut scratch = srp.make_scratch();
+        let mut out = SrpMap::default();
+        srp.compute_map_into(&frame, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, expected);
+        // Reusing the same scratch and output map must reproduce the result.
+        srp.compute_map_into(&frame, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, expected);
     }
 }
