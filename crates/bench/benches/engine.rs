@@ -1,0 +1,71 @@
+//! Criterion bench for the multi-session engine: per-session setup cost versus
+//! building full pipelines.
+//!
+//! The session/engine redesign claims that the marginal cost of another
+//! concurrent stream is scratch-only — the detector templates and the SRP-PHAT
+//! steering operator (the expensive constructions) are built once per engine and
+//! shared behind `Arc`s. Compare `engine_build` / `full_pipeline_build` with
+//! `open_session`: opening the 2nd…Nth session should cost well under 20 % of a
+//! full pipeline construction (in practice under 1 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispot_bench::SAMPLE_RATE;
+use ispot_core::prelude::*;
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engine_sessions(c: &mut Criterion) {
+    let array = MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.0));
+
+    let mut group = c.benchmark_group("engine_sessions");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    // Baseline: what every new stream used to cost — a full pipeline build
+    // (detector template synthesis + steering-tap precompute + scratch).
+    group.bench_function("full_pipeline_build", |b| {
+        b.iter(|| {
+            black_box(
+                PipelineBuilder::new(SAMPLE_RATE)
+                    .array(black_box(&array))
+                    .build()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The shared build, paid once per deployment.
+    group.bench_function("engine_build", |b| {
+        b.iter(|| {
+            black_box(
+                PipelineBuilder::new(SAMPLE_RATE)
+                    .array(black_box(&array))
+                    .build_engine()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The marginal stream: scratch-only.
+    let engine = PipelineBuilder::new(SAMPLE_RATE)
+        .array(&array)
+        .build_engine()
+        .unwrap();
+    group.bench_function("open_session", |b| {
+        b.iter(|| black_box(engine.open_session()))
+    });
+
+    // Eight concurrent streams the way a multi-array deployment would open them.
+    group.bench_function("open_8_sessions", |b| {
+        b.iter(|| {
+            let sessions: Vec<Session> = (0..8).map(|_| engine.open_session()).collect();
+            black_box(sessions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_sessions);
+criterion_main!(benches);

@@ -4,15 +4,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ispot_bench::{simulate_static_source, SAMPLE_RATE};
-use ispot_core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+use ispot_core::prelude::*;
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_pipeline(c: &mut Criterion) {
     let (audio, array) = simulate_static_source(45.0, 20.0, 4, 8192, 9);
-    let config = PipelineConfig::default();
-    let mut detection_only = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 4).unwrap();
-    let mut full = AcousticPerceptionPipeline::with_array(config, SAMPLE_RATE, &array).unwrap();
+    let mut detection_only = PipelineBuilder::new(SAMPLE_RATE)
+        .channels(4)
+        .build()
+        .unwrap();
+    let mut full = PipelineBuilder::new(SAMPLE_RATE)
+        .array(&array)
+        .build()
+        .unwrap();
     let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
 
     let mut group = c.benchmark_group("pipeline_frame");
@@ -35,7 +40,10 @@ fn bench_pipeline(c: &mut Criterion) {
 /// zero-per-frame-allocation property of the mixdown/framing path.
 fn bench_streaming_vs_batch(c: &mut Criterion) {
     let (audio, _array) = simulate_static_source(30.0, 20.0, 2, 32_768, 11);
-    let config = PipelineConfig::default();
+    let engine = PipelineBuilder::new(SAMPLE_RATE)
+        .channels(2)
+        .build_engine()
+        .unwrap();
     let channels: Vec<&[f64]> = audio.channels().iter().map(|c| c.as_slice()).collect();
     let len = audio.len();
 
@@ -43,25 +51,26 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
     group.bench_function("batch_process_recording", |b| {
-        let mut pipeline = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 2).unwrap();
+        let mut pipeline = engine.open_session();
         b.iter(|| black_box(pipeline.process_recording(black_box(&audio)).unwrap()))
     });
     // 160 samples = one 10 ms capture block at 16 kHz, the awkward driver-sized
     // chunking the FrameAssembler exists to absorb.
     for chunk_len in [160usize, 1024, 4096] {
         group.bench_function(format!("push_chunk_{chunk_len}"), |b| {
-            let mut pipeline = AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 2).unwrap();
-            let mut events = Vec::new();
+            let mut pipeline = engine.open_session();
+            // A fixed-size sink: the steady-state streaming path allocates
+            // nothing, so the bench measures pure analysis + framing cost.
+            let mut sink = AlertCounter::new();
             b.iter(|| {
                 pipeline.reset_streaming();
-                events.clear();
                 let mut frames = 0;
                 let mut start = 0;
                 while start < len {
                     let end = (start + chunk_len).min(len);
                     let chunk = [&channels[0][start..end], &channels[1][start..end]];
                     frames += pipeline
-                        .push_chunk_into(black_box(&chunk), &mut events)
+                        .push_chunk_with(black_box(&chunk), &mut sink)
                         .unwrap();
                     start = end;
                 }

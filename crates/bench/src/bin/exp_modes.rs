@@ -8,8 +8,9 @@
 
 use ispot_bench::{cross3d_baseline_graph, print_header, print_row, SAMPLE_RATE};
 use ispot_codesign::platform::EdgePlatform;
+use ispot_core::api::PipelineBuilder;
 use ispot_core::mode::OperatingMode;
-use ispot_core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+use ispot_core::pipeline::PipelineConfig;
 use ispot_roadsim::engine::MultichannelAudio;
 use ispot_sed::noise::UrbanNoiseSynthesizer;
 use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
@@ -52,12 +53,10 @@ fn main() {
         "mode", "duty cycle", "events", "wake latency (ms)", "avg power (W)"
     );
     for mode in [OperatingMode::Drive, OperatingMode::Park] {
-        let config = PipelineConfig {
-            mode,
-            ..PipelineConfig::default()
-        };
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(config, SAMPLE_RATE, 1).expect("pipeline");
+        let mut pipeline = PipelineBuilder::new(SAMPLE_RATE)
+            .mode(mode)
+            .build()
+            .expect("pipeline");
         let events = pipeline.process_recording(&audio).expect("processing");
         let first_alert = events.iter().find(|e| e.is_alert());
         let wake_latency_ms = first_alert

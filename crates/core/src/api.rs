@@ -1,0 +1,942 @@
+//! The deployment-facing API: builder-validated construction, shared-state
+//! engines, and per-stream sessions.
+//!
+//! Three layers, from outermost in:
+//!
+//! * [`PipelineBuilder`] — the only way to configure and construct anything.
+//!   Every parameter is validated up front ([`PipelineError::InvalidConfig`]
+//!   with the offending field), so degenerate configurations (`hop = 0`,
+//!   `hop > frame_len`, `num_directions = 0`, out-of-range trigger parameters)
+//!   can never reach the per-frame hot path.
+//! * [`Engine`] — owns the **shared immutable** state of a deployment: the
+//!   detector templates/filterbank and the precomputed SRP-PHAT steering
+//!   operator with its FFT plans, all behind [`Arc`]s. Building an engine is the
+//!   expensive step (template synthesis, steering-tap precomputation).
+//! * [`Session`] — one independent audio stream opened against an engine via
+//!   [`Engine::open_session`]. A session owns only per-stream *mutable* state
+//!   (trigger noise floor, Kalman tracker, frame assembler, scratch buffers), so
+//!   opening the 2nd…Nth session costs a small fraction of building the engine —
+//!   this is the seam that lets one process serve many concurrent microphone
+//!   arrays.
+//!
+//! Input enters a session in any driver format ([`AudioInput`]: interleaved or
+//! planar, `i16`/`f32`/`f64`) and results leave **by reference** through an
+//! [`EventSink`] — in steady state the whole path from chunk ingestion to event
+//! emission performs no heap allocation (enforced by the counting-allocator test
+//! in `crates/core/tests/zero_alloc.rs`).
+
+use crate::error::PipelineError;
+use crate::events::PerceptionEvent;
+use crate::input::AudioInput;
+use crate::latency::LatencyReport;
+use crate::mode::OperatingMode;
+use crate::pipeline::PipelineConfig;
+use crate::sink::{EventSink, LatestEvent};
+use crate::stages::{
+    DetectStage, FrameOutcome, FrameParams, LocalizeStage, StageGraph, TrackStage, TriggerStage,
+};
+use ispot_dsp::framing::FrameAssembler;
+use ispot_roadsim::engine::MultichannelAudio;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_sed::baseline::SpectralTemplateDetector;
+use ispot_sed::EventClass;
+use ispot_ssl::srp_fast::SrpPhatFast;
+use ispot_ssl::srp_phat::SrpConfig;
+use std::sync::Arc;
+
+/// Channel counts up to this bound build their frame views on the stack; beyond it
+/// the streaming path falls back to one small heap allocation per frame.
+const MAX_STACK_CHANNELS: usize = 32;
+
+/// Runs `f` over per-channel `&[f64]` views of `channels` — the channel-view arena
+/// of the streaming paths. Up to [`MAX_STACK_CHANNELS`] channels the view table
+/// lives on the stack (no allocation); beyond that one small `Vec` is built.
+pub(crate) fn with_channel_views<R>(channels: &[Vec<f64>], f: impl FnOnce(&[&[f64]]) -> R) -> R {
+    if channels.len() <= MAX_STACK_CHANNELS {
+        let mut views: [&[f64]; MAX_STACK_CHANNELS] = [&[]; MAX_STACK_CHANNELS];
+        for (view, ch) in views.iter_mut().zip(channels) {
+            *view = ch.as_slice();
+        }
+        f(&views[..channels.len()])
+    } else {
+        let views: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+        f(&views)
+    }
+}
+
+/// How the input channels of a pipeline are specified.
+#[derive(Debug, Clone)]
+enum ChannelSpec {
+    /// A bare channel count: detection only, no localization.
+    Count(usize),
+    /// A microphone array: detection plus localization when it has ≥ 2 mics.
+    Array(MicrophoneArray),
+}
+
+/// Validated construction of [`Engine`]s and [`Session`]s — the only entry point.
+///
+/// Defaults: [`PipelineConfig::default`], one input channel, no localization.
+///
+/// # Example
+///
+/// ```
+/// use ispot_core::prelude::*;
+///
+/// # fn main() -> Result<(), PipelineError> {
+/// let mut session = PipelineBuilder::new(16_000.0)
+///     .channels(2)
+///     .confidence_threshold(0.3)
+///     .build()?;
+/// assert!(!session.localization_available());
+///
+/// // Degenerate configurations are rejected before anything is built.
+/// let err = PipelineBuilder::new(16_000.0).hop(0).build();
+/// assert!(matches!(err, Err(PipelineError::InvalidConfig { .. })));
+/// # session.reset_streaming();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    config: PipelineConfig,
+    sample_rate: f64,
+    channels: ChannelSpec,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder for audio at `sample_rate` Hz with the default
+    /// configuration and a single input channel.
+    pub fn new(sample_rate: f64) -> Self {
+        PipelineBuilder {
+            config: PipelineConfig::default(),
+            sample_rate,
+            channels: ChannelSpec::Count(1),
+        }
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the analysis frame length in samples.
+    pub fn frame_len(mut self, frame_len: usize) -> Self {
+        self.config.frame_len = frame_len;
+        self
+    }
+
+    /// Sets the hop between analysis frames in samples (must satisfy
+    /// `0 < hop <= frame_len`).
+    pub fn hop(mut self, hop: usize) -> Self {
+        self.config.hop = hop;
+        self
+    }
+
+    /// Sets the initial operating mode.
+    pub fn mode(mut self, mode: OperatingMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Sets the number of azimuth grid directions for localization.
+    pub fn num_directions(mut self, num_directions: usize) -> Self {
+        self.config.num_directions = num_directions;
+        self
+    }
+
+    /// Sets the minimum detector confidence for an event to be reported.
+    pub fn confidence_threshold(mut self, threshold: f64) -> Self {
+        self.config.confidence_threshold = threshold;
+        self
+    }
+
+    /// Sets the park-mode trigger configuration.
+    pub fn trigger(mut self, trigger: crate::trigger::TriggerConfig) -> Self {
+        self.config.trigger = trigger;
+        self
+    }
+
+    /// Uses a bare channel count: detection only, localization disabled.
+    pub fn channels(mut self, num_channels: usize) -> Self {
+        self.channels = ChannelSpec::Count(num_channels);
+        self
+    }
+
+    /// Uses a microphone array: the channel count is the array size and
+    /// localization is enabled when the array has at least two microphones.
+    pub fn array(mut self, array: &MicrophoneArray) -> Self {
+        self.channels = ChannelSpec::Array(array.clone());
+        self
+    }
+
+    /// Validates the configuration and builds the shared [`Engine`].
+    ///
+    /// This is the expensive step: detector templates are synthesized and the
+    /// SRP-PHAT steering operator is precomputed. Open per-stream workers with
+    /// [`Engine::open_session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] naming the offending parameter if
+    /// any value is out of range, or a stage error if the detector or localizer
+    /// cannot be built.
+    pub fn build_engine(self) -> Result<Engine, PipelineError> {
+        if !(self.sample_rate.is_finite() && self.sample_rate > 0.0) {
+            return Err(PipelineError::invalid_config(
+                "sample_rate",
+                "must be positive and finite",
+            ));
+        }
+        self.config.validate()?;
+        let num_channels = match &self.channels {
+            ChannelSpec::Count(n) => *n,
+            ChannelSpec::Array(a) => a.len(),
+        };
+        if num_channels == 0 {
+            return Err(PipelineError::invalid_config(
+                "num_channels",
+                "must be positive",
+            ));
+        }
+        let detector = Arc::new(SpectralTemplateDetector::new(self.sample_rate)?);
+        let localizer = match &self.channels {
+            ChannelSpec::Array(array) if array.len() >= 2 => {
+                let srp_config = SrpConfig {
+                    frame_len: self.config.frame_len,
+                    num_directions: self.config.num_directions,
+                    freq_max_hz: (self.sample_rate / 2.0 - 200.0).max(1000.0),
+                    ..SrpConfig::default()
+                };
+                Some(Arc::new(SrpPhatFast::new(
+                    srp_config,
+                    array,
+                    self.sample_rate,
+                )?))
+            }
+            _ => None,
+        };
+        Ok(Engine {
+            shared: Arc::new(EngineShared {
+                config: self.config,
+                sample_rate: self.sample_rate,
+                num_channels,
+                detector,
+                localizer,
+            }),
+        })
+    }
+
+    /// Builds an engine and opens a single [`Session`] on it — the convenience
+    /// path for single-stream deployments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PipelineBuilder::build_engine`].
+    pub fn build(self) -> Result<Session, PipelineError> {
+        Ok(self.build_engine()?.open_session())
+    }
+}
+
+/// The immutable state one engine shares across all of its sessions.
+#[derive(Debug)]
+struct EngineShared {
+    config: PipelineConfig,
+    sample_rate: f64,
+    num_channels: usize,
+    detector: Arc<SpectralTemplateDetector>,
+    localizer: Option<Arc<SrpPhatFast>>,
+}
+
+/// The shared, immutable half of a deployment: detector weights and the
+/// precomputed SRP-PHAT steering operator (with its FFT plans) behind [`Arc`]s.
+///
+/// One engine serves any number of concurrent audio streams: each
+/// [`Engine::open_session`] call clones the `Arc`s and allocates only per-stream
+/// scratch, so the marginal cost of another stream is a small fraction of the
+/// engine build (see the `engine_sessions` Criterion bench). `Engine` is `Clone`
+/// (a cheap handle) and `Send + Sync`, so sessions can be opened from and run on
+/// any thread.
+///
+/// # Example
+///
+/// ```
+/// use ispot_core::prelude::*;
+///
+/// # fn main() -> Result<(), PipelineError> {
+/// let engine = PipelineBuilder::new(16_000.0).channels(1).build_engine()?;
+/// // Two independent streams share the detector weights and FFT plans.
+/// let mut cabin = engine.open_session();
+/// let mut roof = engine.open_session();
+///
+/// let chunk = vec![0.0f64; 4096];
+/// let mut events = Vec::new();
+/// cabin.push_chunk_with(&[&chunk], &mut events)?;
+/// roof.push_chunk_with(&[&chunk], &mut events)?;
+/// assert_eq!(cabin.frames_processed(), roof.frames_processed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl Engine {
+    /// Starts a [`PipelineBuilder`] — identical to [`PipelineBuilder::new`],
+    /// provided so discovery works from either type.
+    pub fn builder(sample_rate: f64) -> PipelineBuilder {
+        PipelineBuilder::new(sample_rate)
+    }
+
+    /// Returns the validated configuration sessions are opened with.
+    pub fn config(&self) -> PipelineConfig {
+        self.shared.config
+    }
+
+    /// Returns the audio sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.shared.sample_rate
+    }
+
+    /// Returns the number of input channels per session.
+    pub fn num_channels(&self) -> usize {
+        self.shared.num_channels
+    }
+
+    /// Returns true if sessions localize detections (array with ≥ 2 mics).
+    pub fn localization_available(&self) -> bool {
+        self.shared.localizer.is_some()
+    }
+
+    /// Opens an independent processing session against this engine.
+    ///
+    /// The session shares the engine's detector and steering operator and owns
+    /// only per-stream mutable state (trigger, tracker, frame assembler, scratch
+    /// buffers); opening a session never re-derives shared state.
+    pub fn open_session(&self) -> Session {
+        let shared = &self.shared;
+        let stages = StageGraph::new(
+            TriggerStage::new(shared.config.trigger),
+            DetectStage::shared(Arc::clone(&shared.detector)),
+            LocalizeStage::shared(shared.localizer.clone()),
+            TrackStage::new(1.0, 36.0),
+            shared.config.frame_len,
+        );
+        Session {
+            config: shared.config,
+            sample_rate: shared.sample_rate,
+            num_channels: shared.num_channels,
+            stages,
+            framing: None,
+            latency: LatencyReport::new(),
+            frames_processed: 0,
+            frames_analyzed: 0,
+        }
+    }
+}
+
+/// Streaming state: the chunk-to-frame assembler plus recycled frame buffers.
+/// Created lazily on the first chunk push; all buffers are reused across frames,
+/// so steady-state streaming allocates nothing.
+#[derive(Debug)]
+struct Framing {
+    assembler: FrameAssembler,
+    frame_bufs: Vec<Vec<f64>>,
+}
+
+impl Framing {
+    fn new(num_channels: usize, frame_len: usize, hop: usize) -> Result<Self, PipelineError> {
+        Ok(Framing {
+            assembler: FrameAssembler::new(num_channels, frame_len, hop)?,
+            frame_bufs: vec![Vec::with_capacity(frame_len); num_channels],
+        })
+    }
+}
+
+/// One independent audio stream processed against an [`Engine`]: the complete
+/// detection + localization + tracking worker.
+///
+/// A session owns every piece of per-stream mutable state — trigger noise floor,
+/// Kalman tracker, chunk-to-frame assembler, feature/steering scratch, latency
+/// statistics — while the heavyweight immutable state (detector weights, steering
+/// operator, FFT plans) lives in the engine and is shared by reference.
+///
+/// Input can arrive as exact frames ([`Session::process_frame_with`]), as
+/// arbitrary-size planar `f64` chunks ([`Session::push_chunk_with`]), or in any
+/// capture-driver format ([`Session::push_input_with`] with [`AudioInput`]);
+/// whole recordings go through [`Session::process_recording_with`]. All entry
+/// points share one framing implementation and produce identical events, and all
+/// emit events **by reference** through a caller-supplied [`EventSink`] — the
+/// steady-state path performs no heap allocation. Thin `Vec`-returning wrappers
+/// ([`Session::push_chunk`], [`Session::process_recording`]) are kept for
+/// convenience and experiments.
+#[derive(Debug)]
+pub struct Session {
+    config: PipelineConfig,
+    sample_rate: f64,
+    num_channels: usize,
+    stages: StageGraph,
+    framing: Option<Framing>,
+    latency: LatencyReport,
+    frames_processed: usize,
+    frames_analyzed: usize,
+}
+
+impl Session {
+    /// Returns the configuration (the session's current mode, other fields as
+    /// validated at build time).
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Returns the audio sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Returns the number of input channels.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// Returns the operating mode.
+    pub fn mode(&self) -> OperatingMode {
+        self.config.mode
+    }
+
+    /// Switches the operating mode (e.g. drive ↔ park).
+    ///
+    /// On an actual transition the gated-stage state — the trigger's noise-floor
+    /// estimate and the azimuth tracker — is reset, so state accumulated in one
+    /// mode can never leak into the next (a drive-mode noise floor is meaningless
+    /// to the park-mode trigger, and a parked tracker estimate is stale by the
+    /// time driving resumes). Setting the current mode again is a no-op and does
+    /// **not** disturb a running stream. Buffered streaming input is preserved
+    /// either way.
+    pub fn set_mode(&mut self, mode: OperatingMode) {
+        if self.config.mode == mode {
+            return;
+        }
+        self.config.mode = mode;
+        self.stages.reset();
+    }
+
+    /// Returns true if localization is available (array geometry known, ≥ 2 mics).
+    pub fn localization_available(&self) -> bool {
+        self.stages.localize.is_available()
+    }
+
+    /// Per-stage latency statistics accumulated so far.
+    pub fn latency_report(&self) -> &LatencyReport {
+        &self.latency
+    }
+
+    /// Number of frames received.
+    pub fn frames_processed(&self) -> usize {
+        self.frames_processed
+    }
+
+    /// Number of frames on which the full analysis ran (in park mode this is the
+    /// number of trigger wake-ups).
+    pub fn frames_analyzed(&self) -> usize {
+        self.frames_analyzed
+    }
+
+    /// Fraction of frames on which the full analysis ran — 1.0 in drive mode, the
+    /// trigger duty cycle in park mode.
+    pub fn analysis_duty_cycle(&self) -> f64 {
+        if self.frames_processed == 0 {
+            0.0
+        } else {
+            self.frames_analyzed as f64 / self.frames_processed as f64
+        }
+    }
+
+    /// Samples currently buffered by the streaming assembler, waiting for enough
+    /// input to complete the next frame. Zero before any chunk push.
+    pub fn pending_samples(&self) -> usize {
+        self.framing
+            .as_ref()
+            .map_or(0, |f| f.assembler.samples_buffered())
+    }
+
+    /// Discards any partially assembled streaming input and restarts streaming frame
+    /// numbering at 0. Latency statistics and frame counters are retained. Buffers
+    /// are kept, so resetting does not reintroduce allocations.
+    pub fn reset_streaming(&mut self) {
+        if let Some(framing) = &mut self.framing {
+            framing.assembler.reset();
+        }
+    }
+
+    /// Processes one multichannel frame (`frame[channel][sample]`, every channel
+    /// exactly `frame_len` samples), reporting through `sink`, and returns the
+    /// frame's outcome.
+    ///
+    /// This is the real-time hot path: in steady state it performs **no heap
+    /// allocation** — all stages reuse session-owned scratch, and an emitted
+    /// event is built on the stack and passed to the sink by reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count or frame length is wrong, or an
+    /// analysis stage fails.
+    pub fn process_frame_with<S: EventSink>(
+        &mut self,
+        frame: &[&[f64]],
+        frame_index: usize,
+        sink: &mut S,
+    ) -> Result<FrameOutcome, PipelineError> {
+        if frame.len() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: frame.len(),
+            });
+        }
+        for ch in frame {
+            if ch.len() != self.config.frame_len {
+                return Err(PipelineError::invalid_config(
+                    "frame",
+                    format!(
+                        "every channel must have {} samples, got {}",
+                        self.config.frame_len,
+                        ch.len()
+                    ),
+                ));
+            }
+        }
+        self.frames_processed += 1;
+        let params = FrameParams {
+            gate_on_trigger: self.config.mode == OperatingMode::Park,
+            localization_enabled: self.config.mode.localization_enabled(),
+            confidence_threshold: self.config.confidence_threshold,
+        };
+        let outcome = self.stages.run_frame(frame, params, &mut self.latency)?;
+        self.latency.count_frame();
+        match outcome {
+            FrameOutcome::Gated => {}
+            FrameOutcome::Analyzed => self.frames_analyzed += 1,
+            FrameOutcome::Detection {
+                class,
+                confidence,
+                azimuth_deg,
+                tracked_azimuth_deg,
+            } => {
+                self.frames_analyzed += 1;
+                let event = PerceptionEvent {
+                    frame_index,
+                    time_s: frame_index as f64 * self.config.hop as f64 / self.sample_rate,
+                    class,
+                    confidence,
+                    azimuth_deg,
+                    tracked_azimuth_deg,
+                };
+                sink.on_event(&event);
+            }
+        }
+        sink.on_frame(&outcome);
+        Ok(outcome)
+    }
+
+    /// Convenience wrapper around [`process_frame_with`](Self::process_frame_with)
+    /// returning the emitted event (if any) by value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`process_frame_with`](Self::process_frame_with).
+    pub fn process_frame(
+        &mut self,
+        frame: &[&[f64]],
+        frame_index: usize,
+    ) -> Result<Option<PerceptionEvent>, PipelineError> {
+        let mut latest = LatestEvent::new();
+        self.process_frame_with(frame, frame_index, &mut latest)?;
+        Ok(latest.take())
+    }
+
+    /// Streams one chunk in **any** supported sample format and layout (see
+    /// [`AudioInput`]) into the session, reporting completed frames and emitted
+    /// events through `sink`. Returns the number of frames processed during this
+    /// call.
+    ///
+    /// Chunk sizes need not relate to `frame_len` or `hop` in any way: the
+    /// internal assembler buffers the stream and emits exactly-`frame_len` frames
+    /// every `hop` samples, so any chunking — and any sample format — of the same
+    /// signal yields the same events. Samples are converted and de-interleaved
+    /// directly into the assembler's rings; no intermediate buffer is built, and
+    /// steady state performs no heap allocation for channel counts up to 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::ChannelMismatch`] if the chunk's channel count is
+    /// wrong, [`PipelineError::InterleavedLayout`] if an interleaved chunk is not
+    /// a whole number of channel frames, or an error if the channels have unequal
+    /// lengths or an analysis stage fails. If an analysis stage fails, the frame
+    /// being analyzed has already been consumed from the stream (its `hop`
+    /// advance applied) and its result is lost; the remaining buffered samples
+    /// are preserved, so a caller may continue streaming from the next frame
+    /// after handling the error.
+    pub fn push_input_with<S: EventSink>(
+        &mut self,
+        input: AudioInput<'_>,
+        sink: &mut S,
+    ) -> Result<usize, PipelineError> {
+        if input.num_channels() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: input.num_channels(),
+            });
+        }
+        // Move the framing state out of `self` so the frame buffers can be borrowed
+        // while `process_frame_with` takes `&mut self`.
+        let mut framing = match self.framing.take() {
+            Some(f) => f,
+            None => Framing::new(self.num_channels, self.config.frame_len, self.config.hop)?,
+        };
+        let result = self.ingest_and_drain(&mut framing, input, sink);
+        self.framing = Some(framing);
+        result
+    }
+
+    fn ingest_and_drain<S: EventSink>(
+        &mut self,
+        framing: &mut Framing,
+        input: AudioInput<'_>,
+        sink: &mut S,
+    ) -> Result<usize, PipelineError> {
+        match input {
+            AudioInput::PlanarI16(chunk) => framing.assembler.push_planar(chunk)?,
+            AudioInput::PlanarF32(chunk) => framing.assembler.push_planar(chunk)?,
+            AudioInput::PlanarF64(chunk) => framing.assembler.push_planar(chunk)?,
+            AudioInput::InterleavedI16 { data, channels } => {
+                push_interleaved(&mut framing.assembler, data, channels)?
+            }
+            AudioInput::InterleavedF32 { data, channels } => {
+                push_interleaved(&mut framing.assembler, data, channels)?
+            }
+            AudioInput::InterleavedF64 { data, channels } => {
+                push_interleaved(&mut framing.assembler, data, channels)?
+            }
+        }
+        let mut emitted = 0;
+        while framing.assembler.frame_ready() {
+            let index = framing.assembler.emit_into(&mut framing.frame_bufs)?;
+            with_channel_views(&framing.frame_bufs, |views| {
+                self.process_frame_with(views, index, sink)
+            })?;
+            emitted += 1;
+        }
+        Ok(emitted)
+    }
+
+    /// Streams one planar `f64` chunk (`chunk[channel][sample]`, every channel
+    /// the same length) into the session, reporting through `sink`. Returns the
+    /// number of frames processed during this call.
+    ///
+    /// Shorthand for [`push_input_with`](Self::push_input_with) with
+    /// [`AudioInput::planar`]; see there for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_input_with`](Self::push_input_with).
+    pub fn push_chunk_with<S: EventSink>(
+        &mut self,
+        chunk: &[&[f64]],
+        sink: &mut S,
+    ) -> Result<usize, PipelineError> {
+        self.push_input_with(AudioInput::PlanarF64(chunk), sink)
+    }
+
+    /// Convenience wrapper around [`push_chunk_with`](Self::push_chunk_with)
+    /// appending emitted events to `events`. Returns the number of frames
+    /// processed during this call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_chunk_with`](Self::push_chunk_with).
+    pub fn push_chunk_into(
+        &mut self,
+        chunk: &[&[f64]],
+        events: &mut Vec<PerceptionEvent>,
+    ) -> Result<usize, PipelineError> {
+        self.push_chunk_with(chunk, events)
+    }
+
+    /// Convenience wrapper around [`push_chunk_with`](Self::push_chunk_with)
+    /// returning the events as a fresh `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_chunk_with`](Self::push_chunk_with).
+    pub fn push_chunk(&mut self, chunk: &[&[f64]]) -> Result<Vec<PerceptionEvent>, PipelineError> {
+        let mut events = Vec::new();
+        self.push_chunk_with(chunk, &mut events)?;
+        Ok(events)
+    }
+
+    /// Processes a whole multichannel recording with the configured frame/hop,
+    /// reporting through `sink`. Returns the number of frames processed.
+    ///
+    /// Implemented on the same streaming assembler as the chunk entry points (the
+    /// recording is one big chunk); any in-progress streaming state is reset
+    /// before and after, and the trailing samples that do not fill a final frame
+    /// are dropped, as a batch framer would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the recording's channel count does not match or any frame
+    /// fails to process.
+    pub fn process_recording_with<S: EventSink>(
+        &mut self,
+        audio: &MultichannelAudio,
+        sink: &mut S,
+    ) -> Result<usize, PipelineError> {
+        if audio.num_channels() != self.num_channels {
+            return Err(PipelineError::ChannelMismatch {
+                expected: self.num_channels,
+                actual: audio.num_channels(),
+            });
+        }
+        self.reset_streaming();
+        let frames =
+            with_channel_views(audio.channels(), |chunk| self.push_chunk_with(chunk, sink))?;
+        self.reset_streaming();
+        Ok(frames)
+    }
+
+    /// Convenience wrapper around
+    /// [`process_recording_with`](Self::process_recording_with) returning every
+    /// emitted event as a fresh `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`process_recording_with`](Self::process_recording_with).
+    pub fn process_recording(
+        &mut self,
+        audio: &MultichannelAudio,
+    ) -> Result<Vec<PerceptionEvent>, PipelineError> {
+        let mut events = Vec::new();
+        self.process_recording_with(audio, &mut events)?;
+        Ok(events)
+    }
+
+    /// Detector class events not gated by the pipeline: classifies a mono clip
+    /// directly (useful for diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clip is shorter than one detector frame.
+    pub fn classify_clip(&self, audio: &[f64]) -> Result<EventClass, PipelineError> {
+        self.stages.detect.classify_clip(audio)
+    }
+}
+
+/// Pushes an interleaved chunk, first rejecting layouts that are not a whole
+/// number of channel frames with the typed [`PipelineError::InterleavedLayout`]
+/// (pre-empting the untyped length error the assembler itself would raise —
+/// the assembler keeps its own check as part of the public `ispot_dsp`
+/// contract for direct callers).
+fn push_interleaved<S: ispot_dsp::sample::Sample>(
+    assembler: &mut FrameAssembler,
+    data: &[S],
+    channels: usize,
+) -> Result<(), PipelineError> {
+    if channels == 0 || !data.len().is_multiple_of(channels) {
+        return Err(PipelineError::InterleavedLayout {
+            samples: data.len(),
+            channels,
+        });
+    }
+    assembler.push_interleaved(data)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{AlertCounter, VecSink};
+    use ispot_roadsim::geometry::Position;
+    use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
+
+    #[test]
+    fn builder_rejects_each_degenerate_config() {
+        // Regression guards for the satellite fix: every one of these used to be
+        // representable and only misbehaved deep in the hot path (`hop = 0`
+        // stalls the assembler; `num_directions = 0` yields an empty SRP map on
+        // every frame; out-of-range trigger parameters corrupt the noise floor).
+        let cases: Vec<(&str, PipelineBuilder)> = vec![
+            ("frame_len", PipelineBuilder::new(16_000.0).frame_len(0)),
+            ("hop zero", PipelineBuilder::new(16_000.0).hop(0)),
+            (
+                "hop beyond frame",
+                PipelineBuilder::new(16_000.0).frame_len(1024).hop(1025),
+            ),
+            (
+                "num_directions",
+                PipelineBuilder::new(16_000.0).num_directions(0),
+            ),
+            (
+                "confidence low",
+                PipelineBuilder::new(16_000.0).confidence_threshold(-0.1),
+            ),
+            (
+                "confidence high",
+                PipelineBuilder::new(16_000.0).confidence_threshold(1.1),
+            ),
+            (
+                "confidence nan",
+                PipelineBuilder::new(16_000.0).confidence_threshold(f64::NAN),
+            ),
+            (
+                "trigger threshold",
+                PipelineBuilder::new(16_000.0).trigger(crate::trigger::TriggerConfig {
+                    threshold_db: f64::NAN,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "trigger smoothing",
+                PipelineBuilder::new(16_000.0).trigger(crate::trigger::TriggerConfig {
+                    floor_smoothing: 1.0,
+                    ..Default::default()
+                }),
+            ),
+            ("channels", PipelineBuilder::new(16_000.0).channels(0)),
+            ("sample_rate", PipelineBuilder::new(0.0)),
+        ];
+        for (what, builder) in cases {
+            assert!(
+                matches!(
+                    builder.build_engine(),
+                    Err(PipelineError::InvalidConfig { .. })
+                ),
+                "{what} accepted"
+            );
+        }
+        // hop == frame_len is the legal upper edge.
+        assert!(PipelineBuilder::new(16_000.0)
+            .frame_len(1024)
+            .hop(1024)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn engine_sessions_are_independent_and_share_state() {
+        let fs = 16_000.0;
+        let array = MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0));
+        let engine = PipelineBuilder::new(fs)
+            .array(&array)
+            .build_engine()
+            .unwrap();
+        assert!(engine.localization_available());
+        assert_eq!(engine.num_channels(), 4);
+
+        let mut a = engine.open_session();
+        let mut b = engine.open_session();
+        // The heavyweight state is genuinely shared, not copied.
+        assert!(Arc::ptr_eq(
+            a.stages.detect.detector(),
+            b.stages.detect.detector()
+        ));
+        assert!(Arc::ptr_eq(
+            a.stages.localize.localizer().unwrap(),
+            b.stages.localize.localizer().unwrap()
+        ));
+
+        // Feeding one session leaves the other untouched.
+        let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(0.5);
+        let chunk: Vec<&[f64]> = vec![&siren; 4];
+        let mut sink = VecSink::new();
+        a.push_chunk_with(&chunk, &mut sink).unwrap();
+        assert!(a.frames_processed() > 0);
+        assert_eq!(b.frames_processed(), 0);
+        assert_eq!(b.pending_samples(), 0);
+
+        // And the second session produces the same events as the first on the
+        // same input: per-stream state is fully isolated.
+        let mut sink_b = VecSink::new();
+        b.push_chunk_with(&chunk, &mut sink_b).unwrap();
+        assert_eq!(sink.events(), sink_b.events());
+    }
+
+    #[test]
+    fn sink_receives_every_frame_outcome() {
+        let fs = 16_000.0;
+        let siren = SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0);
+        let mut session = PipelineBuilder::new(fs).build().unwrap();
+        let mut counter = AlertCounter::new();
+        let frames = session.push_chunk_with(&[&siren], &mut counter).unwrap();
+        assert_eq!(frames, (siren.len() - 2048) / 1024 + 1);
+        assert_eq!(counter.frames, frames);
+        assert!(counter.alerts > 0);
+        assert!(counter.events >= counter.alerts);
+        assert_eq!(counter.gated, 0, "drive mode never gates");
+    }
+
+    #[test]
+    fn interleaved_layout_errors_are_typed() {
+        let mut session = PipelineBuilder::new(16_000.0).channels(2).build().unwrap();
+        let odd = [0.0f64; 5];
+        let mut sink = VecSink::new();
+        let err = session
+            .push_input_with(AudioInput::interleaved(&odd[..], 2), &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::InterleavedLayout {
+                samples: 5,
+                channels: 2
+            }
+        ));
+        // Wrong channel count is still a channel mismatch, not a layout error.
+        let err = session
+            .push_input_with(AudioInput::interleaved(&odd[..], 5), &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::ChannelMismatch { .. }));
+    }
+
+    #[test]
+    fn mode_transitions_reset_gated_state_deterministically() {
+        let fs = 16_000.0;
+        let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(2.0);
+        let loud: Vec<f64> = siren.iter().map(|x| x * 0.9).collect();
+        let frame_a = &loud[0..2048];
+        let frame_b = &loud[4096..6144];
+
+        let engine = PipelineBuilder::new(fs).build_engine().unwrap();
+
+        // Accumulate drive-mode state, detour through park, return to drive.
+        let mut toured = engine.open_session();
+        for i in 0..8 {
+            toured.process_frame(&[frame_a], i).unwrap();
+        }
+        toured.set_mode(OperatingMode::Park);
+        for i in 8..16 {
+            toured.process_frame(&[frame_a], i).unwrap();
+        }
+        toured.set_mode(OperatingMode::Drive);
+
+        // A fresh drive session must now see exactly the same events for the same
+        // frames: no trigger noise floor or tracker state may survive the tour.
+        let mut fresh = engine.open_session();
+        for i in 0..4 {
+            let toured_event = toured.process_frame(&[frame_b], i).unwrap();
+            let fresh_event = fresh.process_frame(&[frame_b], i).unwrap();
+            assert_eq!(toured_event, fresh_event, "frame {i}");
+        }
+
+        // Re-setting the current mode is a no-op: it must not reset mid-stream
+        // state (here: the trigger's park-mode wake-up statistics).
+        let mut park = engine.open_session();
+        park.set_mode(OperatingMode::Park);
+        for i in 0..6 {
+            park.process_frame(&[frame_a], i).unwrap();
+        }
+        let seen = park.stages.trigger.trigger().frames_seen();
+        assert!(seen > 0);
+        park.set_mode(OperatingMode::Park);
+        assert_eq!(park.stages.trigger.trigger().frames_seen(), seen);
+    }
+}

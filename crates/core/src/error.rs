@@ -23,6 +23,13 @@ pub enum PipelineError {
         /// Supplied number of channels.
         actual: usize,
     },
+    /// An interleaved chunk does not contain a whole number of channel frames.
+    InterleavedLayout {
+        /// Total samples in the chunk.
+        samples: usize,
+        /// Declared number of interleaved channels.
+        channels: usize,
+    },
     /// A DSP stage failed.
     Dsp(DspError),
     /// The detection stage failed.
@@ -39,6 +46,13 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::ChannelMismatch { expected, actual } => {
                 write!(f, "channel mismatch: expected {expected}, got {actual}")
+            }
+            PipelineError::InterleavedLayout { samples, channels } => {
+                write!(
+                    f,
+                    "interleaved chunk of {samples} samples is not a whole number of \
+                     {channels}-channel frames"
+                )
             }
             PipelineError::Dsp(e) => write!(f, "dsp error: {e}"),
             PipelineError::Detection(e) => write!(f, "detection error: {e}"),

@@ -45,8 +45,15 @@ impl LatencyReport {
     }
 
     /// Records `elapsed_ms` for `stage`.
+    ///
+    /// Only the first record of a given stage name allocates (the key); every
+    /// later record looks the entry up by `&str` and is heap-allocation-free, so
+    /// per-frame latency accounting stays off the allocator in steady state.
     pub fn record(&mut self, stage: &str, elapsed_ms: f64) {
-        let entry = self.stages.entry(stage.to_string()).or_default();
+        let entry = match self.stages.get_mut(stage) {
+            Some(entry) => entry,
+            None => self.stages.entry(stage.to_string()).or_default(),
+        };
         entry.invocations += 1;
         entry.total_ms += elapsed_ms;
         entry.max_ms = entry.max_ms.max(elapsed_ms);

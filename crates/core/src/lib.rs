@@ -3,9 +3,12 @@
 //! The end-to-end real-time acoustic-perception pipeline of the I-SPOT project: the
 //! system sketched in Fig. 1 of the paper, assembled from the substrate crates.
 //!
-//! A [`pipeline::AcousticPerceptionPipeline`] consumes multichannel microphone frames
-//! and produces [`events::PerceptionEvent`]s — "a wail siren at −35°, approaching" —
-//! by chaining:
+//! The deployment-facing surface is the session/engine [`api`]: a
+//! [`api::PipelineBuilder`] validates every parameter up front, builds an
+//! [`api::Engine`] owning the shared immutable state (detector templates, the
+//! precomputed SRP-PHAT steering operator, FFT plans — all behind `Arc`s), and
+//! opens any number of independent [`api::Session`]s against it, one per
+//! concurrent microphone stream. Each session chains:
 //!
 //! 1. a park-mode wake [`trigger`] (always-on, ultra-low-power energy detector),
 //! 2. an emergency-sound detector (`ispot-sed`),
@@ -16,13 +19,14 @@
 //! fully functional low-latency **drive** mode and the trigger-based low-power **park**
 //! mode (Sec. II, requirement 3 of the paper).
 //!
-//! The four analysis steps are composed as a reusable [`stages::StageGraph`] owning
-//! all per-frame scratch memory, so the steady-state frame path performs zero heap
-//! allocations. Input can arrive as exact frames
-//! ([`pipeline::AcousticPerceptionPipeline::process_frame`]), as arbitrary-sized
-//! capture chunks ([`pipeline::AcousticPerceptionPipeline::push_chunk`], backed by
-//! `ispot_dsp::framing::FrameAssembler`), or as whole recordings; all three paths
-//! share one framing implementation and produce identical events.
+//! Input enters in any capture-driver format ([`input::AudioInput`]: interleaved
+//! or planar, `i16`/`f32`/`f64`), is de-interleaved and converted directly into
+//! the frame assembler's rings, and results leave **by reference** through an
+//! [`sink::EventSink`] — in steady state the whole path from chunk ingestion to
+//! event emission performs zero heap allocations. `Vec`-returning convenience
+//! wrappers remain for experiments and quick scripts, and
+//! [`pipeline::AcousticPerceptionPipeline`] names the classic single-stream case
+//! (a session on a private engine).
 //!
 //! # Example
 //!
@@ -42,10 +46,12 @@
 //!     .air_absorption(false)
 //!     .build()?;
 //! let audio = Simulator::new(scene)?.run()?;
-//! let config = PipelineConfig { frame_len: 2048, hop: 1024, ..PipelineConfig::default() };
-//! let mut pipeline = AcousticPerceptionPipeline::new(config, audio.sample_rate(), 4)?;
-//! let events = pipeline.process_recording(&audio)?;
-//! assert!(events.iter().any(|e| e.class.is_event()));
+//! // Build the engine once, open a session per stream, sink events by reference.
+//! let engine = PipelineBuilder::new(audio.sample_rate()).channels(4).build_engine()?;
+//! let mut session = engine.open_session();
+//! let mut alerts = AlertCounter::new();
+//! session.process_recording_with(&audio, &mut alerts)?;
+//! assert!(alerts.alerts > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,11 +59,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod api;
 pub mod error;
 pub mod events;
+pub mod input;
 pub mod latency;
 pub mod mode;
 pub mod pipeline;
+pub mod sink;
 pub mod stages;
 pub mod stream;
 pub mod trigger;
@@ -66,12 +75,15 @@ pub use error::PipelineError;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::api::{Engine, PipelineBuilder, Session};
     pub use crate::error::PipelineError;
     pub use crate::events::PerceptionEvent;
+    pub use crate::input::AudioInput;
     pub use crate::latency::{LatencyReport, StageLatency};
     pub use crate::mode::OperatingMode;
     pub use crate::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+    pub use crate::sink::{AlertCounter, EventSink, FnSink, LatestEvent, VecSink};
     pub use crate::stages::{FrameOutcome, Stage, StageGraph};
     pub use crate::stream::StreamRunner;
-    pub use crate::trigger::EnergyTrigger;
+    pub use crate::trigger::{EnergyTrigger, TriggerConfig};
 }

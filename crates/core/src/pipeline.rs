@@ -1,66 +1,57 @@
-//! The end-to-end acoustic-perception pipeline.
+//! Pipeline configuration and the classic single-stream entry point.
 //!
-//! Internally the pipeline is a [`StageGraph`] (trigger → detect → localize →
-//! track) plus a chunk-to-frame [`FrameAssembler`]; see [`crate::stages`] for the
-//! graph and `ispot_dsp::framing` for the assembler. Three entry points cover the
-//! deployment modes:
+//! The construction API lives in [`crate::api`]: a
+//! [`PipelineBuilder`](crate::api::PipelineBuilder) validates a
+//! [`PipelineConfig`], builds an [`Engine`](crate::api::Engine) holding the
+//! shared immutable state, and opens [`Session`](crate::api::Session)s against
+//! it. This module keeps
+//! the configuration type itself plus [`AcousticPerceptionPipeline`], the
+//! historical name for a single session on a private engine:
 //!
-//! * [`AcousticPerceptionPipeline::process_frame`] — one exactly-`frame_len` frame,
-//!   the real-time hot path. Steady state allocates nothing on the heap.
-//! * [`AcousticPerceptionPipeline::push_chunk`] — streaming input in arbitrary chunk
-//!   sizes (what a capture driver delivers); frames are assembled internally and
-//!   events returned as they fire. Chunk-size invariant: any chunking produces the
-//!   same events as batch processing.
-//! * [`AcousticPerceptionPipeline::process_recording`] — a whole recording at once
-//!   (experiments, datasets); implemented on top of the same assembler.
+//! ```
+//! use ispot_core::prelude::*;
+//!
+//! # fn main() -> Result<(), PipelineError> {
+//! let mut pipeline: AcousticPerceptionPipeline =
+//!     PipelineBuilder::new(16_000.0).channels(1).build()?;
+//! let mut events = Vec::new();
+//! let frames = pipeline.push_chunk_into(&[&vec![0.0; 4096][..]], &mut events)?;
+//! assert_eq!(frames, 3); // 2048-sample frames every 1024 samples
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::PipelineError;
-use crate::events::PerceptionEvent;
-use crate::latency::LatencyReport;
 use crate::mode::OperatingMode;
-use crate::stages::{
-    DetectStage, FrameOutcome, FrameParams, LocalizeStage, StageGraph, TrackStage, TriggerStage,
-};
 use crate::trigger::TriggerConfig;
-use ispot_dsp::framing::FrameAssembler;
-use ispot_roadsim::engine::MultichannelAudio;
-use ispot_roadsim::microphone::MicrophoneArray;
-use ispot_sed::EventClass;
-use ispot_ssl::srp_phat::SrpConfig;
 use serde::{Deserialize, Serialize};
 
-/// Channel counts up to this bound build their frame views on the stack; beyond it
-/// the streaming path falls back to one small heap allocation per frame.
-const MAX_STACK_CHANNELS: usize = 32;
+/// The end-to-end perception worker for one audio stream.
+///
+/// Since the session/engine redesign this is simply a
+/// [`Session`](crate::api::Session) opened on a
+/// private engine; the name is kept because "the pipeline" is how the rest of
+/// the workspace (experiments, benches, docs) refers to the single-stream case.
+/// Construct it with [`PipelineBuilder::build`](crate::api::PipelineBuilder).
+pub type AcousticPerceptionPipeline = crate::api::Session;
 
-/// Runs `f` over per-channel `&[f64]` views of `channels` — the channel-view arena
-/// of the streaming paths. Up to [`MAX_STACK_CHANNELS`] channels the view table
-/// lives on the stack (no allocation); beyond that one small `Vec` is built.
-pub(crate) fn with_channel_views<R>(channels: &[Vec<f64>], f: impl FnOnce(&[&[f64]]) -> R) -> R {
-    if channels.len() <= MAX_STACK_CHANNELS {
-        let mut views: [&[f64]; MAX_STACK_CHANNELS] = [&[]; MAX_STACK_CHANNELS];
-        for (view, ch) in views.iter_mut().zip(channels) {
-            *view = ch.as_slice();
-        }
-        f(&views[..channels.len()])
-    } else {
-        let views: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
-        f(&views)
-    }
-}
-
-/// Configuration of the [`AcousticPerceptionPipeline`].
+/// Configuration of a perception [`Session`](crate::api::Session).
+///
+/// Constructed by hand (all fields public) and validated by the
+/// [`PipelineBuilder`](crate::api::PipelineBuilder) — invalid values are
+/// rejected at build time with [`PipelineError::InvalidConfig`], never deferred
+/// to the per-frame hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Analysis frame length in samples.
     pub frame_len: usize,
-    /// Hop between analysis frames in samples.
+    /// Hop between analysis frames in samples (`0 < hop <= frame_len`).
     pub hop: usize,
     /// Operating mode (drive or park).
     pub mode: OperatingMode,
     /// Number of azimuth grid directions for localization.
     pub num_directions: usize,
-    /// Minimum detector confidence for an event to be reported.
+    /// Minimum detector confidence for an event to be reported, in `[0, 1]`.
     pub confidence_threshold: f64,
     /// Park-mode trigger configuration.
     pub trigger: TriggerConfig,
@@ -80,11 +71,38 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
-    fn validate(&self) -> Result<(), PipelineError> {
-        if self.frame_len == 0 || self.hop == 0 {
+    /// Checks every parameter against its documented range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] naming the first offending
+    /// parameter:
+    ///
+    /// * `frame_len` must be positive;
+    /// * `hop` must satisfy `0 < hop <= frame_len` (a zero hop stalls the frame
+    ///   assembler, and a hop beyond the frame length silently drops samples —
+    ///   the emergency-alert pipeline must see every sample; direct users of
+    ///   `ispot_dsp::framing::FrameAssembler` can still configure
+    ///   `hop > frame_len` decimated analysis, deliberately);
+    /// * `num_directions` must be positive (a zero-direction grid produces an
+    ///   empty, peak-less SRP map on every frame);
+    /// * `confidence_threshold` must lie in `[0, 1]`;
+    /// * the trigger's `threshold_db` must be positive and finite, and its
+    ///   `floor_smoothing` must lie strictly inside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.frame_len == 0 {
             return Err(PipelineError::invalid_config(
-                "frame_len/hop",
+                "frame_len",
                 "must be positive",
+            ));
+        }
+        if self.hop == 0 || self.hop > self.frame_len {
+            return Err(PipelineError::invalid_config(
+                "hop",
+                format!(
+                    "must satisfy 0 < hop <= frame_len ({}), got {}",
+                    self.frame_len, self.hop
+                ),
             ));
         }
         if self.num_directions == 0 {
@@ -99,368 +117,30 @@ impl PipelineConfig {
                 "must be within [0, 1]",
             ));
         }
-        Ok(())
-    }
-}
-
-/// Streaming state: the chunk-to-frame assembler plus recycled frame buffers.
-/// Created lazily on the first `push_chunk`/`process_recording`; all buffers are
-/// reused across frames, so steady-state streaming allocates nothing.
-#[derive(Debug)]
-struct Framing {
-    assembler: FrameAssembler,
-    frame_bufs: Vec<Vec<f64>>,
-}
-
-impl Framing {
-    fn new(num_channels: usize, frame_len: usize, hop: usize) -> Result<Self, PipelineError> {
-        Ok(Framing {
-            assembler: FrameAssembler::new(num_channels, frame_len, hop)?,
-            frame_bufs: vec![Vec::with_capacity(frame_len); num_channels],
-        })
-    }
-}
-
-/// The complete detection + localization + tracking pipeline.
-///
-/// Built either for detection only ([`AcousticPerceptionPipeline::new`], when the array
-/// geometry is unknown) or with localization ([`AcousticPerceptionPipeline::with_array`]).
-#[derive(Debug)]
-pub struct AcousticPerceptionPipeline {
-    config: PipelineConfig,
-    sample_rate: f64,
-    num_channels: usize,
-    stages: StageGraph,
-    framing: Option<Framing>,
-    latency: LatencyReport,
-    frames_processed: usize,
-    frames_analyzed: usize,
-}
-
-impl AcousticPerceptionPipeline {
-    /// Creates a detection-only pipeline for `num_channels` input channels (channels
-    /// are averaged before detection; localization is disabled).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the configuration is invalid or the detector cannot be
-    /// built.
-    pub fn new(
-        config: PipelineConfig,
-        sample_rate: f64,
-        num_channels: usize,
-    ) -> Result<Self, PipelineError> {
-        config.validate()?;
-        if num_channels == 0 {
+        if !(self.trigger.threshold_db.is_finite() && self.trigger.threshold_db > 0.0) {
             return Err(PipelineError::invalid_config(
-                "num_channels",
-                "must be positive",
+                "trigger.threshold_db",
+                "must be positive and finite",
             ));
         }
-        let stages = StageGraph::new(
-            TriggerStage::new(config.trigger),
-            DetectStage::new(sample_rate)?,
-            LocalizeStage::disabled(),
-            TrackStage::new(1.0, 36.0),
-            config.frame_len,
-        );
-        Ok(AcousticPerceptionPipeline {
-            config,
-            sample_rate,
-            num_channels,
-            stages,
-            framing: None,
-            latency: LatencyReport::new(),
-            frames_processed: 0,
-            frames_analyzed: 0,
-        })
-    }
-
-    /// Creates a full pipeline (detection + localization + tracking) for the given
-    /// microphone array.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the configuration, detector or localizer is invalid.
-    pub fn with_array(
-        config: PipelineConfig,
-        sample_rate: f64,
-        array: &MicrophoneArray,
-    ) -> Result<Self, PipelineError> {
-        let mut pipeline = Self::new(config, sample_rate, array.len())?;
-        if array.len() >= 2 {
-            let srp_config = SrpConfig {
-                frame_len: config.frame_len,
-                num_directions: config.num_directions,
-                freq_max_hz: (sample_rate / 2.0 - 200.0).max(1000.0),
-                ..SrpConfig::default()
-            };
-            pipeline.stages.localize = LocalizeStage::for_array(srp_config, array, sample_rate)?;
+        if !(self.trigger.floor_smoothing > 0.0 && self.trigger.floor_smoothing < 1.0) {
+            return Err(PipelineError::invalid_config(
+                "trigger.floor_smoothing",
+                "must lie strictly inside (0, 1)",
+            ));
         }
-        Ok(pipeline)
-    }
-
-    /// Returns the configuration.
-    pub fn config(&self) -> PipelineConfig {
-        self.config
-    }
-
-    /// Returns the operating mode.
-    pub fn mode(&self) -> OperatingMode {
-        self.config.mode
-    }
-
-    /// Switches the operating mode (e.g. drive ↔ park), resetting the trigger and the
-    /// tracker.
-    pub fn set_mode(&mut self, mode: OperatingMode) {
-        self.config.mode = mode;
-        self.stages.reset();
-    }
-
-    /// Returns true if localization is available (array geometry known, ≥ 2 mics).
-    pub fn localization_available(&self) -> bool {
-        self.stages.localize.is_available()
-    }
-
-    /// Per-stage latency statistics accumulated so far.
-    pub fn latency_report(&self) -> &LatencyReport {
-        &self.latency
-    }
-
-    /// Number of frames received.
-    pub fn frames_processed(&self) -> usize {
-        self.frames_processed
-    }
-
-    /// Number of frames on which the full analysis ran (in park mode this is the
-    /// number of trigger wake-ups).
-    pub fn frames_analyzed(&self) -> usize {
-        self.frames_analyzed
-    }
-
-    /// Fraction of frames on which the full analysis ran — 1.0 in drive mode, the
-    /// trigger duty cycle in park mode.
-    pub fn analysis_duty_cycle(&self) -> f64 {
-        if self.frames_processed == 0 {
-            0.0
-        } else {
-            self.frames_analyzed as f64 / self.frames_processed as f64
-        }
-    }
-
-    /// Samples currently buffered by the streaming assembler, waiting for enough
-    /// input to complete the next frame. Zero before any `push_chunk`.
-    pub fn pending_samples(&self) -> usize {
-        self.framing
-            .as_ref()
-            .map_or(0, |f| f.assembler.samples_buffered())
-    }
-
-    /// Discards any partially assembled streaming input and restarts streaming frame
-    /// numbering at 0. Latency statistics and frame counters are retained. Buffers
-    /// are kept, so resetting does not reintroduce allocations.
-    pub fn reset_streaming(&mut self) {
-        if let Some(framing) = &mut self.framing {
-            framing.assembler.reset();
-        }
-    }
-
-    /// Processes one multichannel frame (`frame[channel][sample]`, every channel
-    /// exactly `frame_len` samples) and returns an event if an emergency sound was
-    /// detected.
-    ///
-    /// This is the real-time hot path: in steady state it performs **no heap
-    /// allocation** — the mono mixdown reuses scratch preallocated in the stage
-    /// graph and all stages operate on borrowed slices.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the channel count or frame length is wrong, or an analysis
-    /// stage fails.
-    pub fn process_frame(
-        &mut self,
-        frame: &[&[f64]],
-        frame_index: usize,
-    ) -> Result<Option<PerceptionEvent>, PipelineError> {
-        if frame.len() != self.num_channels {
-            return Err(PipelineError::ChannelMismatch {
-                expected: self.num_channels,
-                actual: frame.len(),
-            });
-        }
-        for ch in frame {
-            if ch.len() != self.config.frame_len {
-                return Err(PipelineError::invalid_config(
-                    "frame",
-                    format!(
-                        "every channel must have {} samples, got {}",
-                        self.config.frame_len,
-                        ch.len()
-                    ),
-                ));
-            }
-        }
-        self.frames_processed += 1;
-        let params = FrameParams {
-            gate_on_trigger: self.config.mode == OperatingMode::Park,
-            localization_enabled: self.config.mode.localization_enabled(),
-            confidence_threshold: self.config.confidence_threshold,
-        };
-        let outcome = self.stages.run_frame(frame, params, &mut self.latency)?;
-        self.latency.count_frame();
-        match outcome {
-            FrameOutcome::Gated => Ok(None),
-            FrameOutcome::Analyzed => {
-                self.frames_analyzed += 1;
-                Ok(None)
-            }
-            FrameOutcome::Detection {
-                class,
-                confidence,
-                azimuth_deg,
-                tracked_azimuth_deg,
-            } => {
-                self.frames_analyzed += 1;
-                Ok(Some(PerceptionEvent {
-                    frame_index,
-                    time_s: frame_index as f64 * self.config.hop as f64 / self.sample_rate,
-                    class,
-                    confidence,
-                    azimuth_deg,
-                    tracked_azimuth_deg,
-                }))
-            }
-        }
-    }
-
-    /// Streams one multichannel chunk of **arbitrary** length (`chunk[channel]
-    /// [sample]`, every channel the same length) into the pipeline, appending any
-    /// events fired by completed frames to `events`. Returns the number of frames
-    /// processed during this call (in park mode this includes trigger-gated frames;
-    /// see [`frames_analyzed`](Self::frames_analyzed) for the analyzed count).
-    ///
-    /// Chunk sizes need not relate to `frame_len` or `hop` in any way: the internal
-    /// [`FrameAssembler`] buffers the stream and emits exactly-`frame_len` frames
-    /// every `hop` samples, so any chunking yields the same events as
-    /// [`process_recording`](Self::process_recording) on the concatenated stream.
-    /// Frame indices (and event timestamps) count from the start of the stream (the
-    /// last [`reset_streaming`](Self::reset_streaming)).
-    ///
-    /// Steady state performs no heap allocation for channel counts up to 32: frame
-    /// buffers are recycled, the mixdown scratch is preallocated, and channel views
-    /// live on the stack (`events` only allocates when events actually fire).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the channel count is wrong, the channels have unequal
-    /// lengths, or an analysis stage fails. If an analysis stage fails, the frame
-    /// being analyzed has already been consumed from the stream (its `hop` advance
-    /// applied) and its result is lost; the remaining buffered samples are
-    /// preserved, so a caller may continue streaming from the next frame after
-    /// handling the error.
-    pub fn push_chunk_into(
-        &mut self,
-        chunk: &[&[f64]],
-        events: &mut Vec<PerceptionEvent>,
-    ) -> Result<usize, PipelineError> {
-        if chunk.len() != self.num_channels {
-            return Err(PipelineError::ChannelMismatch {
-                expected: self.num_channels,
-                actual: chunk.len(),
-            });
-        }
-        // Move the framing state out of `self` so the frame buffers can be borrowed
-        // while `process_frame` takes `&mut self`.
-        let mut framing = match self.framing.take() {
-            Some(f) => f,
-            None => Framing::new(self.num_channels, self.config.frame_len, self.config.hop)?,
-        };
-        let result = self.drain_assembler(&mut framing, chunk, events);
-        self.framing = Some(framing);
-        result
-    }
-
-    /// Convenience wrapper around [`push_chunk_into`](Self::push_chunk_into)
-    /// returning the events as a fresh `Vec`.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`push_chunk_into`](Self::push_chunk_into).
-    pub fn push_chunk(&mut self, chunk: &[&[f64]]) -> Result<Vec<PerceptionEvent>, PipelineError> {
-        let mut events = Vec::new();
-        self.push_chunk_into(chunk, &mut events)?;
-        Ok(events)
-    }
-
-    fn drain_assembler(
-        &mut self,
-        framing: &mut Framing,
-        chunk: &[&[f64]],
-        events: &mut Vec<PerceptionEvent>,
-    ) -> Result<usize, PipelineError> {
-        framing.assembler.push(chunk)?;
-        let mut emitted = 0;
-        while framing.assembler.frame_ready() {
-            let index = framing.assembler.emit_into(&mut framing.frame_bufs)?;
-            let event = with_channel_views(&framing.frame_bufs, |views| {
-                self.process_frame(views, index)
-            })?;
-            if let Some(event) = event {
-                events.push(event);
-            }
-            emitted += 1;
-        }
-        Ok(emitted)
-    }
-
-    /// Processes a whole multichannel recording with the configured frame/hop,
-    /// returning every emitted event.
-    ///
-    /// Implemented on the same streaming assembler as
-    /// [`push_chunk`](Self::push_chunk) (the recording is one big chunk); any
-    /// in-progress streaming state is reset before and after, and the trailing
-    /// samples that do not fill a final frame are dropped, as a batch framer would.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the recording's channel count does not match or any frame
-    /// fails to process.
-    pub fn process_recording(
-        &mut self,
-        audio: &MultichannelAudio,
-    ) -> Result<Vec<PerceptionEvent>, PipelineError> {
-        if audio.num_channels() != self.num_channels {
-            return Err(PipelineError::ChannelMismatch {
-                expected: self.num_channels,
-                actual: audio.num_channels(),
-            });
-        }
-        self.reset_streaming();
-        let mut events = Vec::new();
-        with_channel_views(audio.channels(), |chunk| {
-            self.push_chunk_into(chunk, &mut events)
-        })?;
-        self.reset_streaming();
-        Ok(events)
-    }
-
-    /// Detector class events not gated by the pipeline: classifies a mono clip
-    /// directly (useful for diagnostics).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the clip is shorter than one detector frame.
-    pub fn classify_clip(&self, audio: &[f64]) -> Result<EventClass, PipelineError> {
-        self.stages.detect.classify_clip(audio)
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::PipelineBuilder;
     use ispot_dsp::generator::{NoiseKind, NoiseSource};
-    use ispot_roadsim::engine::Simulator;
+    use ispot_roadsim::engine::{MultichannelAudio, Simulator};
     use ispot_roadsim::geometry::Position;
+    use ispot_roadsim::microphone::MicrophoneArray;
     use ispot_roadsim::scene::SceneBuilder;
     use ispot_roadsim::source::SoundSource;
     use ispot_roadsim::trajectory::Trajectory;
@@ -491,12 +171,10 @@ mod tests {
     #[test]
     fn detects_and_localizes_a_static_siren() {
         let (audio, array) = simulate_siren(45.0, 6, 1.0);
-        let mut pipeline = AcousticPerceptionPipeline::with_array(
-            PipelineConfig::default(),
-            audio.sample_rate(),
-            &array,
-        )
-        .unwrap();
+        let mut pipeline = PipelineBuilder::new(audio.sample_rate())
+            .array(&array)
+            .build()
+            .unwrap();
         assert!(pipeline.localization_available());
         let events = pipeline.process_recording(&audio).unwrap();
         assert!(!events.is_empty(), "no events detected");
@@ -522,8 +200,7 @@ mod tests {
             .map(|x| x * 0.05)
             .collect();
         let channels = MultichannelAudio::new(vec![noise.clone(), noise], fs);
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).channels(2).build().unwrap();
         let events = pipeline.process_recording(&channels).unwrap();
         assert!(
             events.iter().all(|e| !e.is_alert()),
@@ -541,11 +218,10 @@ mod tests {
             .collect();
         signal.extend(SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0));
         let audio = MultichannelAudio::new(vec![signal], fs);
-        let config = PipelineConfig {
-            mode: OperatingMode::Park,
-            ..PipelineConfig::default()
-        };
-        let mut pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs)
+            .mode(OperatingMode::Park)
+            .build()
+            .unwrap();
         let events = pipeline.process_recording(&audio).unwrap();
         // The expensive analysis only ran on a fraction of the frames...
         assert!(pipeline.analysis_duty_cycle() < 0.8);
@@ -558,8 +234,7 @@ mod tests {
     #[test]
     fn channel_and_length_validation() {
         let fs = 16_000.0;
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).channels(2).build().unwrap();
         let ch = vec![0.0; 2048];
         let one: Vec<&[f64]> = vec![&ch];
         assert!(matches!(
@@ -574,8 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configurations_rejected() {
-        let fs = 16_000.0;
+    fn config_validation_rejects_out_of_range_values() {
         for bad in [
             PipelineConfig {
                 frame_len: 0,
@@ -586,20 +260,35 @@ mod tests {
                 ..PipelineConfig::default()
             },
             PipelineConfig {
+                hop: 4096,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                num_directions: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
                 confidence_threshold: 2.0,
                 ..PipelineConfig::default()
             },
+            PipelineConfig {
+                trigger: TriggerConfig {
+                    floor_smoothing: 0.0,
+                    ..TriggerConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
         ] {
-            assert!(AcousticPerceptionPipeline::new(bad, fs, 2).is_err());
+            assert!(bad.validate().is_err(), "{bad:?} accepted");
+            assert!(PipelineBuilder::new(16_000.0).config(bad).build().is_err());
         }
-        assert!(AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 0).is_err());
+        assert!(PipelineConfig::default().validate().is_ok());
     }
 
     #[test]
-    fn mode_switch_resets_duty_cycle_tracking() {
+    fn mode_switch_keeps_reporting_the_new_mode() {
         let fs = 16_000.0;
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).build().unwrap();
         assert_eq!(pipeline.mode(), OperatingMode::Drive);
         pipeline.set_mode(OperatingMode::Park);
         assert_eq!(pipeline.mode(), OperatingMode::Park);
@@ -609,7 +298,7 @@ mod tests {
     #[test]
     fn classify_clip_exposes_the_detector() {
         let fs = 16_000.0;
-        let pipeline = AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let pipeline = PipelineBuilder::new(fs).build().unwrap();
         let horn = ispot_sed::sirens::synthesize_event(ispot_sed::EventClass::CarHorn, fs, 1.0);
         let class = pipeline.classify_clip(&horn).unwrap();
         assert_eq!(class, ispot_sed::EventClass::CarHorn);
@@ -620,14 +309,14 @@ mod tests {
         let fs = 16_000.0;
         let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
         let audio = MultichannelAudio::new(vec![siren], fs);
-        let config = PipelineConfig::default();
-        let mut batch = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let engine = PipelineBuilder::new(fs).build_engine().unwrap();
+        let mut batch = engine.open_session();
         let batch_events = batch.process_recording(&audio).unwrap();
         assert!(!batch_events.is_empty());
 
         // Stream the same recording in deliberately awkward chunk sizes.
         for chunk_size in [1usize, 7, 160, 1024, 2048, 5000] {
-            let mut streaming = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+            let mut streaming = engine.open_session();
             let mut events = Vec::new();
             let mut frames = 0;
             for chunk in audio.channel(0).chunks(chunk_size) {
@@ -650,8 +339,7 @@ mod tests {
     #[test]
     fn push_chunk_buffers_partial_frames_across_calls() {
         let fs = 16_000.0;
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).build().unwrap();
         let silence = vec![0.0; 1000];
         assert_eq!(pipeline.push_chunk(&[&silence]).unwrap().len(), 0);
         assert_eq!(pipeline.pending_samples(), 1000);
@@ -668,8 +356,7 @@ mod tests {
     #[test]
     fn push_chunk_validates_channel_count() {
         let fs = 16_000.0;
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 2).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).channels(2).build().unwrap();
         let mono = vec![0.0; 64];
         assert!(matches!(
             pipeline.push_chunk(&[&mono]),
@@ -682,8 +369,7 @@ mod tests {
     #[test]
     fn process_recording_resets_streaming_state() {
         let fs = 16_000.0;
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).build().unwrap();
         // Leave a partial frame buffered from streaming...
         pipeline.push_chunk(&[&vec![0.0; 500][..]]).unwrap();
         assert_eq!(pipeline.pending_samples(), 500);
@@ -692,5 +378,35 @@ mod tests {
         pipeline.process_recording(&audio).unwrap();
         assert_eq!(pipeline.frames_processed(), 3);
         assert_eq!(pipeline.pending_samples(), 0);
+    }
+
+    #[test]
+    fn ingestion_formats_produce_identical_events() {
+        use crate::input::AudioInput;
+        let fs = 16_000.0;
+        // Quantize a siren to i16 so the same physical signal is exactly
+        // representable in every supported format.
+        let pcm: Vec<i16> = SirenSynthesizer::new(SirenKind::Wail, fs)
+            .synthesize(1.0)
+            .iter()
+            .map(|x| (x * 24_000.0).round().clamp(-32768.0, 32767.0) as i16)
+            .collect();
+        let as_f32: Vec<f32> = pcm.iter().map(|&s| (s as f64 / 32768.0) as f32).collect();
+        let as_f64: Vec<f64> = pcm.iter().map(|&s| s as f64 / 32768.0).collect();
+
+        let engine = PipelineBuilder::new(fs).build_engine().unwrap();
+        let run = |input: AudioInput<'_>| {
+            let mut session = engine.open_session();
+            let mut events = Vec::new();
+            session.push_input_with(input, &mut events).unwrap();
+            events
+        };
+        let reference = run(AudioInput::planar(&[&as_f64[..]]));
+        assert!(!reference.is_empty());
+        assert_eq!(run(AudioInput::planar(&[&pcm[..]])), reference);
+        assert_eq!(run(AudioInput::planar(&[&as_f32[..]])), reference);
+        assert_eq!(run(AudioInput::interleaved(&pcm[..], 1)), reference);
+        assert_eq!(run(AudioInput::interleaved(&as_f32[..], 1)), reference);
+        assert_eq!(run(AudioInput::interleaved(&as_f64[..], 1)), reference);
     }
 }

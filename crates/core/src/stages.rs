@@ -17,11 +17,12 @@ use crate::error::PipelineError;
 use crate::latency::LatencyReport;
 use crate::trigger::{EnergyTrigger, TriggerConfig};
 use ispot_roadsim::microphone::MicrophoneArray;
-use ispot_sed::baseline::SpectralTemplateDetector;
+use ispot_sed::baseline::{DetectorScratch, SpectralTemplateDetector};
 use ispot_sed::EventClass;
 use ispot_ssl::srp_fast::SrpPhatFast;
 use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpScratch};
 use ispot_ssl::tracking::AzimuthKalmanTracker;
+use std::sync::Arc;
 
 /// A named unit of per-frame work inside the perception pipeline.
 ///
@@ -75,31 +76,57 @@ impl Stage for TriggerStage {
 
 /// Detection stage: classifies the mono mixdown into an [`EventClass`] with a
 /// confidence score.
+///
+/// The detector itself (templates, filterbank, FFT plan) is immutable and shared
+/// behind an [`Arc`] — every session opened against one engine reuses the same
+/// weights — while the per-frame feature scratch is stage-owned, so the
+/// classification path performs no heap allocation.
 #[derive(Debug)]
 pub struct DetectStage {
-    detector: SpectralTemplateDetector,
+    detector: Arc<SpectralTemplateDetector>,
+    scratch: DetectorScratch,
 }
 
 impl DetectStage {
-    /// Creates the stage for the given sample rate.
+    /// Stable stage name, shared by [`Stage::name`] and the latency accounting
+    /// in [`DetectStage::classify`].
+    const NAME: &'static str = "detection";
+
+    /// Creates the stage for the given sample rate, building a private detector.
     ///
     /// # Errors
     ///
     /// Returns an error if the detector cannot be built.
     pub fn new(sample_rate: f64) -> Result<Self, PipelineError> {
-        Ok(DetectStage {
-            detector: SpectralTemplateDetector::new(sample_rate)?,
-        })
+        Ok(Self::shared(Arc::new(SpectralTemplateDetector::new(
+            sample_rate,
+        )?)))
     }
 
-    /// Classifies a mono frame, timing the call.
+    /// Creates the stage around an existing shared detector, allocating only the
+    /// per-stream scratch. This is the cheap per-session constructor used by the
+    /// engine.
+    pub fn shared(detector: Arc<SpectralTemplateDetector>) -> Self {
+        let scratch = detector.make_scratch();
+        DetectStage { detector, scratch }
+    }
+
+    /// The shared detector (clone the `Arc` to open another stage against it).
+    pub fn detector(&self) -> &Arc<SpectralTemplateDetector> {
+        &self.detector
+    }
+
+    /// Classifies a mono frame, timing the call. Reuses the stage-owned scratch:
+    /// no per-frame allocation.
     pub fn classify(
-        &self,
+        &mut self,
         mono: &[f64],
         latency: &mut LatencyReport,
     ) -> Result<(EventClass, f64), PipelineError> {
-        let detector = &self.detector;
-        Ok(latency.time(self.name(), || detector.predict_with_confidence(mono))?)
+        let DetectStage { detector, scratch } = self;
+        Ok(latency.time(Self::NAME, || {
+            detector.predict_with_confidence_into(mono, scratch)
+        })?)
     }
 
     /// Classifies an arbitrary-length mono clip outside the frame path (diagnostics).
@@ -114,7 +141,7 @@ impl DetectStage {
 
 impl Stage for DetectStage {
     fn name(&self) -> &'static str {
-        "detection"
+        Self::NAME
     }
 
     fn reset(&mut self) {}
@@ -130,10 +157,12 @@ pub struct LocalizeStage {
     localizer: Option<ActiveLocalizer>,
 }
 
-/// A live localizer plus the scratch memory its frame path reuses.
+/// A live localizer plus the scratch memory its frame path reuses. The
+/// processor (steering operator, FFT plans) is immutable and shared behind an
+/// [`Arc`]; only the scratch and the output map are per-stream.
 #[derive(Debug)]
 struct ActiveLocalizer {
-    srp: SrpPhatFast,
+    srp: Arc<SrpPhatFast>,
     scratch: SrpScratch,
     map: SrpMap,
 }
@@ -157,16 +186,32 @@ impl LocalizeStage {
         if array.len() < 2 {
             return Ok(Self::disabled());
         }
-        let srp = SrpPhatFast::new(config, array, sample_rate)?;
-        let scratch = srp.make_scratch();
-        // Pre-size the output map too, so the very first frame allocates nothing.
-        let map = SrpMap::new(
-            srp.grid().azimuths_deg().to_vec(),
-            vec![0.0; srp.grid().num_directions()],
-        );
-        Ok(LocalizeStage {
-            localizer: Some(ActiveLocalizer { srp, scratch, map }),
-        })
+        let srp = Arc::new(SrpPhatFast::new(config, array, sample_rate)?);
+        Ok(Self::shared(Some(srp)))
+    }
+
+    /// Creates the stage around an existing shared localizer (or a disabled stage
+    /// for `None`), allocating only the per-stream scratch and output map. This
+    /// is the cheap per-session constructor used by the engine.
+    pub fn shared(srp: Option<Arc<SrpPhatFast>>) -> Self {
+        LocalizeStage {
+            localizer: srp.map(|srp| {
+                let scratch = srp.make_scratch();
+                // Pre-size the output map too, so the very first frame allocates
+                // nothing.
+                let map = SrpMap::new(
+                    srp.grid().azimuths_deg().to_vec(),
+                    vec![0.0; srp.grid().num_directions()],
+                );
+                ActiveLocalizer { srp, scratch, map }
+            }),
+        }
+    }
+
+    /// The shared localizer, if the stage is enabled (clone the `Arc` to open
+    /// another stage against it).
+    pub fn localizer(&self) -> Option<&Arc<SrpPhatFast>> {
+        self.localizer.as_ref().map(|a| &a.srp)
     }
 
     /// Returns true when a localizer is available.

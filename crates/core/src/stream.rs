@@ -4,19 +4,20 @@
 //! analysis runs on its own core. [`StreamRunner`] reproduces that structure on the
 //! host: a producer thread cuts a recording into capture-sized chunks and pushes
 //! them through a bounded channel (providing back-pressure, as a real-time capture
-//! buffer would), while the consumer side owns the [`AcousticPerceptionPipeline`]
-//! and feeds the chunks to [`AcousticPerceptionPipeline::push_chunk_into`] — the
-//! same chunk-to-frame assembler as every other entry point, so framing logic is
-//! not duplicated here.
+//! buffer would), while the consumer side owns the [`Session`] and feeds the
+//! chunks to [`Session::push_chunk_with`] — the same chunk-to-frame assembler
+//! and the same [`EventSink`] emission as every other entry point, so neither
+//! framing nor event plumbing is duplicated here.
 //!
 //! The producer borrows the recording through a scoped thread (no copy of the
 //! recording is made) and the chunk buffers travel in a cycle: producer → analysis
 //! → back to the producer through a recycling channel. Steady state therefore
 //! allocates nothing per chunk or per frame.
 
+use crate::api::{with_channel_views, Session};
 use crate::error::PipelineError;
 use crate::events::PerceptionEvent;
-use crate::pipeline::{with_channel_views, AcousticPerceptionPipeline};
+use crate::sink::EventSink;
 use crossbeam::channel;
 use ispot_roadsim::engine::MultichannelAudio;
 use std::thread;
@@ -70,7 +71,7 @@ impl StreamRunner {
     /// recording is processed from a clean stream start; `streamed` then always
     /// equals the recording's frame count `(len - frame_len) / hop + 1` (zero if the
     /// recording is shorter than one frame), matching
-    /// [`AcousticPerceptionPipeline::process_recording`].
+    /// [`Session::process_recording`].
     ///
     /// # Errors
     ///
@@ -82,9 +83,29 @@ impl StreamRunner {
     /// occurred.
     pub fn run(
         &self,
-        pipeline: &mut AcousticPerceptionPipeline,
+        pipeline: &mut Session,
         audio: &MultichannelAudio,
     ) -> Result<(Vec<PerceptionEvent>, usize), PipelineError> {
+        let mut events = Vec::new();
+        let streamed = self.run_with(pipeline, audio, &mut events)?;
+        Ok((events, streamed))
+    }
+
+    /// Streams `audio` through `pipeline` chunk by chunk, reporting emitted
+    /// events and frame outcomes through `sink`, and returns the number of
+    /// frames processed. This is the zero-copy twin of [`StreamRunner::run`]:
+    /// events reach the sink by reference from the analysis thread, so a
+    /// non-retaining sink keeps the consumer side allocation-free per event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions and drain protocol as [`StreamRunner::run`].
+    pub fn run_with<S: EventSink>(
+        &self,
+        pipeline: &mut Session,
+        audio: &MultichannelAudio,
+        sink: &mut S,
+    ) -> Result<usize, PipelineError> {
         let chunk_len = self
             .chunk_len
             .unwrap_or_else(|| pipeline.config().hop)
@@ -98,7 +119,6 @@ impl StreamRunner {
         // recycling sends never block.
         let (recycle_tx, recycle_rx) =
             channel::bounded::<StreamChunk>(self.channel_capacity.max(1) + 2);
-        let mut events = Vec::new();
         let mut streamed = 0usize;
         let mut first_error: Option<PipelineError> = None;
         thread::scope(|scope| {
@@ -129,7 +149,7 @@ impl StreamRunner {
             for chunk in rx.iter() {
                 if first_error.is_none() {
                     let outcome = with_channel_views(&chunk.channels, |views| {
-                        pipeline.push_chunk_into(views, &mut events)
+                        pipeline.push_chunk_with(views, &mut *sink)
                     });
                     match outcome {
                         Ok(frames) => streamed += frames,
@@ -144,14 +164,15 @@ impl StreamRunner {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok((events, streamed))
+        Ok(streamed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::PipelineConfig;
+    use crate::api::PipelineBuilder;
+    use crate::sink::AlertCounter;
     use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
 
     #[test]
@@ -159,10 +180,10 @@ mod tests {
         let fs = 16_000.0;
         let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
         let audio = MultichannelAudio::new(vec![siren], fs);
-        let config = PipelineConfig::default();
-        let mut batch_pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let engine = PipelineBuilder::new(fs).build_engine().unwrap();
+        let mut batch_pipeline = engine.open_session();
         let batch_events = batch_pipeline.process_recording(&audio).unwrap();
-        let mut stream_pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let mut stream_pipeline = engine.open_session();
         let (stream_events, streamed) = StreamRunner::new(2)
             .run(&mut stream_pipeline, &audio)
             .unwrap();
@@ -172,6 +193,15 @@ mod tests {
             assert_eq!(a.class, b.class);
             assert_eq!(a.frame_index, b.frame_index);
         }
+        // The sink-based twin delivers the same stream without collecting it.
+        let mut counting_pipeline = engine.open_session();
+        let mut counter = AlertCounter::new();
+        let counted = StreamRunner::new(2)
+            .run_with(&mut counting_pipeline, &audio, &mut counter)
+            .unwrap();
+        assert_eq!(counted, streamed);
+        assert_eq!(counter.frames, streamed);
+        assert_eq!(counter.events, stream_events.len());
     }
 
     #[test]
@@ -179,12 +209,12 @@ mod tests {
         let fs = 16_000.0;
         let siren = SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0);
         let audio = MultichannelAudio::new(vec![siren], fs);
-        let config = PipelineConfig::default();
-        let mut reference = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let engine = PipelineBuilder::new(fs).build_engine().unwrap();
+        let mut reference = engine.open_session();
         let reference_events = reference.process_recording(&audio).unwrap();
         // 160 samples = a 10 ms capture block at 16 kHz; 4096 = several frames.
         for chunk_len in [1usize, 160, 333, 4096] {
-            let mut pipeline = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+            let mut pipeline = engine.open_session();
             let (events, streamed) = StreamRunner::new(3)
                 .with_chunk_len(chunk_len)
                 .run(&mut pipeline, &audio)
@@ -202,8 +232,7 @@ mod tests {
     fn short_recordings_stream_zero_frames() {
         let fs = 16_000.0;
         let audio = MultichannelAudio::new(vec![vec![0.0; 100]], fs);
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).build().unwrap();
         let (events, streamed) = StreamRunner::default().run(&mut pipeline, &audio).unwrap();
         assert!(events.is_empty());
         assert_eq!(streamed, 0);
@@ -213,8 +242,7 @@ mod tests {
     fn channel_mismatch_is_propagated_and_drained() {
         let fs = 16_000.0;
         let audio = MultichannelAudio::new(vec![vec![0.0; 100_000]; 3], fs);
-        let mut pipeline =
-            AcousticPerceptionPipeline::new(PipelineConfig::default(), fs, 1).unwrap();
+        let mut pipeline = PipelineBuilder::new(fs).build().unwrap();
         // Errors on the very first chunk; the runner must drain the remaining
         // ~97 chunks without deadlocking on the bounded channel.
         let result = StreamRunner::new(2).run(&mut pipeline, &audio);

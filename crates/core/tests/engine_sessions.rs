@@ -1,0 +1,102 @@
+//! Multi-session engine behaviour: shared-state cost model and stream isolation.
+//!
+//! The north-star scaling property of the session/engine redesign is that the
+//! marginal cost of another concurrent stream is scratch-only: all heavyweight
+//! immutable state (detector templates, SRP-PHAT steering operator, FFT plans)
+//! is built once per engine and shared. The Criterion bench
+//! `crates/bench/benches/engine.rs` measures the same property with
+//! statistical rigour; this test enforces the acceptance threshold (a session
+//! opens in < 20 % of the engine build time) with a margin wide enough to be
+//! robust on noisy CI machines — in practice the ratio is well under 1 %.
+
+use ispot_core::prelude::*;
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
+use std::time::Instant;
+
+#[test]
+fn opening_sessions_costs_a_fraction_of_building_the_engine() {
+    let fs = 16_000.0;
+    let array = MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.0));
+
+    let start = Instant::now();
+    let engine = PipelineBuilder::new(fs)
+        .array(&array)
+        .build_engine()
+        .unwrap();
+    let engine_build = start.elapsed();
+
+    // Sessions 2..=8: each must be cheap — no template synthesis, no steering
+    // precompute, just scratch allocation.
+    let first = engine.open_session();
+    let start = Instant::now();
+    let sessions: Vec<Session> = (0..7).map(|_| engine.open_session()).collect();
+    let per_session = start.elapsed() / 7;
+
+    assert!(
+        per_session < engine_build.mul_f64(0.2),
+        "opening a session took {per_session:?}, engine build took {engine_build:?} \
+         (ratio {:.3})",
+        per_session.as_secs_f64() / engine_build.as_secs_f64()
+    );
+    drop((first, sessions));
+}
+
+#[test]
+fn eight_concurrent_sessions_process_independent_streams() {
+    let fs = 16_000.0;
+    let array = MicrophoneArray::circular(2, 0.2, Position::new(0.0, 0.0, 1.0));
+    let engine = PipelineBuilder::new(fs)
+        .array(&array)
+        .build_engine()
+        .unwrap();
+
+    // Eight streams with different content, processed interleaved on different
+    // threads against one engine; each must behave exactly like a private
+    // pipeline fed the same stream.
+    let kinds = [SirenKind::Wail, SirenKind::Yelp];
+    let streams: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            SirenSynthesizer::new(kinds[i % 2], fs)
+                .synthesize(0.5)
+                .iter()
+                .map(|x| x * (0.4 + 0.08 * i as f64))
+                .collect()
+        })
+        .collect();
+
+    let expected: Vec<Vec<PerceptionEvent>> = streams
+        .iter()
+        .map(|s| {
+            let mut session = engine.open_session();
+            let mut events = Vec::new();
+            session.push_chunk_with(&[s, s], &mut events).unwrap();
+            events
+        })
+        .collect();
+
+    let results: Vec<Vec<PerceptionEvent>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|s| {
+                let mut session = engine.open_session();
+                scope.spawn(move || {
+                    let mut events = Vec::new();
+                    // Feed in driver-sized blocks to exercise per-session framing.
+                    for chunk in s.chunks(160) {
+                        session
+                            .push_chunk_with(&[chunk, chunk], &mut events)
+                            .unwrap();
+                    }
+                    events
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (got, want)) in results.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "stream {i} diverged from its private reference");
+    }
+}

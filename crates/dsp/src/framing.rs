@@ -29,6 +29,7 @@
 
 use crate::error::DspError;
 use crate::ring::RingBuffer;
+use crate::sample::Sample;
 
 /// Reassembles arbitrary-sized multichannel chunks into fixed frames.
 ///
@@ -138,6 +139,18 @@ impl FrameAssembler {
     /// construction or the channels have unequal lengths. The assembler is unchanged
     /// on error.
     pub fn push(&mut self, chunk: &[&[f64]]) -> Result<(), DspError> {
+        self.push_planar(chunk)
+    }
+
+    /// Appends one planar multichannel chunk in any [`Sample`] format
+    /// (`chunk[channel][sample]`; every channel the same length, any length
+    /// including zero). Samples are converted to `f64` as they enter the rings —
+    /// no intermediate conversion buffer is built.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push`](FrameAssembler::push).
+    pub fn push_planar<S: Sample>(&mut self, chunk: &[&[S]]) -> Result<(), DspError> {
         if chunk.len() != self.rings.len() {
             return Err(DspError::LengthMismatch {
                 expected: self.rings.len(),
@@ -153,17 +166,58 @@ impl FrameAssembler {
                 });
             }
         }
-        let needed = self.rings[0].available() + chunk_len;
+        self.reserve(chunk_len);
+        for (ring, ch) in self.rings.iter_mut().zip(chunk) {
+            ring.write_iter(ch.iter().copied().map(Sample::to_f64))?;
+        }
+        self.settle_discard();
+        Ok(())
+    }
+
+    /// Appends one interleaved chunk in any [`Sample`] format
+    /// (`data[sample * num_channels + channel]`, the layout capture drivers
+    /// deliver). The chunk is de-interleaved with strided reads straight into the
+    /// per-channel rings — no intermediate de-interleave buffer is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `data.len()` is not a whole number
+    /// of `num_channels`-sample frames. The assembler is unchanged on error.
+    pub fn push_interleaved<S: Sample>(&mut self, data: &[S]) -> Result<(), DspError> {
+        let num_channels = self.rings.len();
+        if !data.len().is_multiple_of(num_channels) {
+            return Err(DspError::LengthMismatch {
+                expected: (data.len() / num_channels) * num_channels,
+                actual: data.len(),
+            });
+        }
+        if data.is_empty() {
+            self.settle_discard();
+            return Ok(());
+        }
+        self.reserve(data.len() / num_channels);
+        for (channel, ring) in self.rings.iter_mut().enumerate() {
+            ring.write_iter(
+                data[channel..]
+                    .iter()
+                    .step_by(num_channels)
+                    .copied()
+                    .map(Sample::to_f64),
+            )?;
+        }
+        self.settle_discard();
+        Ok(())
+    }
+
+    /// Grows the rings (once, to the next power of two) if `additional` more
+    /// samples would exceed the current capacity.
+    fn reserve(&mut self, additional: usize) {
+        let needed = self.rings[0].available() + additional;
         if needed > self.rings[0].capacity() {
             for ring in &mut self.rings {
                 ring.grow(needed.next_power_of_two());
             }
         }
-        for (ring, ch) in self.rings.iter_mut().zip(chunk) {
-            ring.write(ch)?;
-        }
-        self.settle_discard();
-        Ok(())
     }
 
     /// Applies any outstanding inter-frame discard (`hop > frame_len` gaps) as soon
@@ -331,6 +385,57 @@ mod tests {
         assert_eq!(asm.next_frame_index(), 0);
         assert_eq!(asm.samples_buffered(), 0);
         assert!(!asm.frame_ready());
+    }
+
+    #[test]
+    fn interleaved_push_matches_planar_push() {
+        let left: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let right: Vec<f64> = (0..40).map(|i| -(i as f64)).collect();
+        let interleaved: Vec<f64> = left
+            .iter()
+            .zip(&right)
+            .flat_map(|(&l, &r)| [l, r])
+            .collect();
+        let mut planar = FrameAssembler::new(2, 8, 4).unwrap();
+        let mut inter = FrameAssembler::new(2, 8, 4).unwrap();
+        planar.push(&[&left, &right]).unwrap();
+        inter.push_interleaved(&interleaved).unwrap();
+        let mut a = vec![Vec::new(); 2];
+        let mut b = vec![Vec::new(); 2];
+        while planar.frame_ready() {
+            assert!(inter.frame_ready());
+            planar.emit_into(&mut a).unwrap();
+            inter.emit_into(&mut b).unwrap();
+            assert_eq!(a, b);
+        }
+        assert!(!inter.frame_ready());
+    }
+
+    #[test]
+    fn i16_and_f32_samples_convert_on_ingest() {
+        let pcm: Vec<i16> = vec![0, 16384, -16384, i16::MIN, i16::MAX, 0, 0, 0];
+        let mut asm = FrameAssembler::new(1, 8, 8).unwrap();
+        asm.push_planar(&[&pcm]).unwrap();
+        let mut frame = vec![Vec::new()];
+        asm.emit_into(&mut frame).unwrap();
+        assert_eq!(frame[0][0], 0.0);
+        assert_eq!(frame[0][1], 0.5);
+        assert_eq!(frame[0][2], -0.5);
+        assert_eq!(frame[0][3], -1.0);
+
+        let floats: Vec<f32> = vec![0.25, -0.75];
+        let mut asm = FrameAssembler::new(2, 1, 1).unwrap();
+        asm.push_interleaved(&floats).unwrap();
+        asm.emit_into(&mut [Vec::new(), Vec::new()]).unwrap();
+    }
+
+    #[test]
+    fn ragged_interleaved_chunks_are_rejected_without_side_effects() {
+        let mut asm = FrameAssembler::new(2, 8, 4).unwrap();
+        assert!(asm.push_interleaved(&[1.0f64, 2.0, 3.0]).is_err());
+        assert_eq!(asm.samples_buffered(), 0);
+        asm.push_interleaved::<f64>(&[]).unwrap();
+        assert_eq!(asm.samples_buffered(), 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod interp;
 pub mod level;
 pub mod resample;
 pub mod ring;
+pub mod sample;
 pub mod stft;
 pub mod window;
 
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::level::{db_to_linear, linear_to_db, mix_at_snr, rms, signal_power};
     pub use crate::resample::LinearResampler;
     pub use crate::ring::RingBuffer;
-    pub use crate::stft::{Stft, StftBuilder};
+    pub use crate::sample::Sample;
+    pub use crate::stft::{Stft, StftBuilder, StftScratch};
     pub use crate::window::{Window, WindowKind};
 }

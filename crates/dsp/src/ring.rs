@@ -113,6 +113,37 @@ impl RingBuffer {
         Ok(())
     }
 
+    /// Writes every sample yielded by `iter` into the buffer.
+    ///
+    /// The iterator-based twin of [`RingBuffer::write`]: it lets callers stream
+    /// converted or strided data (e.g. one channel of an interleaved i16 capture
+    /// chunk) straight into the ring without staging it in an intermediate buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InsufficientData`] if there is not enough free space for
+    /// `iter.len()` samples; in that case nothing is written.
+    pub fn write_iter<I>(&mut self, iter: I) -> Result<(), DspError>
+    where
+        I: ExactSizeIterator<Item = f64>,
+    {
+        let len = iter.len();
+        if len > self.free() {
+            return Err(DspError::InsufficientData {
+                required: len,
+                available: self.free(),
+            });
+        }
+        for x in iter {
+            self.buffer[self.head] = x;
+            self.head = (self.head + 1) % self.buffer.len();
+        }
+        if len > 0 && self.head == self.tail {
+            self.full = true;
+        }
+        Ok(())
+    }
+
     /// Reads exactly `out.len()` samples into `out`.
     ///
     /// # Errors

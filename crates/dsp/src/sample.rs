@@ -1,0 +1,78 @@
+//! Sample formats accepted by the ingestion layer.
+//!
+//! Capture drivers deliver audio in whatever representation the hardware uses —
+//! most commonly signed 16-bit PCM or 32-bit float, interleaved. The analysis
+//! pipeline runs on `f64`. [`Sample`] is the conversion seam between the two: any
+//! type implementing it can be fed to the generic
+//! [`FrameAssembler`](crate::framing::FrameAssembler) entry points, which convert
+//! sample by sample while de-interleaving, with no intermediate conversion buffer.
+
+/// A raw audio sample convertible to the pipeline's internal `f64` format.
+///
+/// Implemented for the three formats automotive capture stacks actually deliver:
+///
+/// | Type  | Range          | Conversion                         |
+/// |-------|----------------|------------------------------------|
+/// | `i16` | `[-32768, 32767]` | divided by `32768` → `[-1, 1)` |
+/// | `f32` | nominal `[-1, 1]` | widened losslessly              |
+/// | `f64` | nominal `[-1, 1]` | identity                        |
+///
+/// The `i16` scaling is exact in both `f32` and `f64` (a 16-bit integer over a
+/// power of two is a dyadic rational), so the same signal quantized to `i16` and
+/// then presented as `i16`, `f32` or `f64` converts to bit-identical `f64`
+/// streams — the property the ingestion-equivalence tests rely on.
+pub trait Sample: Copy + Send + Sync + 'static {
+    /// Converts the sample to the pipeline's internal `f64` representation.
+    fn to_f64(self) -> f64;
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Sample for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Sample for i16 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64 / 32768.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_is_identity_and_f32_widens() {
+        assert_eq!(0.25f64.to_f64(), 0.25);
+        assert_eq!(0.25f32.to_f64(), 0.25);
+        assert_eq!((-1.0f32).to_f64(), -1.0);
+    }
+
+    #[test]
+    fn i16_full_scale_maps_to_unit_range() {
+        assert_eq!(0i16.to_f64(), 0.0);
+        assert_eq!(i16::MIN.to_f64(), -1.0);
+        assert!(i16::MAX.to_f64() < 1.0);
+        assert_eq!(16384i16.to_f64(), 0.5);
+    }
+
+    #[test]
+    fn i16_roundtrips_exactly_through_f32() {
+        // The property the ingestion-equivalence tests depend on: quantized PCM
+        // converts identically whether presented as i16, f32 or f64.
+        for s in [i16::MIN, -12345, -1, 0, 1, 3, 9999, i16::MAX] {
+            let via_f32 = ((s as f64 / 32768.0) as f32).to_f64();
+            assert_eq!(via_f32, s.to_f64(), "sample {s}");
+        }
+    }
+}

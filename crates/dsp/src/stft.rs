@@ -146,20 +146,14 @@ impl Stft {
         let n_frames = self.frames_for(signal.len());
         let n_bins = self.num_bins();
         let mut data = Vec::with_capacity(n_frames * n_bins);
-        let mut padded = vec![0.0; self.fft.len()];
+        let mut scratch = self.make_scratch();
         for f in 0..n_frames {
             let start = f * self.hop;
             let frame = &signal[start..start + self.frame_len];
-            let windowed = self.window.apply(frame);
-            padded[..self.frame_len].copy_from_slice(&windowed);
-            for p in padded[self.frame_len..].iter_mut() {
-                *p = 0.0;
-            }
             let spec = self
-                .fft
-                .forward_real(&padded)
-                .expect("padded length always matches plan");
-            data.extend_from_slice(&spec[..n_bins]);
+                .frame_spectrum_into(frame, &mut scratch)
+                .expect("frame length bounded by frames_for");
+            data.extend_from_slice(spec);
         }
         Spectrogram {
             data,
@@ -168,6 +162,74 @@ impl Stft {
             hop: self.hop,
             fft_size: self.fft.len(),
         }
+    }
+
+    /// Creates a scratch pre-sized for this analyser, so even the first
+    /// [`Stft::frame_spectrum_into`] call allocates nothing.
+    pub fn make_scratch(&self) -> StftScratch {
+        StftScratch {
+            padded: vec![0.0; self.fft.len()],
+            spec: vec![Complex::ZERO; self.fft.len()],
+        }
+    }
+
+    /// Computes the windowed spectrum of **one** exactly-`frame_len` frame,
+    /// returning the `num_bins` non-redundant bins borrowed from `scratch`.
+    ///
+    /// This is the streaming sibling of [`Stft::process`]: identical numerics
+    /// (window, zero-padding, FFT), but the workspace lives in a caller-owned
+    /// [`StftScratch`], so repeated calls perform no heap allocation in steady
+    /// state (for power-of-two FFT sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `frame.len() != self.frame_len()`.
+    pub fn frame_spectrum_into<'s>(
+        &self,
+        frame: &[f64],
+        scratch: &'s mut StftScratch,
+    ) -> Result<&'s [Complex], DspError> {
+        if frame.len() != self.frame_len {
+            return Err(DspError::LengthMismatch {
+                expected: self.frame_len,
+                actual: frame.len(),
+            });
+        }
+        scratch.padded.resize(self.fft.len(), 0.0);
+        scratch.spec.resize(self.fft.len(), Complex::ZERO);
+        for ((slot, &x), &w) in scratch
+            .padded
+            .iter_mut()
+            .zip(frame)
+            .zip(self.window.coefficients())
+        {
+            *slot = x * w;
+        }
+        for p in scratch.padded[self.frame_len..].iter_mut() {
+            *p = 0.0;
+        }
+        self.fft
+            .forward_real_into(&scratch.padded, &mut scratch.spec)?;
+        Ok(&scratch.spec[..self.num_bins()])
+    }
+}
+
+/// Reusable workspace for [`Stft::frame_spectrum_into`].
+///
+/// Buffers are sized lazily on first use (or pre-sized by [`Stft::make_scratch`])
+/// and reused afterwards; one scratch serves one analyser at a time.
+#[derive(Debug, Clone, Default)]
+pub struct StftScratch {
+    /// Windowed, zero-padded frame (`fft_size` samples).
+    padded: Vec<f64>,
+    /// Full complex spectrum workspace (`fft_size` bins).
+    spec: Vec<Complex>,
+}
+
+impl StftScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        StftScratch::default()
     }
 }
 
@@ -237,6 +299,25 @@ mod tests {
     use super::*;
     use crate::generator::Sine;
     use std::f64::consts::PI;
+
+    #[test]
+    fn frame_spectrum_into_matches_process() {
+        let fs = 16_000.0;
+        let x: Vec<f64> = Sine::new(740.0, fs).take(2048).collect();
+        let stft = StftBuilder::new(512)
+            .hop(256)
+            .fft_size(1024)
+            .build()
+            .unwrap();
+        let spec = stft.process(&x);
+        let mut scratch = StftScratch::new();
+        for f in 0..spec.num_frames() {
+            let frame = &x[f * 256..f * 256 + 512];
+            let bins = stft.frame_spectrum_into(frame, &mut scratch).unwrap();
+            assert_eq!(bins, spec.frame(f), "frame {f}");
+        }
+        assert!(stft.frame_spectrum_into(&x[..100], &mut scratch).is_err());
+    }
 
     #[test]
     fn frame_count_matches_formula() {

@@ -126,6 +126,25 @@ impl MelFilterbank {
     ///
     /// Returns an error if the spectrum length does not match [`MelFilterbank::num_bins`].
     pub fn apply(&self, power_spectrum: &[f64]) -> Result<Vec<f64>, FeatureError> {
+        let mut out = Vec::with_capacity(self.num_bands());
+        self.apply_into(power_spectrum, &mut out)?;
+        Ok(out)
+    }
+
+    /// Applies the filterbank to a single power spectrum, writing the band
+    /// energies into `out` (resized to [`MelFilterbank::num_bands`]).
+    ///
+    /// Allocation-free in steady state (same `out` reused across calls) and
+    /// numerically identical to [`MelFilterbank::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MelFilterbank::apply`].
+    pub fn apply_into(
+        &self,
+        power_spectrum: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), FeatureError> {
         if power_spectrum.len() != self.num_bins {
             return Err(FeatureError::invalid_config(
                 "power_spectrum",
@@ -136,11 +155,14 @@ impl MelFilterbank {
                 ),
             ));
         }
-        Ok(self
-            .weights
-            .iter()
-            .map(|w| w.iter().zip(power_spectrum).map(|(a, b)| a * b).sum())
-            .collect())
+        out.clear();
+        out.extend(self.weights.iter().map(|w| {
+            w.iter()
+                .zip(power_spectrum)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        }));
+        Ok(())
     }
 
     /// Applies the filterbank to every row of a power spectrogram, producing a mel

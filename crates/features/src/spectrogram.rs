@@ -2,7 +2,7 @@
 
 use crate::error::FeatureError;
 use crate::matrix::FeatureMatrix;
-use ispot_dsp::stft::{Stft, StftBuilder};
+use ispot_dsp::stft::{Stft, StftBuilder, StftScratch};
 use ispot_dsp::window::WindowKind;
 use serde::{Deserialize, Serialize};
 
@@ -145,12 +145,61 @@ impl SpectrogramExtractor {
         }
         Ok(FeatureMatrix::from_rows(rows))
     }
+
+    /// Creates an [`StftScratch`] pre-sized for this extractor's analyser, for use
+    /// with [`SpectrogramExtractor::power_frame_into`].
+    pub fn make_stft_scratch(&self) -> StftScratch {
+        self.stft.make_scratch()
+    }
+
+    /// Computes the power spectrum (`|X|^2`, independent of the configured scale)
+    /// of **one** exactly-`frame_len` frame into `out`, using a caller-owned
+    /// [`StftScratch`] as workspace.
+    ///
+    /// This is the streaming hook for per-frame classifiers: repeated calls with
+    /// the same scratch and output buffer perform no heap allocation in steady
+    /// state, and the bins are numerically identical to the corresponding row of
+    /// [`SpectrogramExtractor::compute`] with [`SpectrogramScale::Power`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `frame.len()` differs from the configured frame length.
+    pub fn power_frame_into(
+        &self,
+        frame: &[f64],
+        scratch: &mut StftScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), FeatureError> {
+        let spec = self.stft.frame_spectrum_into(frame, scratch)?;
+        out.clear();
+        out.extend(spec.iter().map(|c| c.norm_sqr()));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ispot_dsp::generator::Sine;
+
+    #[test]
+    fn power_frame_into_matches_batch_rows() {
+        let fs = 16_000.0;
+        let x: Vec<f64> = Sine::new(1500.0, fs).take(2048).collect();
+        let ex = SpectrogramExtractor::new(SpectrogramConfig::default()).unwrap();
+        let batch = ex.compute(&x).unwrap();
+        let cfg = ex.config();
+        let mut scratch = StftScratch::new();
+        let mut row = Vec::new();
+        for f in 0..batch.num_rows() {
+            let frame = &x[f * cfg.hop..f * cfg.hop + cfg.frame_len];
+            ex.power_frame_into(frame, &mut scratch, &mut row).unwrap();
+            assert_eq!(row.as_slice(), batch.row(f), "frame {f}");
+        }
+        assert!(ex
+            .power_frame_into(&x[..10], &mut scratch, &mut row)
+            .is_err());
+    }
 
     #[test]
     fn tone_concentrates_energy_in_one_column() {

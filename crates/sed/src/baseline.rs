@@ -15,6 +15,8 @@ use crate::labels::EventClass;
 use crate::metrics::ClassificationReport;
 use crate::noise::UrbanNoiseSynthesizer;
 use crate::sirens::synthesize_event;
+use ispot_dsp::stft::StftScratch;
+use ispot_features::error::FeatureError;
 use ispot_features::mel::MelFilterbank;
 use ispot_features::spectrogram::{SpectrogramConfig, SpectrogramExtractor, SpectrogramScale};
 
@@ -131,6 +133,26 @@ impl EnergyDetector {
     }
 }
 
+/// Reusable workspace for the allocation-free
+/// [`SpectralTemplateDetector::predict_with_confidence_into`] path.
+///
+/// All buffers are sized lazily on first use (or pre-sized by
+/// [`SpectralTemplateDetector::make_scratch`]) and reused afterwards; one scratch
+/// serves one detector at a time. Since the detector itself is immutable after
+/// construction, many concurrent streams can share one detector (e.g. behind an
+/// `Arc`) while each holds its own scratch.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorScratch {
+    /// STFT workspace (windowed frame + complex spectrum).
+    stft: StftScratch,
+    /// Power spectrum of the current analysis frame.
+    power: Vec<f64>,
+    /// Mel band energies of the current analysis frame.
+    mel: Vec<f64>,
+    /// Accumulated (then normalized) mean log-mel feature vector.
+    features: Vec<f64>,
+}
+
 /// Multi-class nearest-template classifier on time-averaged log-mel spectra.
 #[derive(Debug, Clone)]
 pub struct SpectralTemplateDetector {
@@ -185,10 +207,47 @@ impl SpectralTemplateDetector {
         filterbank: &MelFilterbank,
         audio: &[f64],
     ) -> Result<Vec<f64>, SedError> {
-        let power = spectrogram.compute(audio)?;
-        let mut mel = filterbank.apply_spectrogram(&power)?;
-        mel.log_compress(1e-10);
-        let mut mean = mel.column_means();
+        let mut scratch = DetectorScratch::default();
+        Self::mean_log_mel_into(spectrogram, filterbank, audio, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.features))
+    }
+
+    /// Streaming core of [`SpectralTemplateDetector::mean_log_mel`]: computes the
+    /// normalized mean log-mel feature vector into `scratch.features` using only
+    /// scratch-owned buffers. Numerically identical to the batch path (same frame
+    /// walk, same per-column accumulation order), but allocation-free in steady
+    /// state.
+    fn mean_log_mel_into(
+        spectrogram: &SpectrogramExtractor,
+        filterbank: &MelFilterbank,
+        audio: &[f64],
+        scratch: &mut DetectorScratch,
+    ) -> Result<(), SedError> {
+        let config = spectrogram.config();
+        if audio.len() < config.frame_len {
+            return Err(FeatureError::SignalTooShort {
+                required: config.frame_len,
+                actual: audio.len(),
+            }
+            .into());
+        }
+        let num_frames = spectrogram.frames_for(audio.len());
+        let num_bands = filterbank.num_bands();
+        scratch.features.clear();
+        scratch.features.resize(num_bands, 0.0);
+        for f in 0..num_frames {
+            let start = f * config.hop;
+            let frame = &audio[start..start + config.frame_len];
+            spectrogram.power_frame_into(frame, &mut scratch.stft, &mut scratch.power)?;
+            filterbank.apply_into(&scratch.power, &mut scratch.mel)?;
+            for (acc, &m) in scratch.features.iter_mut().zip(&scratch.mel) {
+                *acc += m.max(1e-10).ln();
+            }
+        }
+        let mean = &mut scratch.features;
+        for v in mean.iter_mut() {
+            *v /= num_frames as f64;
+        }
         // Normalize to zero mean / unit norm so that the match is level-invariant.
         let mu = mean.iter().sum::<f64>() / mean.len() as f64;
         for v in mean.iter_mut() {
@@ -198,7 +257,7 @@ impl SpectralTemplateDetector {
         for v in mean.iter_mut() {
             *v /= norm;
         }
-        Ok(mean)
+        Ok(())
     }
 
     /// Classifies one audio clip by maximum cosine similarity against the class
@@ -218,12 +277,47 @@ impl SpectralTemplateDetector {
     ///
     /// Returns an error if the clip is shorter than one analysis frame.
     pub fn predict_with_confidence(&self, audio: &[f64]) -> Result<(EventClass, f64), SedError> {
-        let features = Self::mean_log_mel(&self.spectrogram, &self.filterbank, audio)?;
+        let mut scratch = self.make_scratch();
+        self.predict_with_confidence_into(audio, &mut scratch)
+    }
+
+    /// Creates a scratch pre-sized for this detector, so even the first
+    /// [`SpectralTemplateDetector::predict_with_confidence_into`] call allocates
+    /// nothing.
+    pub fn make_scratch(&self) -> DetectorScratch {
+        let mut scratch = DetectorScratch {
+            stft: self.spectrogram.make_stft_scratch(),
+            power: Vec::with_capacity(self.spectrogram.num_bins()),
+            mel: Vec::with_capacity(self.filterbank.num_bands()),
+            features: Vec::with_capacity(self.filterbank.num_bands()),
+        };
+        scratch.power.resize(self.spectrogram.num_bins(), 0.0);
+        scratch.mel.resize(self.filterbank.num_bands(), 0.0);
+        scratch
+    }
+
+    /// Classifies one audio clip using caller-owned scratch memory — the real-time
+    /// hot path of the perception pipeline.
+    ///
+    /// Identical results to
+    /// [`predict_with_confidence`](Self::predict_with_confidence), but repeated
+    /// calls with the same scratch perform **no heap allocation** in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clip is shorter than one analysis frame.
+    pub fn predict_with_confidence_into(
+        &self,
+        audio: &[f64],
+        scratch: &mut DetectorScratch,
+    ) -> Result<(EventClass, f64), SedError> {
+        Self::mean_log_mel_into(&self.spectrogram, &self.filterbank, audio, scratch)?;
+        let features = &scratch.features;
         let mut best = EventClass::Background;
         let mut best_score = f64::NEG_INFINITY;
         for class in EventClass::ALL {
             let template = &self.templates[class.index()];
-            let score: f64 = template.iter().zip(&features).map(|(a, b)| a * b).sum();
+            let score: f64 = template.iter().zip(features).map(|(a, b)| a * b).sum();
             if score > best_score {
                 best_score = score;
                 best = class;
@@ -255,6 +349,50 @@ impl SpectralTemplateDetector {
 mod tests {
     use super::*;
     use crate::dataset::DatasetConfig;
+
+    /// The pre-refactor batch feature path (whole-matrix spectrogram + mel +
+    /// column means), kept to pin the streaming scratch path against.
+    fn reference_mean_log_mel(detector: &SpectralTemplateDetector, audio: &[f64]) -> Vec<f64> {
+        let power = detector.spectrogram.compute(audio).unwrap();
+        let mut mel = detector.filterbank.apply_spectrogram(&power).unwrap();
+        mel.log_compress(1e-10);
+        let mut mean = mel.column_means();
+        let mu = mean.iter().sum::<f64>() / mean.len() as f64;
+        for v in mean.iter_mut() {
+            *v -= mu;
+        }
+        let norm = mean.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        for v in mean.iter_mut() {
+            *v /= norm;
+        }
+        mean
+    }
+
+    #[test]
+    fn scratch_prediction_matches_the_batch_reference() {
+        let fs = 16_000.0;
+        let detector = SpectralTemplateDetector::new(fs).unwrap();
+        let mut scratch = detector.make_scratch();
+        for class in EventClass::ALL {
+            let clip = if class == EventClass::Background {
+                UrbanNoiseSynthesizer::new(fs, 7).synthesize(0.5)
+            } else {
+                synthesize_event(class, fs, 0.5)
+            };
+            let streaming = detector
+                .predict_with_confidence_into(&clip, &mut scratch)
+                .unwrap();
+            assert_eq!(scratch.features, reference_mean_log_mel(&detector, &clip));
+            assert_eq!(
+                streaming,
+                detector.predict_with_confidence(&clip).unwrap(),
+                "class {class}"
+            );
+        }
+        assert!(detector
+            .predict_with_confidence_into(&[0.0; 16], &mut scratch)
+            .is_err());
+    }
 
     #[test]
     fn energy_detector_separates_clean_siren_from_noise() {

@@ -447,6 +447,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_processor_serves_concurrent_streams() {
+        // The engine/session API in ispot-core shares one processor across many
+        // streams behind an `Arc`; the processor must therefore be immutable in
+        // its compute path (`&self`), `Send + Sync`, and safe to drive from
+        // several threads each holding its own scratch.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SrpPhatFast>();
+        assert_send_sync::<SrpPhat>();
+
+        let fs = 16_000.0;
+        let (channels, array) = simulate_static_source(40.0, 15.0, fs, 8192, 4);
+        let fast = std::sync::Arc::new(SrpPhatFast::new(SrpConfig::default(), &array, fs).unwrap());
+        let frame: Vec<&[f64]> = channels.iter().map(|c| &c[4096..6144]).collect();
+        let expected = fast.compute_map(&frame).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let fast = std::sync::Arc::clone(&fast);
+                let frame = frame.clone();
+                scope.spawn(move || {
+                    let mut scratch = fast.make_scratch();
+                    let mut out = SrpMap::default();
+                    for _ in 0..2 {
+                        fast.compute_map_into(&frame, &mut scratch, &mut out)
+                            .unwrap();
+                    }
+                    out
+                });
+            }
+        });
+        assert_eq!(fast.compute_map(&frame).unwrap(), expected);
+    }
+
+    #[test]
     fn coefficient_reduction_is_at_least_half() {
         let fs = 16_000.0;
         let array = ispot_roadsim::microphone::MicrophoneArray::circular(

@@ -1,15 +1,14 @@
-//! Sound source localization of a drive-by: track the azimuth of a passing siren with
-//! the low-complexity SRP-PHAT front-end and the Kalman tracker, and compare against
-//! the ground-truth geometry.
+//! Sound source localization of a drive-by: run the full perception session
+//! (detection -> low-complexity SRP-PHAT -> Kalman tracker) on a passing siren
+//! and compare the tracked azimuth of every alert event against the
+//! ground-truth geometry.
 //!
 //! Run with: `cargo run --release --example localization_driveby`
 
+use ispot::core::prelude::*;
 use ispot::roadsim::prelude::*;
 use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
 use ispot::ssl::metrics::mean_angular_error_deg;
-use ispot::ssl::srp_fast::SrpPhatFast;
-use ispot::ssl::srp_phat::SrpConfig;
-use ispot::ssl::tracking::AzimuthKalmanTracker;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = 16_000.0;
@@ -32,43 +31,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let audio = Simulator::new(scene)?.run()?;
 
-    // Frame-by-frame localization with the low-complexity SRP-PHAT.
-    let config = SrpConfig::default();
-    let srp = SrpPhatFast::new(config, &array, fs)?;
-    let mut tracker = AzimuthKalmanTracker::new(2.0, 64.0);
-    let frame_len = config.frame_len;
-    let hop = frame_len;
-    let num_frames = (audio.len() - frame_len) / hop;
+    // Run the full perception session on the rendered drive-by: the detector
+    // gates localization, SRP-PHAT estimates the azimuth on every confident
+    // detection, and the Kalman tracker smooths it. Events arrive by reference
+    // through the sink as frames complete.
+    let engine = PipelineBuilder::new(fs)
+        .array(&array)
+        .frame_len(2048)
+        .hop(2048)
+        .build_engine()?;
+    let mut session = engine.open_session();
 
     println!("  time (s)   truth (deg)   SRP (deg)   tracked (deg)");
     let mut estimates = Vec::new();
     let mut truths = Vec::new();
-    for f in 1..num_frames {
-        let start = f * hop;
-        let frame: Vec<&[f64]> = audio
-            .channels()
-            .iter()
-            .map(|c| &c[start..start + frame_len])
-            .collect();
-        let estimate = srp.localize(&frame)?;
-        let tracked = tracker.update(estimate.azimuth_deg());
-        let t = start as f64 / fs;
+    let origin = Position::new(0.0, 0.0, 1.0);
+    let mut sink = FnSink(|event: &PerceptionEvent| {
+        let (Some(az), Some(tracked)) = (event.azimuth_deg, event.tracked_azimuth_deg) else {
+            return;
+        };
         // Ground-truth azimuth of the source at the time the frame was emitted
         // (ignoring the small propagation delay).
         let truth = trajectory
-            .position_at(t)
-            .azimuth_from(Position::new(0.0, 0.0, 1.0))
+            .position_at(event.time_s)
+            .azimuth_from(origin)
             .to_degrees();
         println!(
-            "  {t:>7.2}   {truth:>10.1}   {:>9.1}   {:>12.1}",
-            estimate.azimuth_deg(),
-            tracked.azimuth_deg
+            "  {:>7.2}   {truth:>10.1}   {az:>9.1}   {tracked:>12.1}",
+            event.time_s
         );
-        estimates.push(tracked.azimuth_deg);
+        estimates.push(tracked);
         truths.push(truth);
-    }
+    });
+    session.process_recording_with(&audio, &mut sink)?;
     println!(
-        "\nmean tracked azimuth error: {:.1} deg over {} frames",
+        "\nmean tracked azimuth error: {:.1} deg over {} alert frames",
         mean_angular_error_deg(&estimates, &truths),
         estimates.len()
     );

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ispot::core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+use ispot::core::prelude::*;
 use ispot::roadsim::prelude::*;
 use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
 
@@ -37,15 +37,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         audio.len() as f64 / fs
     );
 
-    // 4. Run the perception pipeline: detection, localization and tracking.
-    let mut pipeline =
-        AcousticPerceptionPipeline::with_array(PipelineConfig::default(), fs, &array)?;
-    let events = pipeline.process_recording(&audio)?;
+    // 4. Build the perception engine (validated config, shared detector +
+    //    steering state) and open a session for this stream.
+    let engine = PipelineBuilder::new(fs).array(&array).build_engine()?;
+    let mut session = engine.open_session();
+
+    // 5. Stream the recording in capture-sized chunks (10 ms blocks at 16 kHz),
+    //    sinking events by reference as they fire — the deployment shape of the
+    //    API. A `VecSink` collects them; an `AlertCounter` would keep the path
+    //    allocation-free.
+    let mut sink = VecSink::new();
+    let block = 160;
+    let mut start = 0;
+    while start < audio.len() {
+        let end = (start + block).min(audio.len());
+        let chunk: Vec<&[f64]> = audio.channels().iter().map(|c| &c[start..end]).collect();
+        session.push_chunk_with(&chunk, &mut sink)?;
+        start = end;
+    }
 
     println!("\nperception events:");
-    for event in events.iter().filter(|e| e.is_alert()) {
+    for event in sink.events().iter().filter(|e| e.is_alert()) {
         println!("  {}", event.summary());
     }
-    println!("\nlatency breakdown:\n{}", pipeline.latency_report());
+    println!("\nlatency breakdown:\n{}", session.latency_report());
     Ok(())
 }

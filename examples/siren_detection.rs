@@ -3,9 +3,11 @@
 //!
 //! Run with: `cargo run --release --example siren_detection`
 
+use ispot::core::prelude::*;
 use ispot::sed::baseline::{EnergyDetector, SpectralTemplateDetector};
 use ispot::sed::dataset::{Dataset, DatasetConfig};
 use ispot::sed::detector::{CnnDetector, DetectorConfig};
+use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = 16_000.0;
@@ -49,5 +51,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCNN detector:\n{cnn_report}");
     println!("spectral-template baseline:\n{template_report}");
     println!("energy-threshold baseline (event detection accuracy): {energy_accuracy:.3}");
+
+    // Finally, run detection the way it is deployed: a perception engine fed by
+    // a capture driver. The driver side delivers interleaved 16-bit PCM blocks;
+    // the session converts and de-interleaves them straight into its frame
+    // assembler and reports events by reference through a sink — zero heap
+    // allocation per frame in steady state.
+    let engine = PipelineBuilder::new(fs).channels(1).build_engine()?;
+    let mut session = engine.open_session();
+    let pcm: Vec<i16> = SirenSynthesizer::new(SirenKind::Yelp, fs)
+        .synthesize(1.5)
+        .iter()
+        .map(|x| (x * 24_000.0).round().clamp(-32768.0, 32767.0) as i16)
+        .collect();
+    let mut counter = AlertCounter::new();
+    for block in pcm.chunks(160) {
+        // 10 ms capture blocks at 16 kHz
+        session.push_input_with(AudioInput::interleaved(block, 1), &mut counter)?;
+    }
+    println!(
+        "\nstreaming deployment: {} frames analysed, {} alert events ({} total)",
+        counter.frames, counter.alerts, counter.events
+    );
     Ok(())
 }

@@ -4,8 +4,8 @@
 use ispot::codesign::dse::{AnalyticEvaluator, CoDesignLoop, DesignSpace};
 use ispot::codesign::ir::OpGraph;
 use ispot::codesign::platform::EdgePlatform;
+use ispot::core::api::PipelineBuilder;
 use ispot::core::mode::OperatingMode;
-use ispot::core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
 use ispot::roadsim::prelude::*;
 use ispot::sed::baseline::SpectralTemplateDetector;
 use ispot::sed::dataset::{Dataset, DatasetConfig};
@@ -41,8 +41,7 @@ fn render_static_siren(
 fn simulated_siren_is_detected_and_localized_end_to_end() {
     let truth = -60.0;
     let (audio, array) = render_static_siren(truth, 6);
-    let mut pipeline =
-        AcousticPerceptionPipeline::with_array(PipelineConfig::default(), FS, &array).unwrap();
+    let mut pipeline = PipelineBuilder::new(FS).array(&array).build().unwrap();
     let events = pipeline.process_recording(&audio).unwrap();
     let alerts: Vec<_> = events.iter().filter(|e| e.is_alert()).collect();
     assert!(!alerts.is_empty(), "the siren was not detected");
@@ -111,15 +110,7 @@ fn park_mode_saves_work_but_still_detects_events() {
     ));
     let audio = ispot::roadsim::engine::MultichannelAudio::new(vec![signal], FS);
     let run = |mode: OperatingMode| {
-        let mut pipeline = AcousticPerceptionPipeline::new(
-            PipelineConfig {
-                mode,
-                ..PipelineConfig::default()
-            },
-            FS,
-            1,
-        )
-        .unwrap();
+        let mut pipeline = PipelineBuilder::new(FS).mode(mode).build().unwrap();
         let events = pipeline.process_recording(&audio).unwrap();
         (pipeline.analysis_duty_cycle(), events)
     };

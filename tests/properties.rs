@@ -157,7 +157,8 @@ proptest! {
         cuts in prop::collection::vec(1usize..6144, 2..24),
         seed in 0usize..1000,
     ) {
-        use ispot::core::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
+        use ispot::core::api::PipelineBuilder;
+        use ispot::core::pipeline::PipelineConfig;
         use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
 
         let fs = 16_000.0;
@@ -171,10 +172,11 @@ proptest! {
         let audio = ispot::roadsim::engine::MultichannelAudio::new(vec![signal.clone()], fs);
 
         let config = PipelineConfig::default();
-        let mut batch = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let engine = PipelineBuilder::new(fs).config(config).build_engine().unwrap();
+        let mut batch = engine.open_session();
         let batch_events = batch.process_recording(&audio).unwrap();
 
-        let mut streaming = AcousticPerceptionPipeline::new(config, fs, 1).unwrap();
+        let mut streaming = engine.open_session();
         let mut events = Vec::new();
         let mut frames = 0usize;
         let mut pos = 0usize;
