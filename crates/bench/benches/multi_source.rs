@@ -1,0 +1,75 @@
+//! Criterion bench for the multi-source render path: wall-clock cost of
+//! `Simulator::run` as the source count grows.
+//!
+//! Sources render in parallel (one per thread, chunked over the available
+//! cores) with per-source delay lines, filters and scratch, so wall-clock
+//! should grow **sub-linearly** in the source count on a multi-core machine:
+//! doubling the sources from 1 to 2 or 2 to 4 should cost well under 2x as
+//! long as there are idle cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispot_bench::SAMPLE_RATE;
+use ispot_roadsim::engine::Simulator;
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_roadsim::scene::{Scene, SceneBuilder};
+use ispot_roadsim::source::SoundSource;
+use ispot_roadsim::trajectory::Trajectory;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Builds a 0.5 s scene with `num_sources` noise sources on staggered lanes.
+fn scene_with_sources(num_sources: usize) -> Scene {
+    let samples = (SAMPLE_RATE * 0.5) as usize;
+    let sources = (0..num_sources).map(|k| {
+        let signal: Vec<f64> = ispot_dsp::generator::NoiseSource::new(
+            ispot_dsp::generator::NoiseKind::Pink,
+            k as u64 + 1,
+        )
+        .take(samples)
+        .collect();
+        let lane = -8.0 + 3.0 * k as f64;
+        SoundSource::new(
+            signal,
+            Trajectory::linear(
+                Position::new(-20.0, lane, 1.0),
+                Position::new(20.0, lane, 1.0),
+                15.0,
+            ),
+        )
+    });
+    SceneBuilder::new(SAMPLE_RATE)
+        .sources(sources)
+        .array(MicrophoneArray::circular(
+            6,
+            0.2,
+            Position::new(0.0, 0.0, 1.0),
+        ))
+        .reflection(true)
+        .air_absorption(false)
+        .filter_taps(33)
+        .build()
+        .expect("valid bench scene")
+}
+
+fn bench_multi_source_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_source_render");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for num_sources in [1usize, 2, 4, 8] {
+        let sim = Simulator::new(scene_with_sources(num_sources)).expect("valid simulator");
+        group.bench_function(format!("sources_{num_sources}"), |b| {
+            b.iter(|| black_box(sim.run().expect("render succeeds")))
+        });
+    }
+    // Single-thread baseline at the largest size: the gap between this and
+    // `sources_8` is the parallel speedup on this machine (none on 1 core).
+    let sim = Simulator::new(scene_with_sources(8)).expect("valid simulator");
+    group.bench_function("sources_8_single_thread", |b| {
+        b.iter(|| black_box(sim.run_with_threads(1).expect("render succeeds")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_source_render);
+criterion_main!(benches);

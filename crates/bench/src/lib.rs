@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scenarios;
+
 use ispot_codesign::ir::{OpGraph, OpNode};
 use ispot_roadsim::engine::{MultichannelAudio, Simulator};
 use ispot_roadsim::geometry::Position;

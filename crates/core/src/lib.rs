@@ -37,10 +37,19 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let fs = 16_000.0;
-//! // One second of a wail siren passing the array.
+//! // One second of a wail siren, with a quieter broadband masker on the other lane
+//! // — scenes can hold any number of sources, each on its own trajectory.
 //! let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
+//! let masker: Vec<f64> =
+//!     ispot_dsp::generator::NoiseSource::new(ispot_dsp::generator::NoiseKind::Pink, 3)
+//!         .take(16_000)
+//!         .collect();
 //! let scene = SceneBuilder::new(fs)
 //!     .source(SoundSource::new(siren, Trajectory::fixed(Position::new(15.0, 10.0, 1.0))))
+//!     .source(
+//!         SoundSource::new(masker, Trajectory::fixed(Position::new(-8.0, -6.0, 0.8)))
+//!             .with_gain(0.2),
+//!     )
 //!     .array(MicrophoneArray::circular(4, 0.15, Position::new(0.0, 0.0, 1.0)))
 //!     .reflection(false)
 //!     .air_absorption(false)

@@ -6,6 +6,14 @@
 //! lines (direct path and road-reflected path), read at the fractional delay dictated
 //! by the instantaneous propagation distance, scaled by the spherical-spreading gains
 //! and shaped by FIR filters modelling air absorption and the asphalt reflection.
+//!
+//! Multi-source scenes are rendered **one source per unit of work, in parallel across
+//! threads**: every source owns its delay lines, FIR filters and output scratch, so
+//! wall-clock render time scales with the available cores rather than with the source
+//! count. The per-source contributions are then summed into the array output in source
+//! order, which keeps the render bit-for-bit deterministic regardless of thread
+//! scheduling — a 2-source render equals the sample-wise sum of the two single-source
+//! renders exactly (see the `linearity` integration test).
 
 use crate::error::RoadSimError;
 use crate::geometry::{reflected_path_length, Position};
@@ -81,7 +89,7 @@ impl MultichannelAudio {
     }
 }
 
-/// One propagation path (direct or reflected) from the source to one microphone.
+/// One propagation path (direct or reflected) from one source to one microphone.
 #[derive(Debug)]
 struct PropagationPath {
     delay_line: DelayLine,
@@ -114,8 +122,10 @@ impl PropagationPath {
 /// # fn main() -> Result<(), RoadSimError> {
 /// let fs = 8000.0;
 /// let tone: Vec<f64> = ispot_dsp::generator::Sine::new(440.0, fs).take(4000).collect();
+/// let hum: Vec<f64> = ispot_dsp::generator::Sine::new(90.0, fs).take(4000).collect();
 /// let scene = SceneBuilder::new(fs)
 ///     .source(SoundSource::new(tone, Trajectory::fixed(Position::new(10.0, 0.0, 1.0))))
+///     .source(SoundSource::new(hum, Trajectory::fixed(Position::new(-6.0, 2.0, 0.6))))
 ///     .array(MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0)))
 ///     .build()?;
 /// let audio = Simulator::new(scene)?.run()?;
@@ -127,29 +137,38 @@ impl PropagationPath {
 #[derive(Debug)]
 pub struct Simulator {
     scene: Scene,
-    /// Source position sampled once per audio sample.
-    source_positions: Vec<Position>,
+    /// Per-source positions, each sampled once per output sample.
+    source_positions: Vec<Vec<Position>>,
+    /// Output length in samples (the latest source end).
+    num_samples: usize,
 }
 
 impl Simulator {
-    /// Creates a simulator for the given scene, sampling the source trajectory once
-    /// per output sample.
+    /// Creates a simulator for the given scene, sampling every source trajectory once
+    /// per output sample. The output length is the latest source end (onset delay plus
+    /// signal length over all sources).
     ///
     /// # Errors
     ///
-    /// Returns an error if any sampled source position lies below the road surface.
+    /// Returns [`RoadSimError::InvalidSource`] if any sampled source position lies
+    /// below the road surface.
     pub fn new(scene: Scene) -> Result<Self, RoadSimError> {
-        let n = scene.source.len();
-        let source_positions = scene.source.trajectory().sample(scene.sample_rate, n);
-        if let Some(bad) = source_positions.iter().find(|p| p.z < 0.0) {
-            return Err(RoadSimError::invalid_scene(format!(
-                "source trajectory dips below the road surface (z = {})",
-                bad.z
-            )));
+        let num_samples = scene.duration_samples();
+        let mut source_positions = Vec::with_capacity(scene.sources.len());
+        for (s, source) in scene.sources.iter().enumerate() {
+            let positions = source.trajectory().sample(scene.sample_rate, num_samples);
+            if let Some(bad) = positions.iter().find(|p| p.z < 0.0) {
+                return Err(RoadSimError::invalid_source(
+                    s,
+                    format!("trajectory dips below the road surface (z = {})", bad.z),
+                ));
+            }
+            source_positions.push(positions);
         }
         Ok(Simulator {
             scene,
             source_positions,
+            num_samples,
         })
     }
 
@@ -160,55 +179,124 @@ impl Simulator {
 
     /// Renders the scene and returns one audio channel per microphone.
     ///
+    /// Sources are rendered in parallel (one per thread, up to the machine's
+    /// parallelism), each into its own scratch channels; the per-source results are
+    /// summed in source order, so the output is deterministic.
+    ///
     /// # Errors
     ///
     /// Propagates DSP errors (which indicate an internal inconsistency such as a delay
     /// exceeding the preallocated line length).
     pub fn run(&self) -> Result<MultichannelAudio, RoadSimError> {
+        self.run_with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Renders the scene like [`run`](Self::run) with an explicit worker-thread
+    /// count (clamped to `1..=num_sources`). The output is identical for every
+    /// worker count — work distribution never affects summation order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_with_threads(&self, workers: usize) -> Result<MultichannelAudio, RoadSimError> {
+        let num_sources = self.scene.sources.len();
+        let rendered = if num_sources <= 1 || workers <= 1 {
+            (0..num_sources)
+                .map(|s| self.render_source(s))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            self.render_sources_parallel(workers.min(num_sources))?
+        };
+        let mut channels = vec![vec![0.0; self.num_samples]; self.scene.array.len()];
+        for source_channels in rendered {
+            for (acc, ch) in channels.iter_mut().zip(source_channels) {
+                for (a, x) in acc.iter_mut().zip(ch) {
+                    *a += x;
+                }
+            }
+        }
+        Ok(MultichannelAudio::new(channels, self.scene.sample_rate))
+    }
+
+    /// Renders every source on its own scratch, spreading contiguous chunks of the
+    /// source list over `workers` scoped threads.
+    fn render_sources_parallel(&self, workers: usize) -> Result<Vec<Vec<Vec<f64>>>, RoadSimError> {
+        let num_sources = self.scene.sources.len();
+        let chunk = num_sources.div_ceil(workers);
+        let mut slots: Vec<Option<Result<Vec<Vec<f64>>, RoadSimError>>> =
+            (0..num_sources).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let first = w * chunk;
+                scope.spawn(move || {
+                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(self.render_source(first + j));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every source index was assigned to a worker"))
+            .collect()
+    }
+
+    /// Renders the contribution of source `s` alone to every microphone.
+    fn render_source(&self, s: usize) -> Result<Vec<Vec<f64>>, RoadSimError> {
         let scene = &self.scene;
         let fs = scene.sample_rate;
         let c = scene.speed_of_sound();
-        let n = scene.source.len();
+        let source = &scene.sources[s];
+        let onset = source.start_delay_samples(fs);
         let mut channels = Vec::with_capacity(scene.array.len());
-        // Build all per-microphone paths up front.
-        let mut mic_paths: Vec<Vec<PropagationPath>> = Vec::with_capacity(scene.array.len());
         for &mic in scene.array.positions() {
-            let mut paths = Vec::new();
-            paths.push(self.build_path(mic, false, fs, c)?);
+            let mut paths = Vec::with_capacity(2);
+            paths.push(self.build_path(s, mic, false, fs, c)?);
             if scene.include_reflection {
-                paths.push(self.build_path(mic, true, fs, c)?);
+                paths.push(self.build_path(s, mic, true, fs, c)?);
             }
-            mic_paths.push(paths);
-        }
-        for paths in &mut mic_paths {
-            let mut channel = vec![0.0; n];
-            for (i, sample) in channel.iter_mut().enumerate() {
-                let s = scene.source.sample(i);
+            let mut channel = vec![0.0; self.num_samples];
+            // Fast-forward over the pre-onset region: the delay lines and FIR
+            // filters are zero-state and would only push zeros around, so every
+            // output sample before the onset is exactly 0.0 (the channel's
+            // initial value) and the states at the onset are identical.
+            for (i, sample) in channel
+                .iter_mut()
+                .enumerate()
+                .skip(onset.min(self.num_samples))
+            {
+                let x = source.sample(i - onset);
                 let mut acc = 0.0;
                 for path in paths.iter_mut() {
-                    acc += path.process(s, i)?;
+                    acc += path.process(x, i)?;
                 }
                 *sample = acc;
             }
             channels.push(channel);
         }
-        Ok(MultichannelAudio::new(channels, fs))
+        Ok(channels)
     }
 
     fn build_path(
         &self,
+        s: usize,
         mic: Position,
         reflected: bool,
         fs: f64,
         c: f64,
     ) -> Result<PropagationPath, RoadSimError> {
         let scene = &self.scene;
-        let n = self.source_positions.len();
+        let positions = &self.source_positions[s];
+        let n = positions.len();
         let mut delays = Vec::with_capacity(n);
         let mut gains = Vec::with_capacity(n);
         let mut max_delay = 0.0f64;
         let mut sum_dist = 0.0f64;
-        for &pos in &self.source_positions {
+        for &pos in positions {
             let dist = if reflected {
                 reflected_path_length(pos, mic)
             } else {
@@ -398,7 +486,157 @@ mod tests {
             ))
             .build()
             .unwrap();
-        assert!(Simulator::new(scene).is_err());
+        let err = Simulator::new(scene).unwrap_err();
+        assert!(matches!(err, RoadSimError::InvalidSource { index: 0, .. }));
+    }
+
+    #[test]
+    fn two_source_render_is_the_sum_of_single_source_renders() {
+        let fs = 8000.0;
+        let tone_a: Vec<f64> = Sine::new(500.0, fs).take(4000).collect();
+        let tone_b: Vec<f64> = Sine::new(730.0, fs).take(4000).collect();
+        let src_a = SoundSource::new(
+            tone_a,
+            Trajectory::linear(
+                Position::new(-20.0, 4.0, 1.0),
+                Position::new(20.0, 4.0, 1.0),
+                15.0,
+            ),
+        );
+        let src_b = SoundSource::new(tone_b, Trajectory::fixed(Position::new(8.0, -3.0, 0.8)))
+            .with_gain(0.5);
+        let array = MicrophoneArray::linear(3, 0.15, Position::new(0.0, 0.0, 1.0));
+        let render = |sources: Vec<SoundSource>| {
+            let scene = SceneBuilder::new(fs)
+                .sources(sources)
+                .array(array.clone())
+                .reflection(true)
+                .air_absorption(true)
+                .filter_taps(33)
+                .build()
+                .unwrap();
+            Simulator::new(scene).unwrap().run().unwrap()
+        };
+        let both = render(vec![src_a.clone(), src_b.clone()]);
+        let only_a = render(vec![src_a]);
+        let only_b = render(vec![src_b]);
+        assert_eq!(both.num_channels(), 3);
+        for m in 0..3 {
+            for i in 0..both.len() {
+                let expected = only_a.channel(m)[i] + only_b.channel(m)[i];
+                assert!(
+                    (both.channel(m)[i] - expected).abs() == 0.0,
+                    "channel {m} sample {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_source_is_silent_until_its_onset() {
+        let fs = 8000.0;
+        let tone: Vec<f64> = Sine::new(600.0, fs).take(2000).collect();
+        // Static source 17.15 m away (~0.05 s = 400 samples of propagation) whose
+        // signal only starts at t = 0.25 s (2000 samples).
+        let scene = SceneBuilder::new(fs)
+            .source(
+                SoundSource::new(tone, Trajectory::fixed(Position::new(17.15, 0.0, 1.0)))
+                    .with_start(0.25),
+            )
+            .array(MicrophoneArray::custom(vec![Position::new(0.0, 0.0, 1.0)]).unwrap())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        let audio = Simulator::new(scene).unwrap().run().unwrap();
+        assert_eq!(audio.len(), 4000);
+        let ch = audio.channel(0);
+        assert!(rms(&ch[..2300]) < 1e-9, "energy before onset + propagation");
+        assert!(rms(&ch[2500..]) > 1e-3, "no energy after onset");
+    }
+
+    #[test]
+    fn onset_fast_forward_matches_explicit_zero_padding() {
+        // `with_start` skips the pre-onset region entirely; rendering the same
+        // signal with the onset baked in as literal leading zeros must produce a
+        // bit-identical result (the skipped machinery only shuffles zeros).
+        let fs = 8000.0;
+        let onset = 0.17; // 1360 samples
+        let tone: Vec<f64> = Sine::new(640.0, fs).take(2000).collect();
+        let traj = Trajectory::linear(
+            Position::new(-12.0, 3.0, 1.0),
+            Position::new(12.0, 3.0, 1.0),
+            16.0,
+        );
+        let array = MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0));
+        let render = |source: SoundSource| {
+            let scene = SceneBuilder::new(fs)
+                .source(source)
+                .array(array.clone())
+                .reflection(true)
+                .air_absorption(true)
+                .filter_taps(33)
+                .build()
+                .unwrap();
+            Simulator::new(scene).unwrap().run().unwrap()
+        };
+        let delayed = render(SoundSource::new(tone.clone(), traj.clone()).with_start(onset));
+        let mut padded_signal = vec![0.0; (onset * fs).round() as usize];
+        padded_signal.extend_from_slice(&tone);
+        let padded = render(SoundSource::new(padded_signal, traj));
+        assert_eq!(delayed, padded);
+    }
+
+    #[test]
+    fn many_source_render_matches_sequential_sum() {
+        // More sources than a typical core count exercises the chunked worker split.
+        let fs = 8000.0;
+        let array = MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0));
+        let sources: Vec<SoundSource> = (0..9)
+            .map(|k| {
+                let tone: Vec<f64> = Sine::new(300.0 + 70.0 * k as f64, fs).take(1600).collect();
+                SoundSource::new(
+                    tone,
+                    Trajectory::fixed(Position::new(5.0 + k as f64, -4.0 + k as f64, 1.0)),
+                )
+            })
+            .collect();
+        let scene = SceneBuilder::new(fs)
+            .sources(sources.clone())
+            .array(array.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        // Force several workers so the chunked split is exercised even on
+        // single-core CI machines, and check every worker count agrees.
+        let sim = Simulator::new(scene).unwrap();
+        let parallel = sim.run_with_threads(3).unwrap();
+        assert_eq!(sim.run_with_threads(1).unwrap(), parallel);
+        assert_eq!(sim.run_with_threads(4).unwrap(), parallel);
+        assert_eq!(sim.run_with_threads(64).unwrap(), parallel);
+        assert_eq!(sim.run().unwrap(), parallel);
+        let mut expected = vec![vec![0.0; 1600]; 2];
+        for source in sources {
+            let scene = SceneBuilder::new(fs)
+                .source(source)
+                .array(array.clone())
+                .reflection(false)
+                .air_absorption(false)
+                .build()
+                .unwrap();
+            let solo = Simulator::new(scene).unwrap().run().unwrap();
+            for (acc, ch) in expected.iter_mut().zip(solo.channels()) {
+                for (a, x) in acc.iter_mut().zip(ch) {
+                    *a += x;
+                }
+            }
+        }
+        for (m, exp_ch) in expected.iter().enumerate() {
+            for (i, (&got, &want)) in parallel.channel(m).iter().zip(exp_ch).enumerate() {
+                assert!((got - want).abs() < 1e-12, "channel {m} sample {i}");
+            }
+        }
     }
 
     #[test]

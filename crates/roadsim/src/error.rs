@@ -19,6 +19,13 @@ pub enum RoadSimError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// One of the scene's sound sources is invalid.
+    InvalidSource {
+        /// Index of the offending source in the scene's source list.
+        index: usize,
+        /// Description of the problem.
+        reason: String,
+    },
     /// An underlying DSP operation failed.
     Dsp(DspError),
 }
@@ -29,6 +36,9 @@ impl fmt::Display for RoadSimError {
             RoadSimError::InvalidScene { reason } => write!(f, "invalid scene: {reason}"),
             RoadSimError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            RoadSimError::InvalidSource { index, reason } => {
+                write!(f, "invalid source {index}: {reason}")
             }
             RoadSimError::Dsp(e) => write!(f, "dsp error: {e}"),
         }
@@ -65,6 +75,14 @@ impl RoadSimError {
             reason: reason.into(),
         }
     }
+
+    /// Convenience constructor for [`RoadSimError::InvalidSource`].
+    pub fn invalid_source(index: usize, reason: impl Into<String>) -> Self {
+        RoadSimError::InvalidSource {
+            index,
+            reason: reason.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +95,8 @@ mod tests {
         assert!(e.to_string().contains("no source"));
         let e = RoadSimError::invalid_parameter("temperature_c", "out of range");
         assert!(e.to_string().contains("temperature_c"));
+        let e = RoadSimError::invalid_source(2, "signal is empty");
+        assert!(e.to_string().contains("source 2"));
     }
 
     #[test]

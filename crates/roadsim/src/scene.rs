@@ -8,16 +8,18 @@ use crate::microphone::MicrophoneArray;
 use crate::source::SoundSource;
 use ispot_dsp::interp::Interpolator;
 
-/// A complete road-acoustics scene: one moving source, one static microphone array and
-/// the physical environment.
+/// A complete road-acoustics scene: any number of moving sources, one static
+/// microphone array and the physical environment.
 ///
-/// Build it with [`SceneBuilder`].
+/// Each source is rendered independently (direct path plus road reflection per
+/// microphone) and the contributions are summed at every microphone — the acoustic
+/// superposition a real array would record. Build it with [`SceneBuilder`].
 #[derive(Debug, Clone)]
 pub struct Scene {
     /// Sampling rate in Hz.
     pub sample_rate: f64,
-    /// The emitting source.
-    pub source: SoundSource,
+    /// The emitting sources, in the order they were added.
+    pub sources: Vec<SoundSource>,
     /// The receiving microphone array.
     pub array: MicrophoneArray,
     /// Atmospheric conditions.
@@ -41,9 +43,22 @@ impl Scene {
     pub fn speed_of_sound(&self) -> f64 {
         self.atmosphere.speed_of_sound()
     }
+
+    /// Length of the rendered scene in samples: the latest end (onset delay plus
+    /// signal length) over all sources.
+    pub fn duration_samples(&self) -> usize {
+        self.sources
+            .iter()
+            .map(|s| s.end_sample(self.sample_rate))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Builder for [`Scene`].
+///
+/// Call [`source`](SceneBuilder::source) once per emitter — a scene may mix a siren,
+/// several traffic maskers and transient events, each on its own trajectory.
 ///
 /// # Example
 ///
@@ -52,11 +67,18 @@ impl Scene {
 ///
 /// # fn main() -> Result<(), RoadSimError> {
 /// let scene = SceneBuilder::new(16_000.0)
-///     .source(SoundSource::new(vec![0.0; 100], Trajectory::fixed(Position::new(10.0, 0.0, 1.0))))
+///     // A parked emitter...
+///     .source(SoundSource::new(vec![0.1; 100], Trajectory::fixed(Position::new(10.0, 0.0, 1.0))))
+///     // ...and a second vehicle driving past on the other lane.
+///     .source(SoundSource::new(
+///         vec![0.1; 100],
+///         Trajectory::linear(Position::new(-20.0, -3.0, 0.8), Position::new(20.0, -3.0, 0.8), 15.0),
+///     ))
 ///     .array(MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0)))
 ///     .reflection(true)
 ///     .air_absorption(true)
 ///     .build()?;
+/// assert_eq!(scene.sources.len(), 2);
 /// assert!(scene.speed_of_sound() > 330.0);
 /// # Ok(())
 /// # }
@@ -64,7 +86,7 @@ impl Scene {
 #[derive(Debug, Clone)]
 pub struct SceneBuilder {
     sample_rate: f64,
-    source: Option<SoundSource>,
+    sources: Vec<SoundSource>,
     array: Option<MicrophoneArray>,
     atmosphere: Atmosphere,
     asphalt: AsphaltModel,
@@ -80,7 +102,7 @@ impl SceneBuilder {
     pub fn new(sample_rate: f64) -> Self {
         SceneBuilder {
             sample_rate,
-            source: None,
+            sources: Vec::new(),
             array: None,
             atmosphere: Atmosphere::default(),
             asphalt: AsphaltModel::default(),
@@ -92,9 +114,15 @@ impl SceneBuilder {
         }
     }
 
-    /// Sets the sound source.
+    /// Adds one sound source; call repeatedly to build a multi-source scene.
     pub fn source(mut self, source: SoundSource) -> Self {
-        self.source = Some(source);
+        self.sources.push(source);
+        self
+    }
+
+    /// Adds every source from an iterator (convenience for programmatic scenes).
+    pub fn sources(mut self, sources: impl IntoIterator<Item = SoundSource>) -> Self {
+        self.sources.extend(sources);
         self
     }
 
@@ -151,20 +179,38 @@ impl SceneBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`RoadSimError::InvalidScene`] if the source or array is missing, the
-    /// sampling rate is not positive, the source signal is empty, or any microphone or
-    /// the source trajectory lies below the road surface.
+    /// Returns [`RoadSimError::InvalidScene`] if the source list or array is missing
+    /// or the sampling rate is not positive; [`RoadSimError::InvalidSource`] (naming
+    /// the source index) if any source has an empty signal, a non-finite or negative
+    /// onset time, or a degenerate trajectory (see [`Trajectory::validate`]); and
+    /// [`RoadSimError::InvalidScene`] if any microphone lies below the road surface.
+    ///
+    /// [`Trajectory::validate`]: crate::trajectory::Trajectory::validate
     pub fn build(self) -> Result<Scene, RoadSimError> {
         if self.sample_rate <= 0.0 {
             return Err(RoadSimError::invalid_scene(
                 "sampling rate must be positive",
             ));
         }
-        let source = self
-            .source
-            .ok_or_else(|| RoadSimError::invalid_scene("no sound source configured"))?;
-        if source.is_empty() {
-            return Err(RoadSimError::invalid_scene("source signal is empty"));
+        if self.sources.is_empty() {
+            return Err(RoadSimError::invalid_scene("no sound source configured"));
+        }
+        for (i, source) in self.sources.iter().enumerate() {
+            if source.is_empty() {
+                return Err(RoadSimError::invalid_source(i, "signal is empty"));
+            }
+            if !source.start_s().is_finite() || source.start_s() < 0.0 {
+                return Err(RoadSimError::invalid_source(
+                    i,
+                    format!(
+                        "onset time must be finite and non-negative, got {}",
+                        source.start_s()
+                    ),
+                ));
+            }
+            if let Err(e) = source.trajectory().validate() {
+                return Err(RoadSimError::invalid_source(i, e.to_string()));
+            }
         }
         let array = self
             .array
@@ -184,7 +230,7 @@ impl SceneBuilder {
         }
         Ok(Scene {
             sample_rate: self.sample_rate,
-            source,
+            sources: self.sources,
             array,
             atmosphere: self.atmosphere,
             asphalt: self.asphalt,
@@ -221,11 +267,43 @@ mod tests {
         let scene = valid_builder().build().unwrap();
         assert_eq!(scene.array.len(), 2);
         assert!(scene.include_reflection);
+        assert_eq!(scene.sources.len(), 1);
+        assert_eq!(scene.duration_samples(), 64);
+    }
+
+    #[test]
+    fn multiple_sources_accumulate_in_order() {
+        let masker = SoundSource::new(
+            vec![0.2; 32],
+            Trajectory::linear(
+                Position::new(-10.0, 2.0, 1.0),
+                Position::new(10.0, 2.0, 1.0),
+                5.0,
+            ),
+        );
+        let late = SoundSource::new(
+            vec![0.3; 16],
+            Trajectory::fixed(Position::new(3.0, 0.0, 1.0)),
+        )
+        .with_start(0.01);
+        let scene = valid_builder()
+            .source(masker.clone())
+            .sources([late.clone()])
+            .build()
+            .unwrap();
+        assert_eq!(scene.sources.len(), 3);
+        assert_eq!(scene.sources[1], masker);
+        assert_eq!(scene.sources[2], late);
+        // 0.01 s at 16 kHz = 160 samples of onset delay + 16 samples of signal.
+        assert_eq!(scene.duration_samples(), 176);
     }
 
     #[test]
     fn missing_source_or_array_is_rejected() {
-        assert!(SceneBuilder::new(16_000.0).build().is_err());
+        assert!(matches!(
+            SceneBuilder::new(16_000.0).build(),
+            Err(RoadSimError::InvalidScene { .. })
+        ));
         let no_array = SceneBuilder::new(16_000.0).source(SoundSource::new(
             vec![0.1; 4],
             Trajectory::fixed(Position::ORIGIN),
@@ -240,17 +318,61 @@ mod tests {
             .array(MicrophoneArray::custom(vec![Position::new(0.0, 0.0, -0.5)]).unwrap());
         assert!(below_road.build().is_err());
         assert!(SceneBuilder::new(0.0).build().is_err());
-        let empty_signal = SceneBuilder::new(16_000.0)
+    }
+
+    #[test]
+    fn degenerate_sources_are_rejected_with_their_index() {
+        // Empty signal on the second source.
+        let err = valid_builder()
             .source(SoundSource::new(
                 vec![],
                 Trajectory::fixed(Position::new(1.0, 0.0, 1.0)),
             ))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RoadSimError::InvalidSource { index: 1, .. }),
+            "{err}"
+        );
+
+        // Zero-duration trajectory: a linear pass that never moves.
+        let err = valid_builder()
+            .source(SoundSource::new(
+                vec![0.1; 8],
+                Trajectory::linear(Position::ORIGIN, Position::new(10.0, 0.0, 0.0), 0.0),
+            ))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RoadSimError::InvalidSource { index: 1, .. }),
+            "{err}"
+        );
+
+        // Non-finite onset time.
+        let err = valid_builder()
+            .source(
+                SoundSource::new(
+                    vec![0.1; 8],
+                    Trajectory::fixed(Position::new(1.0, 0.0, 1.0)),
+                )
+                .with_start(f64::NAN),
+            )
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RoadSimError::InvalidSource { index: 1, .. }),
+            "{err}"
+        );
+
+        // An empty source list is an InvalidScene, not a panic or silent silence.
+        let empty = SceneBuilder::new(16_000.0)
             .array(MicrophoneArray::linear(
                 1,
                 0.1,
                 Position::new(0.0, 0.0, 1.0),
-            ));
-        assert!(empty_signal.build().is_err());
+            ))
+            .build();
+        assert!(matches!(empty, Err(RoadSimError::InvalidScene { .. })));
     }
 
     #[test]

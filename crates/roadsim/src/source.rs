@@ -3,8 +3,13 @@
 use crate::trajectory::Trajectory;
 use serde::{Deserialize, Serialize};
 
-/// A single omnidirectional sound source emitting a user-defined signal while moving
+/// One omnidirectional sound source emitting a user-defined signal while moving
 /// along a [`Trajectory`].
+///
+/// A scene may contain any number of sources (see
+/// [`SceneBuilder::source`](crate::scene::SceneBuilder::source)); each one carries its
+/// own signal, trajectory, emission gain and optional onset time, and the engine sums
+/// their direct and road-reflected contributions at every microphone.
 ///
 /// # Example
 ///
@@ -12,14 +17,17 @@ use serde::{Deserialize, Serialize};
 /// use ispot_roadsim::{geometry::Position, source::SoundSource, trajectory::Trajectory};
 ///
 /// let signal = vec![0.0_f64; 16_000];
-/// let source = SoundSource::new(signal, Trajectory::fixed(Position::new(5.0, 0.0, 1.0)));
+/// let source = SoundSource::new(signal, Trajectory::fixed(Position::new(5.0, 0.0, 1.0)))
+///     .with_start(0.5);
 /// assert_eq!(source.len(), 16_000);
+/// assert_eq!(source.start_delay_samples(16_000.0), 8000);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SoundSource {
     signal: Vec<f64>,
     trajectory: Trajectory,
     gain: f64,
+    start_s: f64,
 }
 
 impl SoundSource {
@@ -29,12 +37,23 @@ impl SoundSource {
             signal,
             trajectory,
             gain: 1.0,
+            start_s: 0.0,
         }
     }
 
     /// Sets an overall emission gain (default 1.0).
     pub fn with_gain(mut self, gain: f64) -> Self {
         self.gain = gain;
+        self
+    }
+
+    /// Delays the signal onset to `start_s` seconds of scene time (default 0.0).
+    ///
+    /// The trajectory remains parameterized by absolute scene time — only the emitted
+    /// signal is shifted, so a door slam can fire mid-scene from wherever its (static
+    /// or moving) source happens to be at that moment.
+    pub fn with_start(mut self, start_s: f64) -> Self {
+        self.start_s = start_s;
         self
     }
 
@@ -51,6 +70,22 @@ impl SoundSource {
     /// The emission gain.
     pub fn gain(&self) -> f64 {
         self.gain
+    }
+
+    /// Scene time (seconds) at which the signal starts playing.
+    pub fn start_s(&self) -> f64 {
+        self.start_s
+    }
+
+    /// The signal onset expressed in whole samples at sampling rate `fs`.
+    pub fn start_delay_samples(&self, fs: f64) -> usize {
+        (self.start_s * fs).round().max(0.0) as usize
+    }
+
+    /// Number of scene samples this source spans at sampling rate `fs`: onset delay
+    /// plus signal length.
+    pub fn end_sample(&self, fs: f64) -> usize {
+        self.start_delay_samples(fs) + self.signal.len()
     }
 
     /// Number of samples in the emitted signal.
@@ -92,5 +127,19 @@ mod tests {
         assert!(!s.is_empty());
         assert_eq!(s.trajectory(), &traj);
         assert_eq!(s.gain(), 1.0);
+        assert_eq!(s.start_s(), 0.0);
+        assert_eq!(s.end_sample(8000.0), 10);
+    }
+
+    #[test]
+    fn start_delay_rounds_to_whole_samples() {
+        let s =
+            SoundSource::new(vec![0.1; 100], Trajectory::fixed(Position::ORIGIN)).with_start(0.25);
+        assert_eq!(s.start_delay_samples(16_000.0), 4000);
+        assert_eq!(s.end_sample(16_000.0), 4100);
+        // Negative onsets clamp to the scene start.
+        let early =
+            SoundSource::new(vec![0.1; 4], Trajectory::fixed(Position::ORIGIN)).with_start(-1.0);
+        assert_eq!(early.start_delay_samples(16_000.0), 0);
     }
 }

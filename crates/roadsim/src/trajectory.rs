@@ -203,6 +203,56 @@ impl Trajectory {
             .map(|n| self.position_at(n as f64 / fs))
             .collect()
     }
+
+    /// Checks the trajectory invariants that the convenience constructors enforce,
+    /// for values built directly from the (public) enum variants.
+    ///
+    /// The scene builder calls this for every source, so a degenerate trajectory — a
+    /// zero-duration linear pass (`speed <= 0` over a non-zero segment), a
+    /// single-waypoint path, a non-positive Bézier traversal time — is rejected with a
+    /// typed error before the engine ever samples it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadSimError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), RoadSimError> {
+        match self {
+            Trajectory::Static { .. } => Ok(()),
+            Trajectory::Linear { start, end, speed } => {
+                if !speed.is_finite() {
+                    return Err(RoadSimError::invalid_parameter("speed", "must be finite"));
+                }
+                if start.distance_to(*end) > f64::EPSILON && *speed <= 0.0 {
+                    return Err(RoadSimError::invalid_parameter(
+                        "speed",
+                        "zero-duration trajectory: speed must be positive over a non-zero segment",
+                    ));
+                }
+                Ok(())
+            }
+            Trajectory::Waypoints { points, speed } => {
+                if points.len() < 2 {
+                    return Err(RoadSimError::invalid_parameter(
+                        "points",
+                        "waypoint trajectory needs at least two points",
+                    ));
+                }
+                if !(speed.is_finite() && *speed > 0.0) {
+                    return Err(RoadSimError::invalid_parameter("speed", "must be positive"));
+                }
+                Ok(())
+            }
+            Trajectory::Bezier { duration, .. } => {
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return Err(RoadSimError::invalid_parameter(
+                        "duration",
+                        "must be positive",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +338,37 @@ mod tests {
             0.0
         )
         .is_err());
+    }
+
+    #[test]
+    fn validate_accepts_constructor_built_and_rejects_degenerate_values() {
+        assert!(Trajectory::fixed(Position::ORIGIN).validate().is_ok());
+        assert!(
+            Trajectory::linear(Position::ORIGIN, Position::new(10.0, 0.0, 0.0), 5.0)
+                .validate()
+                .is_ok()
+        );
+        // A linear pass over a non-zero segment at zero speed never arrives: the
+        // constructors allow it (the enum is public) but validation names it.
+        let stuck = Trajectory::linear(Position::ORIGIN, Position::new(10.0, 0.0, 0.0), 0.0);
+        assert!(stuck.validate().is_err());
+        // Zero-length segments degenerate to a static source; that is fine.
+        assert!(Trajectory::linear(Position::ORIGIN, Position::ORIGIN, 0.0)
+            .validate()
+            .is_ok());
+        let one_point = Trajectory::Waypoints {
+            points: vec![Position::ORIGIN],
+            speed: 1.0,
+        };
+        assert!(one_point.validate().is_err());
+        let frozen_bezier = Trajectory::Bezier {
+            p0: Position::ORIGIN,
+            p1: Position::ORIGIN,
+            p2: Position::ORIGIN,
+            p3: Position::ORIGIN,
+            duration: 0.0,
+        };
+        assert!(frozen_bezier.validate().is_err());
     }
 
     #[test]

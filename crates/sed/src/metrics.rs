@@ -145,6 +145,65 @@ impl ClassificationReport {
         }
         correct as f64 / self.total.max(1) as f64
     }
+
+    /// Binary event counts `(tp, fp, fn)` with every siren/horn class collapsed to
+    /// "event" and background to "no event".
+    fn event_counts(&self) -> (usize, usize, usize) {
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for t in 0..EventClass::COUNT {
+            for p in 0..EventClass::COUNT {
+                let truth_event = EventClass::ALL[t].is_event();
+                let pred_event = EventClass::ALL[p].is_event();
+                match (truth_event, pred_event) {
+                    (true, true) => tp += self.confusion[t][p],
+                    (false, true) => fp += self.confusion[t][p],
+                    (true, false) => fn_ += self.confusion[t][p],
+                    (false, false) => {}
+                }
+            }
+        }
+        (tp, fp, fn_)
+    }
+
+    /// Binary event precision: of the frames flagged as an event (any siren/horn
+    /// class), the fraction whose ground truth is an event. 1.0 when nothing was
+    /// flagged.
+    pub fn event_precision(&self) -> f64 {
+        let (tp, fp, _) = self.event_counts();
+        if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        }
+    }
+
+    /// Binary event recall: of the ground-truth event frames, the fraction flagged
+    /// as an event of any class. 1.0 when no event frames occur.
+    pub fn event_recall(&self) -> f64 {
+        let (tp, _, fn_) = self.event_counts();
+        if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        }
+    }
+
+    /// Binary event-detection F1: harmonic mean of [`event_precision`] and
+    /// [`event_recall`]. This is the per-scene detection figure reported by the
+    /// scenario evaluation harness, where "did we flag the siren at all" matters
+    /// before "which siren was it".
+    ///
+    /// [`event_precision`]: ClassificationReport::event_precision
+    /// [`event_recall`]: ClassificationReport::event_recall
+    pub fn event_f1(&self) -> f64 {
+        let p = self.event_precision();
+        let r = self.event_recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
 }
 
 impl fmt::Display for ClassificationReport {
@@ -220,6 +279,40 @@ mod tests {
         let r = ClassificationReport::from_predictions(&truth, &pred).unwrap();
         assert_eq!(r.accuracy(), 0.5);
         assert_eq!(r.event_detection_accuracy(), 1.0);
+        assert_eq!(r.event_f1(), 1.0);
+    }
+
+    #[test]
+    fn event_f1_from_known_counts() {
+        // Truth: 4 event frames, 2 background. Predictions: 3 of the events flagged
+        // (one as the wrong siren — still a detection), 1 missed, 1 background
+        // false-flagged. tp = 3, fp = 1, fn = 1.
+        let truth = vec![
+            EventClass::WailSiren,
+            EventClass::WailSiren,
+            EventClass::YelpSiren,
+            EventClass::CarHorn,
+            EventClass::Background,
+            EventClass::Background,
+        ];
+        let pred = vec![
+            EventClass::WailSiren,
+            EventClass::HiLowSiren,
+            EventClass::Background,
+            EventClass::CarHorn,
+            EventClass::CarHorn,
+            EventClass::Background,
+        ];
+        let r = ClassificationReport::from_predictions(&truth, &pred).unwrap();
+        assert!((r.event_precision() - 0.75).abs() < 1e-12);
+        assert!((r.event_recall() - 0.75).abs() < 1e-12);
+        assert!((r.event_f1() - 0.75).abs() < 1e-12);
+        // All-background truth and predictions: vacuous success, not a divide-by-zero.
+        let quiet = vec![EventClass::Background; 3];
+        let r = ClassificationReport::from_predictions(&quiet, &quiet).unwrap();
+        assert_eq!(r.event_precision(), 1.0);
+        assert_eq!(r.event_recall(), 1.0);
+        assert_eq!(r.event_f1(), 1.0);
     }
 
     #[test]

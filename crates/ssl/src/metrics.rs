@@ -35,6 +35,97 @@ pub fn mean_angular_error_deg(estimates_deg: &[f64], truths_deg: &[f64]) -> f64 
         / estimates_deg.len() as f64
 }
 
+/// Angular error (degrees) of one estimate against the **nearest** of several
+/// ground-truth bearings, or `None` if no truths are active (non-finite
+/// estimates or truths are skipped rather than scored).
+///
+/// This is the standard multi-source association rule: with several simultaneously
+/// active sources a localizer is scored against whichever one it locked onto.
+///
+/// # Example
+///
+/// ```
+/// use ispot_ssl::metrics::nearest_truth_error_deg;
+/// assert_eq!(nearest_truth_error_deg(10.0, &[50.0, 15.0, -120.0]), Some(5.0));
+/// assert_eq!(nearest_truth_error_deg(10.0, &[]), None);
+/// assert_eq!(nearest_truth_error_deg(f64::NAN, &[50.0]), None);
+/// ```
+pub fn nearest_truth_error_deg(estimate_deg: f64, truths_deg: &[f64]) -> Option<f64> {
+    truths_deg
+        .iter()
+        .map(|&t| angular_error_deg(estimate_deg, t))
+        .filter(|e| e.is_finite())
+        .min_by(f64::total_cmp)
+}
+
+/// Accumulates nearest-truth DoA errors over the events of a multi-source scene.
+///
+/// Feed every localized event together with the bearings of the sources active at
+/// that moment (from the scene's ground-truth trajectories); read back the mean
+/// error and the fraction within a tolerance.
+///
+/// # Example
+///
+/// ```
+/// use ispot_ssl::metrics::MultiSourceDoaScore;
+///
+/// let mut score = MultiSourceDoaScore::new();
+/// score.add(42.0, &[40.0, -90.0]); // 2 deg off the nearer source
+/// score.add(0.0, &[]);             // no active source: not scored
+/// score.add(-88.0, &[40.0, -90.0]);
+/// assert_eq!(score.count(), 2);
+/// assert_eq!(score.mean_error_deg(), Some(2.0));
+/// assert_eq!(score.fraction_within(3.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiSourceDoaScore {
+    errors_deg: Vec<f64>,
+}
+
+impl MultiSourceDoaScore {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores one estimate against the currently active ground-truth bearings.
+    /// Returns the nearest-truth error, or `None` (and accumulates nothing) when no
+    /// truth is active.
+    pub fn add(&mut self, estimate_deg: f64, truths_deg: &[f64]) -> Option<f64> {
+        let err = nearest_truth_error_deg(estimate_deg, truths_deg)?;
+        self.errors_deg.push(err);
+        Some(err)
+    }
+
+    /// Number of scored estimates.
+    pub fn count(&self) -> usize {
+        self.errors_deg.len()
+    }
+
+    /// Mean nearest-truth error in degrees, or `None` if nothing was scored.
+    pub fn mean_error_deg(&self) -> Option<f64> {
+        if self.errors_deg.is_empty() {
+            None
+        } else {
+            Some(self.errors_deg.iter().sum::<f64>() / self.errors_deg.len() as f64)
+        }
+    }
+
+    /// Fraction of scored estimates within `tolerance_deg` of their nearest truth
+    /// (0.0 when nothing was scored).
+    pub fn fraction_within(&self, tolerance_deg: f64) -> f64 {
+        if self.errors_deg.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .errors_deg
+            .iter()
+            .filter(|&&e| e <= tolerance_deg)
+            .count();
+        hits as f64 / self.errors_deg.len() as f64
+    }
+}
+
 /// Fraction of estimates within `tolerance_deg` of the ground truth.
 pub fn accuracy_within(estimates_deg: &[f64], truths_deg: &[f64], tolerance_deg: f64) -> f64 {
     if estimates_deg.is_empty() || estimates_deg.len() != truths_deg.len() {
@@ -59,6 +150,29 @@ mod tests {
         assert_eq!(angular_error_deg(179.0, -179.0), 2.0);
         assert_eq!(angular_error_deg(90.0, -90.0), 180.0);
         assert_eq!(angular_error_deg(350.0, 10.0), 20.0);
+    }
+
+    #[test]
+    fn nearest_truth_handles_wraparound_empty_and_non_finite() {
+        assert_eq!(nearest_truth_error_deg(179.0, &[-179.0, 0.0]), Some(2.0));
+        assert_eq!(nearest_truth_error_deg(0.0, &[]), None);
+        // Non-finite inputs are skipped, never a panic or a NaN score.
+        assert_eq!(nearest_truth_error_deg(f64::NAN, &[10.0, 20.0]), None);
+        assert_eq!(nearest_truth_error_deg(10.0, &[f64::NAN, 13.0]), Some(3.0));
+        assert_eq!(nearest_truth_error_deg(10.0, &[f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn multi_source_score_accumulates_only_active_truths() {
+        let mut score = MultiSourceDoaScore::new();
+        assert_eq!(score.mean_error_deg(), None);
+        assert_eq!(score.fraction_within(5.0), 0.0);
+        assert_eq!(score.add(10.0, &[13.0, 100.0]), Some(3.0));
+        assert_eq!(score.add(50.0, &[]), None);
+        assert_eq!(score.add(-170.0, &[171.0]), Some(19.0));
+        assert_eq!(score.count(), 2);
+        assert!((score.mean_error_deg().unwrap() - 11.0).abs() < 1e-12);
+        assert_eq!(score.fraction_within(5.0), 0.5);
     }
 
     #[test]

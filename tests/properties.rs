@@ -204,3 +204,100 @@ proptest! {
         }
     }
 }
+
+// Multi-source linearity, carried through the full pipeline: the rendered 2-source
+// scene is chunk-size invariant end to end — however the multichannel audio is cut
+// into streaming pushes, the session emits byte-identical events. The scene is
+// rendered once (it is deterministic) and shared across proptest cases.
+mod multi_source_pipeline {
+    use super::*;
+    use ispot::core::api::PipelineBuilder;
+    use ispot::roadsim::engine::{MultichannelAudio, Simulator};
+    use ispot::roadsim::geometry::Position;
+    use ispot::roadsim::microphone::MicrophoneArray;
+    use ispot::roadsim::scene::SceneBuilder;
+    use ispot::roadsim::source::SoundSource;
+    use ispot::roadsim::trajectory::Trajectory;
+    use ispot::sed::sirens::{SirenKind, SirenSynthesizer};
+    use std::sync::OnceLock;
+
+    fn array() -> MicrophoneArray {
+        MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0))
+    }
+
+    fn rendered_scene() -> &'static MultichannelAudio {
+        static AUDIO: OnceLock<MultichannelAudio> = OnceLock::new();
+        AUDIO.get_or_init(|| {
+            let fs = 16_000.0;
+            let siren = SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(1.0);
+            let masker: Vec<f64> =
+                ispot::dsp::generator::NoiseSource::new(ispot::dsp::generator::NoiseKind::Pink, 5)
+                    .take(16_000)
+                    .collect();
+            let scene = SceneBuilder::new(fs)
+                .source(
+                    SoundSource::new(
+                        siren,
+                        Trajectory::linear(
+                            Position::new(-8.0, 5.0, 1.0),
+                            Position::new(8.0, 5.0, 1.0),
+                            16.0,
+                        ),
+                    )
+                    .with_gain(2.0),
+                )
+                .source(
+                    SoundSource::new(masker, Trajectory::fixed(Position::new(10.0, -7.0, 0.8)))
+                        .with_gain(0.2),
+                )
+                .array(array())
+                .reflection(true)
+                .air_absorption(false)
+                .filter_taps(33)
+                .build()
+                .expect("valid scene");
+            Simulator::new(scene)
+                .expect("valid simulator")
+                .run()
+                .expect("render succeeds")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn multi_source_scene_is_chunk_invariant_through_the_pipeline(
+            cuts in prop::collection::vec(1usize..5000, 2..16),
+        ) {
+            let audio = rendered_scene();
+            let fs = audio.sample_rate();
+            let engine = PipelineBuilder::new(fs).array(&array()).build_engine().unwrap();
+
+            let mut batch = engine.open_session();
+            let batch_events = batch.process_recording(audio).unwrap();
+            prop_assert!(!batch_events.is_empty(), "scene produces events");
+
+            let mut streaming = engine.open_session();
+            let mut events = Vec::new();
+            let mut pos = 0usize;
+            let mut cut_iter = cuts.iter().cycle();
+            let len = audio.len();
+            while pos < len {
+                let take = (*cut_iter.next().unwrap()).min(len - pos);
+                let chunk: Vec<&[f64]> = audio
+                    .channels()
+                    .iter()
+                    .map(|ch| &ch[pos..pos + take])
+                    .collect();
+                streaming.push_chunk_into(&chunk, &mut events).unwrap();
+                pos += take;
+            }
+
+            prop_assert_eq!(events.len(), batch_events.len());
+            for (a, b) in batch_events.iter().zip(&events) {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}
