@@ -11,7 +11,10 @@
 //!
 //! * `--smoke` — render one short scene only (CI smoke run);
 //! * `--markdown` — additionally print the scenario gallery as a Markdown table
-//!   (the source of the table in `ARCHITECTURE.md`).
+//!   (the source of the table in `ARCHITECTURE.md`);
+//! * `--json` — additionally write `BENCH_scenarios.json` (per-scene detection
+//!   F1, DoA error, confirmed tracks, identity swaps, OSPA, per-frame latency),
+//!   the machine-readable quality/perf trajectory consumed by CI.
 
 use ispot_bench::scenarios::{self, ScenarioReport};
 use ispot_bench::{print_header, print_row, SAMPLE_RATE};
@@ -19,6 +22,7 @@ use ispot_bench::{print_header, print_row, SAMPLE_RATE};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let markdown = std::env::args().any(|a| a == "--markdown");
+    let json = std::env::args().any(|a| a == "--json");
     print_header(
         "E10 - scenario evaluation harness (multi-source road scenes)",
         "perception quality is decided by interfering sources and pass-by geometry",
@@ -47,11 +51,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reports.push(report);
     }
     if markdown {
-        println!("\n| scenario | description | event F1 | precision / recall | mean DoA err (deg) | duty |");
-        println!("|---|---|---|---|---|---|");
+        println!("\n| scenario | description | event F1 | precision / recall | mean DoA err (deg) | tracks / swaps | track err (deg) | duty |");
+        println!("|---|---|---|---|---|---|---|---|");
         for (scenario, report) in scenarios.iter().zip(&reports) {
             println!("{}", report.markdown_row(scenario.description));
         }
+    }
+    if json {
+        let objects: Vec<String> = scenarios
+            .iter()
+            .zip(&reports)
+            .map(|(s, r)| format!("  {}", r.json_object(s.description)))
+            .collect();
+        let body = format!("[\n{}\n]\n", objects.join(",\n"));
+        let path = "BENCH_scenarios.json";
+        std::fs::write(path, body)?;
+        println!("\nwrote {path} ({} scenes)", reports.len());
     }
     Ok(())
 }

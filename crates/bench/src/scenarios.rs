@@ -36,7 +36,9 @@ use ispot_sed::metrics::ClassificationReport;
 use ispot_sed::noise::UrbanNoiseSynthesizer;
 use ispot_sed::sirens::{CarHornSynthesizer, SirenKind, SirenSynthesizer};
 use ispot_sed::EventClass;
-use ispot_ssl::metrics::MultiSourceDoaScore;
+use ispot_ssl::metrics::{ospa_deg, MultiSourceDoaScore, TrackIdentityScore};
+use ispot_ssl::multitrack::TrackId;
+use std::collections::BTreeSet;
 
 /// Analysis frame length used by the harness (matches the pipeline default).
 pub const FRAME_LEN: usize = 2048;
@@ -98,24 +100,55 @@ pub struct ScenarioReport {
     /// Fraction of frames on which the full analysis ran (trigger duty cycle in
     /// park mode, 1.0 in drive mode).
     pub duty_cycle: f64,
+    /// Distinct confirmed track identities observed across the scene.
+    pub confirmed_tracks: usize,
+    /// Identity swaps: frames where a confirmed track's optimally assigned
+    /// truth changed (with hysteresis, so truth-bearing crossings alone do not
+    /// count).
+    pub identity_swaps: usize,
+    /// Mean bearing error of confirmed tracks against their **assigned** truth
+    /// (optimal 1:1 assignment per frame), degrees.
+    pub mean_track_error_deg: Option<f64>,
+    /// Largest per-track mean bearing error, degrees — every track must stay on
+    /// its own vehicle, not just the best one.
+    pub worst_track_error_deg: Option<f64>,
+    /// Mean OSPA (localization + cardinality) error of the confirmed track set
+    /// against the active truth set, degrees, cutoff [`OSPA_CUTOFF_DEG`].
+    pub mean_ospa_deg: Option<f64>,
+    /// Mean end-to-end processing latency per frame, milliseconds (host).
+    pub mean_frame_latency_ms: f64,
 }
+
+/// OSPA cutoff used by [`evaluate`]: bearing errors beyond this (and every
+/// missing/spurious track) are charged this many degrees.
+pub const OSPA_CUTOFF_DEG: f64 = 30.0;
+
+/// Assignment hysteresis used by [`evaluate`]'s identity scoring: a track keeps
+/// its standing truth unless an alternative is closer by more than this.
+pub const IDENTITY_HYSTERESIS_DEG: f64 = 10.0;
 
 impl ScenarioReport {
     /// Formats the report as one row of the scenario table.
     pub fn table_row(&self) -> String {
-        let doa = match self.mean_doa_error_deg {
-            Some(e) => format!("{e:10.1}"),
-            None => format!("{:>10}", "-"),
+        let fmt_opt = |v: Option<f64>, width: usize| match v {
+            Some(e) => format!("{e:>width$.1}"),
+            None => format!("{:>width$}", "-"),
         };
         format!(
-            "{:<28} {:>6} {:>7} {:>6.3} {:>6.3} {:>6.3} {doa} {:>6} {:>5.2}",
+            "{:<26} {:>6} {:>7} {:>6.3} {:>6.3} {:>6.3} {} {:>6} {:>4} {:>5} {} {} {:>8.3} {:>5.2}",
             self.name,
             self.num_frames,
             self.num_events,
             self.event_f1,
             self.event_precision,
             self.event_recall,
+            fmt_opt(self.mean_doa_error_deg, 8),
             self.doa_scored,
+            self.confirmed_tracks,
+            self.identity_swaps,
+            fmt_opt(self.mean_track_error_deg, 7),
+            fmt_opt(self.mean_ospa_deg, 7),
+            self.mean_frame_latency_ms,
             self.duty_cycle,
         )
     }
@@ -123,33 +156,95 @@ impl ScenarioReport {
     /// Header matching [`table_row`](Self::table_row).
     pub fn table_header() -> String {
         format!(
-            "{:<28} {:>6} {:>7} {:>6} {:>6} {:>6} {:>10} {:>6} {:>5}",
-            "scenario", "frames", "events", "F1", "prec", "recall", "DoA(deg)", "scored", "duty"
+            "{:<26} {:>6} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6} {:>4} {:>5} {:>7} {:>7} {:>8} {:>5}",
+            "scenario",
+            "frames",
+            "events",
+            "F1",
+            "prec",
+            "recall",
+            "DoA(dg)",
+            "scored",
+            "trk",
+            "swaps",
+            "trkerr",
+            "ospa",
+            "ms/frm",
+            "duty"
+        )
+    }
+
+    /// Serializes the report as one JSON object (hand-rolled: the workspace
+    /// carries no JSON dependency). Used by `exp_scenarios --json` to write the
+    /// machine-readable `BENCH_scenarios.json` quality/perf artifact.
+    pub fn json_object(&self, description: &str) -> String {
+        let num = |v: Option<f64>| match v {
+            Some(e) if e.is_finite() => format!("{e:.4}"),
+            _ => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"description\":\"{}\",\"frames\":{},\"events\":{},",
+                "\"event_f1\":{:.4},\"event_precision\":{:.4},\"event_recall\":{:.4},",
+                "\"mean_doa_error_deg\":{},\"doa_scored\":{},\"duty_cycle\":{:.4},",
+                "\"confirmed_tracks\":{},\"identity_swaps\":{},",
+                "\"mean_track_error_deg\":{},\"worst_track_error_deg\":{},",
+                "\"mean_ospa_deg\":{},\"mean_frame_latency_ms\":{:.4}}}"
+            ),
+            self.name,
+            description.replace('"', "'"),
+            self.num_frames,
+            self.num_events,
+            self.event_f1,
+            self.event_precision,
+            self.event_recall,
+            num(self.mean_doa_error_deg),
+            self.doa_scored,
+            self.duty_cycle,
+            self.confirmed_tracks,
+            self.identity_swaps,
+            num(self.mean_track_error_deg),
+            num(self.worst_track_error_deg),
+            num(self.mean_ospa_deg),
+            self.mean_frame_latency_ms,
         )
     }
 
     /// Formats the report as one row of a Markdown table (for the scenario
     /// gallery in `ARCHITECTURE.md`).
     pub fn markdown_row(&self, description: &str) -> String {
-        let doa = match self.mean_doa_error_deg {
+        let fmt_opt = |v: Option<f64>| match v {
             Some(e) => format!("{e:.1}"),
             None => "–".to_string(),
         };
         format!(
-            "| `{}` | {} | {:.3} | {:.3} / {:.3} | {} | {:.2} |",
+            "| `{}` | {} | {:.3} | {:.3} / {:.3} | {} | {} / {} | {} | {:.2} |",
             self.name,
             description,
             self.event_f1,
             self.event_precision,
             self.event_recall,
-            doa,
+            fmt_opt(self.mean_doa_error_deg),
+            self.confirmed_tracks,
+            self.identity_swaps,
+            fmt_opt(self.mean_track_error_deg),
             self.duty_cycle,
         )
     }
 }
 
-fn array_6() -> MicrophoneArray {
-    MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.0))
+/// The roof array shared by every scenario: six microphones on an **irregular**
+/// hexagon (jittered angles and radii, ~0.2 m aperture) at 1 m height.
+///
+/// A regular circular array is invariant under reflection about its symmetry
+/// axes, so the SRP map of a source at `+θ` carries a strong mirror lobe near
+/// `−θ`; with several concurrent sources those persistent phantoms confirm as
+/// spurious tracks. Jittering the geometry breaks the symmetry and removes the
+/// mirror lobes — the irregular layout measurably cleans the multi-target
+/// picture in the crossing-vehicles scene while leaving single-source scenes
+/// as accurate as the regular hexagon.
+fn roof_array() -> MicrophoneArray {
+    MicrophoneArray::irregular_hexagon(Position::new(0.0, 0.0, 1.0))
 }
 
 fn urban(fs: f64, seed: u64, duration_s: f64) -> Vec<f64> {
@@ -166,7 +261,7 @@ fn engine_idle(fs: f64, seed: u64, duration_s: f64) -> Vec<f64> {
 /// (an oncoming vehicle on the opposite lane and a parked idler). `duration_s`
 /// scales the pass length; 4.0 s is the paper-style full pass.
 pub fn siren_pass_by_in_traffic(fs: f64, duration_s: f64) -> Scenario {
-    let array = array_6();
+    let array = roof_array();
     let half = 7.5 * duration_s; // 15 m/s pass centred on the array
     let siren_traj = Trajectory::linear(
         Position::new(-half, 6.0, 1.0),
@@ -213,26 +308,39 @@ pub fn siren_pass_by_in_traffic(fs: f64, duration_s: f64) -> Scenario {
     }
 }
 
-/// Scene 2 — two vehicles on perpendicular roads cross in front of the array: a
-/// wail siren travelling along x and a broadband masker travelling along y.
+/// Scene 2 — two emergency vehicles on perpendicular roads cross in front of
+/// the array: a wail siren travelling along x and a yelp ambulance travelling
+/// along y, plus a quiet broadband traffic masker. Their bearings sweep towards
+/// each other and cross near the end of the scene — the identity-preservation
+/// stress case for the multi-target tracker (two confirmed tracks, no swap).
 pub fn crossing_vehicles(fs: f64) -> Scenario {
     let duration_s = 4.0;
-    let array = array_6();
+    let array = roof_array();
     let siren_traj = Trajectory::linear(
-        Position::new(-28.0, 4.0, 1.0),
-        Position::new(28.0, 4.0, 1.0),
+        Position::new(-28.0, 8.0, 1.0),
+        Position::new(28.0, 8.0, 1.0),
         14.0,
     );
     let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(duration_s);
     let crosser_traj = Trajectory::linear(
-        Position::new(6.0, -24.0, 1.0),
-        Position::new(6.0, 24.0, 1.0),
-        12.0,
+        Position::new(15.0, -16.0, 1.0),
+        Position::new(15.0, 16.0, 1.0),
+        8.0,
     );
-    let crosser = SoundSource::new(urban(fs, 31, duration_s), crosser_traj.clone()).with_gain(0.2);
+    let crosser = SoundSource::new(
+        SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(duration_s),
+        crosser_traj.clone(),
+    )
+    .with_gain(1.5);
+    let traffic = SoundSource::new(
+        urban(fs, 31, duration_s),
+        Trajectory::fixed(Position::new(-10.0, -14.0, 0.8)),
+    )
+    .with_gain(0.1);
     let scene = SceneBuilder::new(fs)
         .source(SoundSource::new(siren, siren_traj.clone()).with_gain(3.0))
         .source(crosser)
+        .source(traffic)
         .array(array.clone())
         .reflection(true)
         .air_absorption(false)
@@ -241,19 +349,23 @@ pub fn crossing_vehicles(fs: f64) -> Scenario {
         .expect("valid crossing scene");
     Scenario {
         name: "crossing-vehicles",
-        description: "wail siren and a broadband vehicle cross on perpendicular roads",
+        description: "wail siren and a yelp ambulance cross on perpendicular roads",
         mode: OperatingMode::Drive,
         scene,
         array,
-        timeline: vec![LabeledInterval::new(EventClass::WailSiren, 0.0, duration_s)],
+        timeline: vec![
+            LabeledInterval::new(EventClass::WailSiren, 0.0, duration_s),
+            LabeledInterval::new(EventClass::YelpSiren, 0.0, duration_s),
+        ],
         doa_truth: vec![
             DoaTruth {
                 trajectory: siren_traj,
                 start_s: 0.0,
                 end_s: duration_s,
             },
-            // The crossing vehicle is a real source too: multi-source DoA scoring
-            // associates each estimate with whichever vehicle it locked onto.
+            // The crossing ambulance is a first-class source: identity-aware
+            // scoring demands a second stable track on it, not merely a
+            // nearest-truth match.
             DoaTruth {
                 trajectory: crosser_traj,
                 start_s: 0.0,
@@ -264,24 +376,34 @@ pub fn crossing_vehicles(fs: f64) -> Scenario {
 }
 
 /// Scene 3 — an emergency vehicle approaches head-on from far behind a nearby
-/// idling masker; the siren emerges from the masker as it closes in.
+/// masker — a second siren blaring at an incident scene (a yelp, as services
+/// use at a standstill); the approaching wail emerges from behind it
+/// as it closes in. Identity-wise the tracker must hold one track on the
+/// stationary masker and a second on the approaching vehicle, without swapping.
 pub fn approaching_behind_masker(fs: f64) -> Scenario {
     let duration_s = 4.0;
-    let array = array_6();
+    let array = roof_array();
     let siren_traj = Trajectory::linear(
         Position::new(-70.0, 2.0, 1.0),
         Position::new(-10.0, 2.0, 1.0),
         15.0,
     );
     let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(duration_s);
+    let masker_pos = Trajectory::fixed(Position::new(5.0, -3.0, 0.7));
     let masker = SoundSource::new(
-        engine_idle(fs, 41, duration_s),
-        Trajectory::fixed(Position::new(5.0, -3.0, 0.7)),
+        SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(duration_s),
+        masker_pos.clone(),
     )
-    .with_gain(0.25);
+    .with_gain(0.6);
+    let idle = SoundSource::new(
+        engine_idle(fs, 41, duration_s),
+        Trajectory::fixed(Position::new(6.0, -2.5, 0.7)),
+    )
+    .with_gain(0.2);
     let scene = SceneBuilder::new(fs)
         .source(SoundSource::new(siren, siren_traj.clone()).with_gain(4.0))
         .source(masker)
+        .source(idle)
         .array(array.clone())
         .reflection(true)
         .air_absorption(true)
@@ -290,16 +412,26 @@ pub fn approaching_behind_masker(fs: f64) -> Scenario {
         .expect("valid approach scene");
     Scenario {
         name: "approaching-behind-masker",
-        description: "wail siren approaches head-on from 70 m behind an idling masker",
+        description: "wail siren approaches head-on from 70 m behind a stationary siren masker",
         mode: OperatingMode::Drive,
         scene,
         array,
-        timeline: vec![LabeledInterval::new(EventClass::WailSiren, 0.0, duration_s)],
-        doa_truth: vec![DoaTruth {
-            trajectory: siren_traj,
-            start_s: 0.0,
-            end_s: duration_s,
-        }],
+        timeline: vec![
+            LabeledInterval::new(EventClass::WailSiren, 0.0, duration_s),
+            LabeledInterval::new(EventClass::YelpSiren, 0.0, duration_s),
+        ],
+        doa_truth: vec![
+            DoaTruth {
+                trajectory: siren_traj,
+                start_s: 0.0,
+                end_s: duration_s,
+            },
+            DoaTruth {
+                trajectory: masker_pos,
+                start_s: 0.0,
+                end_s: duration_s,
+            },
+        ],
     }
 }
 
@@ -307,7 +439,7 @@ pub fn approaching_behind_masker(fs: f64) -> Scenario {
 /// perpendicular road amid two further traffic sources.
 pub fn intersection_wait(fs: f64) -> Scenario {
     let duration_s = 4.0;
-    let array = array_6();
+    let array = roof_array();
     let siren_traj = Trajectory::linear(
         Position::new(-36.0, 12.0, 1.0),
         Position::new(36.0, 12.0, 1.0),
@@ -319,7 +451,12 @@ pub fn intersection_wait(fs: f64) -> Scenario {
         Position::new(12.0, 22.0, 1.0),
         10.0,
     );
-    let crosser = SoundSource::new(urban(fs, 53, duration_s), crosser_traj.clone()).with_gain(0.15);
+    // Tyre-hiss-forward mix so the crossing vehicle is spatially visible to
+    // the tracker, not just an energy masker.
+    let crosser_signal = UrbanNoiseSynthesizer::new(fs, 53)
+        .with_levels(0.6, 1.0, 0.1)
+        .synthesize(duration_s);
+    let crosser = SoundSource::new(crosser_signal, crosser_traj.clone()).with_gain(0.25);
     let idler = SoundSource::new(
         engine_idle(fs, 59, duration_s),
         Trajectory::fixed(Position::new(-8.0, -5.0, 0.8)),
@@ -366,7 +503,7 @@ pub fn intersection_wait(fs: f64) -> Scenario {
 /// exists to chart that edge, not to pass a threshold.
 pub fn far_field_low_snr(fs: f64) -> Scenario {
     let duration_s = 3.0;
-    let array = array_6();
+    let array = roof_array();
     let siren_traj = Trajectory::linear(
         Position::new(120.0, 50.0, 1.5),
         Position::new(110.0, 40.0, 1.5),
@@ -407,7 +544,7 @@ pub fn far_field_low_snr(fs: f64) -> Scenario {
 /// the pipeline for the transient while gating the idle stretches.
 pub fn park_door_slam(fs: f64) -> Scenario {
     let duration_s = 4.0;
-    let array = array_6();
+    let array = roof_array();
     let slam_start = 2.0;
     let slam_len = 0.4;
     let slam_pos = Trajectory::fixed(Position::new(6.0, -2.0, 1.0));
@@ -471,9 +608,18 @@ pub fn all(fs: f64) -> Vec<Scenario> {
 /// the emitted events against the scenario's ground truth.
 ///
 /// The session is configured with the scenario's array and mode at
-/// [`FRAME_LEN`]/[`HOP`]; detection is scored frame-by-frame (events collapse to
-/// "event vs background") and every tracked event bearing is scored against the
-/// nearest simultaneously active ground-truth source.
+/// [`FRAME_LEN`]/[`HOP`]. Three scoring layers:
+///
+/// * **detection** — frame-by-frame event-vs-background
+///   (`ClassificationReport`);
+/// * **legacy DoA** — the best tracked bearing of every event against the
+///   nearest simultaneously active source (`MultiSourceDoaScore`), kept for
+///   continuity with the single-track harness;
+/// * **identity-aware tracking** — every event's confirmed track set is
+///   optimally assigned to the active truth set (`TrackIdentityScore`, with
+///   [`IDENTITY_HYSTERESIS_DEG`]) for per-track error and swap counting, and
+///   scored as a set with OSPA ([`OSPA_CUTOFF_DEG`]) so missing and spurious
+///   tracks are charged too.
 ///
 /// # Errors
 ///
@@ -501,25 +647,51 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
     let truth = frame_labels(&scenario.timeline, num_frames, FRAME_LEN, HOP, fs);
     let report = ClassificationReport::from_predictions(&truth, &predictions)?;
 
-    // DoA scoring: tracked bearing of each event vs the nearest active source.
+    // Bearing truths at a given moment, one slot per `doa_truth` entry in
+    // stable order: a momentarily inactive source is NaN, not dropped, so the
+    // identity scorer's assignments stay keyed to the same vehicle throughout
+    // (the metric helpers all skip non-finite bearings).
     let origin = scenario.array.centroid();
-    let mut doa = MultiSourceDoaScore::new();
-    for event in sink.events() {
-        let Some(estimate) = event.tracked_azimuth_deg.or(event.azimuth_deg) else {
-            continue;
-        };
-        let truths: Vec<f64> = scenario
+    let truths_at = |time_s: f64| -> Vec<f64> {
+        scenario
             .doa_truth
             .iter()
-            .filter(|t| t.start_s <= event.time_s && event.time_s <= t.end_s)
             .map(|t| {
-                t.trajectory
-                    .position_at(event.time_s)
-                    .azimuth_from(origin)
-                    .to_degrees()
+                if t.start_s <= time_s && time_s <= t.end_s {
+                    t.trajectory
+                        .position_at(time_s)
+                        .azimuth_from(origin)
+                        .to_degrees()
+                } else {
+                    f64::NAN
+                }
             })
-            .collect();
-        doa.add(estimate, &truths);
+            .collect()
+    };
+
+    // Legacy DoA scoring plus the identity-aware layer.
+    let mut doa = MultiSourceDoaScore::new();
+    let mut identity = TrackIdentityScore::with_hysteresis(IDENTITY_HYSTERESIS_DEG);
+    let mut confirmed_ids = BTreeSet::new();
+    let mut frame_tracks: Vec<(TrackId, f64)> = Vec::new();
+    let mut ospa_sum = 0.0;
+    let mut ospa_count = 0usize;
+    for event in sink.events() {
+        let truths = truths_at(event.time_s);
+        if let Some(estimate) = event.tracked_azimuth_deg.or(event.azimuth_deg) {
+            doa.add(estimate, &truths);
+        }
+        frame_tracks.clear();
+        for track in event.tracks.confirmed() {
+            confirmed_ids.insert(track.id);
+            frame_tracks.push((track.id, track.azimuth_deg));
+        }
+        identity.observe_frame(&frame_tracks, &truths);
+        if truths.iter().any(|t| t.is_finite()) {
+            let bearings: Vec<f64> = frame_tracks.iter().map(|(_, az)| *az).collect();
+            ospa_sum += ospa_deg(&bearings, &truths, OSPA_CUTOFF_DEG);
+            ospa_count += 1;
+        }
     }
 
     Ok(ScenarioReport {
@@ -532,6 +704,12 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
         mean_doa_error_deg: doa.mean_error_deg(),
         doa_scored: doa.count(),
         duty_cycle: session.analysis_duty_cycle(),
+        confirmed_tracks: confirmed_ids.len(),
+        identity_swaps: identity.swap_count(),
+        mean_track_error_deg: identity.mean_error_deg(),
+        worst_track_error_deg: identity.worst_track_mean_error_deg(),
+        mean_ospa_deg: (ospa_count > 0).then(|| ospa_sum / ospa_count as f64),
+        mean_frame_latency_ms: session.latency_report().mean_frame_ms(),
     })
 }
 

@@ -47,6 +47,56 @@ fn park_door_slam_wakes_trigger_and_detects() {
     );
 }
 
+/// The multi-target acceptance scene: two emergency vehicles whose bearings
+/// sweep towards each other and cross must resolve into exactly two confirmed
+/// tracks that keep their identities through the crossing — no swap — with the
+/// mean per-track bearing error inside the 5-degree budget.
+#[test]
+fn crossing_vehicles_resolves_two_tracks_with_no_identity_swap() {
+    let scenario = scenarios::crossing_vehicles(16_000.0);
+    let report = scenarios::evaluate(&scenario).expect("evaluation succeeds");
+    assert!(report.event_f1 >= 0.9, "F1 {:.3}", report.event_f1);
+    assert_eq!(
+        report.confirmed_tracks, 2,
+        "expected exactly the two vehicles as confirmed tracks, got {}",
+        report.confirmed_tracks
+    );
+    assert_eq!(
+        report.identity_swaps, 0,
+        "tracks swapped vehicles {} time(s) through the bearing crossing",
+        report.identity_swaps
+    );
+    let mean = report.mean_track_error_deg.expect("tracks were scored");
+    assert!(mean <= 5.0, "mean per-track DoA error {mean:.1} deg");
+    let worst = report.worst_track_error_deg.expect("tracks were scored");
+    assert!(worst <= 10.0, "worst per-track DoA error {worst:.1} deg");
+    // The set-level view agrees: OSPA stays well under the 30-degree cutoff
+    // that a missing or spurious track would be charged.
+    let ospa = report.mean_ospa_deg.expect("OSPA scored");
+    assert!(ospa <= 15.0, "mean OSPA {ospa:.1} deg");
+}
+
+/// The occlusion acceptance scene: a distant siren approaching from directly
+/// behind a much closer stationary siren masker. The tracker must hold one
+/// identity on each — two confirmed tracks, zero swaps.
+#[test]
+fn approaching_behind_masker_holds_two_identities() {
+    let scenario = scenarios::approaching_behind_masker(16_000.0);
+    let report = scenarios::evaluate(&scenario).expect("evaluation succeeds");
+    assert_eq!(
+        report.confirmed_tracks, 2,
+        "expected the approaching siren and the masker as confirmed tracks, got {}",
+        report.confirmed_tracks
+    );
+    assert_eq!(
+        report.identity_swaps, 0,
+        "{} swap(s)",
+        report.identity_swaps
+    );
+    let mean = report.mean_track_error_deg.expect("tracks were scored");
+    assert!(mean <= 5.0, "mean per-track DoA error {mean:.1} deg");
+}
+
 /// The short smoke configuration used by CI runs end to end.
 #[test]
 fn smoke_scene_runs_end_to_end() {

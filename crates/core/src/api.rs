@@ -83,7 +83,7 @@
 //! `evaluate` call.
 
 use crate::error::PipelineError;
-use crate::events::PerceptionEvent;
+use crate::events::{PerceptionEvent, TrackList};
 use crate::input::AudioInput;
 use crate::latency::LatencyReport;
 use crate::mode::OperatingMode;
@@ -97,6 +97,7 @@ use ispot_roadsim::engine::MultichannelAudio;
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_sed::baseline::SpectralTemplateDetector;
 use ispot_sed::EventClass;
+use ispot_ssl::multitrack::TrackingConfig;
 use ispot_ssl::srp_fast::SrpPhatFast;
 use ispot_ssl::srp_phat::SrpConfig;
 use std::sync::Arc;
@@ -211,6 +212,14 @@ impl PipelineBuilder {
     /// Sets the park-mode trigger configuration.
     pub fn trigger(mut self, trigger: crate::trigger::TriggerConfig) -> Self {
         self.config.trigger = trigger;
+        self
+    }
+
+    /// Sets the multi-target tracking configuration (peak budget, association
+    /// gate, confirmation and coasting counts). Validated at build time like
+    /// every other parameter.
+    pub fn tracking(mut self, tracking: TrackingConfig) -> Self {
+        self.config.tracking = tracking;
         self
     }
 
@@ -376,8 +385,9 @@ impl Engine {
         let stages = StageGraph::new(
             TriggerStage::new(shared.config.trigger),
             DetectStage::shared(Arc::clone(&shared.detector)),
-            LocalizeStage::shared(shared.localizer.clone()),
-            TrackStage::new(1.0, 36.0),
+            LocalizeStage::shared(shared.localizer.clone(), shared.config.tracking),
+            TrackStage::with_config(shared.config.tracking)
+                .expect("tracking configuration was validated at engine build"),
             shared.config.frame_len,
         );
         Session {
@@ -588,6 +598,9 @@ impl Session {
                     confidence,
                     azimuth_deg,
                     tracked_azimuth_deg,
+                    // Inline copy of the tracker's snapshots: the event stays
+                    // heap-free, so emission through the sink allocates nothing.
+                    tracks: TrackList::from_slice(self.stages.track.tracks()),
                 };
                 sink.on_event(&event);
             }
@@ -861,6 +874,35 @@ mod tests {
             ),
             ("channels", PipelineBuilder::new(16_000.0).channels(0)),
             ("sample_rate", PipelineBuilder::new(0.0)),
+            (
+                "tracking max_tracks",
+                PipelineBuilder::new(16_000.0).tracking(TrackingConfig {
+                    max_tracks: 0,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "tracking gate",
+                PipelineBuilder::new(16_000.0).tracking(TrackingConfig {
+                    gate_deg: f64::NAN,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "tracking confirm window",
+                PipelineBuilder::new(16_000.0).tracking(TrackingConfig {
+                    confirm_hits: 4,
+                    confirm_window: 2,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "tracking salience",
+                PipelineBuilder::new(16_000.0).tracking(TrackingConfig {
+                    min_salience: -0.5,
+                    ..Default::default()
+                }),
+            ),
         ];
         for (what, builder) in cases {
             assert!(
@@ -916,6 +958,62 @@ mod tests {
         let mut sink_b = VecSink::new();
         b.push_chunk_with(&chunk, &mut sink_b).unwrap();
         assert_eq!(sink.events(), sink_b.events());
+    }
+
+    #[test]
+    fn events_expose_the_multi_track_view_consistently() {
+        use ispot_roadsim::engine::Simulator;
+        use ispot_roadsim::scene::SceneBuilder;
+        use ispot_roadsim::source::SoundSource;
+        use ispot_roadsim::trajectory::Trajectory;
+
+        let fs = 16_000.0;
+        // The irregular hexagon breaks the regular array's reflection symmetry
+        // so mirror lobes cannot pollute the two-source SRP map.
+        let array = MicrophoneArray::irregular_hexagon(Position::new(0.0, 0.0, 1.0));
+        // Two static sirens far apart in bearing: both must surface as tracks.
+        let scene = SceneBuilder::new(fs)
+            .source(
+                SoundSource::new(
+                    SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(2.0),
+                    Trajectory::fixed(Position::new(12.0, 10.0, 1.0)),
+                )
+                .with_gain(3.0),
+            )
+            .source(
+                SoundSource::new(
+                    SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(2.0),
+                    Trajectory::fixed(Position::new(-5.0, -16.0, 1.0)),
+                )
+                .with_gain(1.5),
+            )
+            .array(array.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        let audio = Simulator::new(scene).unwrap().run().unwrap();
+        let mut session = PipelineBuilder::new(fs).array(&array).build().unwrap();
+        let mut sink = VecSink::new();
+        session.process_recording_with(&audio, &mut sink).unwrap();
+        let events = sink.events();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| e.tracks.confirmed().count() >= 2),
+            "no event saw both sources as confirmed tracks"
+        );
+        for event in events {
+            // The legacy single-source fields are views of the same state: the
+            // tracked azimuth is the best (first) track, and track snapshots
+            // arrive best-first with confirmed tracks ahead of tentative ones.
+            if let Some(tracked) = event.tracked_azimuth_deg {
+                assert_eq!(tracked, event.tracks[0].azimuth_deg, "{event:?}");
+            }
+            let statuses: Vec<bool> = event.tracks.iter().map(|t| t.is_confirmed()).collect();
+            let mut sorted = statuses.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(statuses, sorted, "confirmed tracks must sort first");
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use error::PipelineError;
 pub mod prelude {
     pub use crate::api::{Engine, PipelineBuilder, Session};
     pub use crate::error::PipelineError;
-    pub use crate::events::PerceptionEvent;
+    pub use crate::events::{PerceptionEvent, TrackList};
     pub use crate::input::AudioInput;
     pub use crate::latency::{LatencyReport, StageLatency};
     pub use crate::mode::OperatingMode;
@@ -95,4 +95,5 @@ pub mod prelude {
     pub use crate::stages::{FrameOutcome, Stage, StageGraph};
     pub use crate::stream::StreamRunner;
     pub use crate::trigger::{EnergyTrigger, TriggerConfig};
+    pub use ispot_ssl::multitrack::{TrackId, TrackSnapshot, TrackStatus, TrackingConfig};
 }

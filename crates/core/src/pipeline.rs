@@ -24,6 +24,8 @@
 use crate::error::PipelineError;
 use crate::mode::OperatingMode;
 use crate::trigger::TriggerConfig;
+use ispot_ssl::multitrack::TrackingConfig;
+use ispot_ssl::SslError;
 use serde::{Deserialize, Serialize};
 
 /// The end-to-end perception worker for one audio stream.
@@ -55,6 +57,9 @@ pub struct PipelineConfig {
     pub confidence_threshold: f64,
     /// Park-mode trigger configuration.
     pub trigger: TriggerConfig,
+    /// Multi-target tracking configuration (peak budget, association gate,
+    /// confirmation and coasting counts).
+    pub tracking: TrackingConfig,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +71,7 @@ impl Default for PipelineConfig {
             num_directions: 181,
             confidence_threshold: 0.2,
             trigger: TriggerConfig::default(),
+            tracking: TrackingConfig::default(),
         }
     }
 }
@@ -88,7 +94,10 @@ impl PipelineConfig {
     ///   empty, peak-less SRP map on every frame);
     /// * `confidence_threshold` must lie in `[0, 1]`;
     /// * the trigger's `threshold_db` must be positive and finite, and its
-    ///   `floor_smoothing` must lie strictly inside `(0, 1)`.
+    ///   `floor_smoothing` must lie strictly inside `(0, 1)`;
+    /// * every tracking parameter must pass
+    ///   [`TrackingConfig::validate`] (positive counts within their caps, gate
+    ///   and salience thresholds in range).
     pub fn validate(&self) -> Result<(), PipelineError> {
         if self.frame_len == 0 {
             return Err(PipelineError::invalid_config(
@@ -129,6 +138,14 @@ impl PipelineConfig {
                 "must lie strictly inside (0, 1)",
             ));
         }
+        // Surface tracking violations as the pipeline's own typed InvalidConfig
+        // (same field-naming contract as every other parameter).
+        self.tracking.validate().map_err(|e| match e {
+            SslError::InvalidConfig { name, reason } => {
+                PipelineError::InvalidConfig { name, reason }
+            }
+            other => PipelineError::Localization(other),
+        })?;
         Ok(())
     }
 }

@@ -207,6 +207,7 @@ mod tests {
             confidence,
             azimuth_deg: None,
             tracked_azimuth_deg: None,
+            tracks: crate::events::TrackList::default(),
         }
     }
 

@@ -19,9 +19,9 @@ use crate::trigger::{EnergyTrigger, TriggerConfig};
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_sed::baseline::{DetectorScratch, SpectralTemplateDetector};
 use ispot_sed::EventClass;
+use ispot_ssl::multitrack::{MultiTargetTracker, TrackSnapshot, TrackingConfig};
 use ispot_ssl::srp_fast::SrpPhatFast;
-use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpScratch};
-use ispot_ssl::tracking::AzimuthKalmanTracker;
+use ispot_ssl::srp_phat::{Peak, SrpConfig, SrpMap, SrpScratch};
 use std::sync::Arc;
 
 /// A named unit of per-frame work inside the perception pipeline.
@@ -147,33 +147,47 @@ impl Stage for DetectStage {
     fn reset(&mut self) {}
 }
 
-/// Localization stage: low-complexity SRP-PHAT over the multichannel frame.
-/// Absent (None) when the array geometry is unknown or has fewer than two mics.
+/// Localization stage: low-complexity SRP-PHAT over the multichannel frame,
+/// followed by multi-peak extraction (non-maximum suppression on the wrapped
+/// azimuth grid). Absent (None) when the array geometry is unknown or has fewer
+/// than two mics.
 ///
-/// The stage owns the localizer's [`SrpScratch`] and output [`SrpMap`], so the
-/// per-frame localization path performs no heap allocation.
+/// The stage owns the localizer's [`SrpScratch`], output [`SrpMap`] and peak
+/// scratch, so the per-frame localization path performs no heap allocation.
 #[derive(Debug)]
 pub struct LocalizeStage {
     localizer: Option<ActiveLocalizer>,
+    /// Peak budget per frame (from the tracking configuration).
+    max_peaks: usize,
+    /// Non-maximum-suppression separation in degrees.
+    min_separation_deg: f64,
+    /// Fraction of the previous smoothed map retained each frame (0 disables).
+    map_smoothing: f64,
 }
 
 /// A live localizer plus the scratch memory its frame path reuses. The
 /// processor (steering operator, FFT plans) is immutable and shared behind an
-/// [`Arc`]; only the scratch and the output map are per-stream.
+/// [`Arc`]; only the scratch, the maps and the peak list are per-stream.
 #[derive(Debug)]
 struct ActiveLocalizer {
     srp: Arc<SrpPhatFast>,
     scratch: SrpScratch,
     map: SrpMap,
+    /// EMA of `map` across frames; peaks are extracted from here, so transient
+    /// clutter (inter-source cross-terms, tonal aliasing lobes) is averaged
+    /// away before it can spawn tracks. Emptied on reset.
+    smoothed: SrpMap,
+    peaks: Vec<Peak>,
 }
 
 impl LocalizeStage {
     /// Creates a disabled stage (detection-only pipelines).
     pub fn disabled() -> Self {
-        LocalizeStage { localizer: None }
+        Self::shared(None, TrackingConfig::default())
     }
 
-    /// Creates the stage for a microphone array (disabled for mono arrays).
+    /// Creates the stage for a microphone array (disabled for mono arrays),
+    /// with the default peak-extraction settings.
     ///
     /// # Errors
     ///
@@ -187,13 +201,14 @@ impl LocalizeStage {
             return Ok(Self::disabled());
         }
         let srp = Arc::new(SrpPhatFast::new(config, array, sample_rate)?);
-        Ok(Self::shared(Some(srp)))
+        Ok(Self::shared(Some(srp), TrackingConfig::default()))
     }
 
     /// Creates the stage around an existing shared localizer (or a disabled stage
-    /// for `None`), allocating only the per-stream scratch and output map. This
-    /// is the cheap per-session constructor used by the engine.
-    pub fn shared(srp: Option<Arc<SrpPhatFast>>) -> Self {
+    /// for `None`), allocating only the per-stream scratch, output map and peak
+    /// list. This is the cheap per-session constructor used by the engine; the
+    /// tracking configuration supplies the peak budget and NMS separation.
+    pub fn shared(srp: Option<Arc<SrpPhatFast>>, tracking: TrackingConfig) -> Self {
         LocalizeStage {
             localizer: srp.map(|srp| {
                 let scratch = srp.make_scratch();
@@ -203,8 +218,17 @@ impl LocalizeStage {
                     srp.grid().azimuths_deg().to_vec(),
                     vec![0.0; srp.grid().num_directions()],
                 );
-                ActiveLocalizer { srp, scratch, map }
+                ActiveLocalizer {
+                    srp,
+                    scratch,
+                    smoothed: map.clone(),
+                    map,
+                    peaks: Vec::with_capacity(tracking.max_peaks),
+                }
             }),
+            max_peaks: tracking.max_peaks,
+            min_separation_deg: tracking.min_separation_deg,
+            map_smoothing: tracking.map_smoothing,
         }
     }
 
@@ -219,26 +243,73 @@ impl LocalizeStage {
         self.localizer.is_some()
     }
 
-    /// Localizes the frame, returning the azimuth estimate in degrees (None when
-    /// disabled). Reuses the stage-owned scratch and map: no per-frame allocation.
+    /// Localizes the frame, extracting the top-K SRP peaks (strongest first)
+    /// into the stage-owned scratch, and returns them — `None` when the stage
+    /// is disabled, an empty slice when the map has no finite peak. Reuses the
+    /// stage-owned scratch, map and peak list: no per-frame allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count or frame length is wrong.
+    pub fn localize_peaks(
+        &mut self,
+        frame: &[&[f64]],
+        latency: &mut LatencyReport,
+    ) -> Result<Option<&[Peak]>, PipelineError> {
+        match &mut self.localizer {
+            None => Ok(None),
+            Some(ActiveLocalizer {
+                srp,
+                scratch,
+                map,
+                smoothed,
+                peaks,
+            }) => {
+                let (max_peaks, min_sep, retain) =
+                    (self.max_peaks, self.min_separation_deg, self.map_smoothing);
+                latency.time("localization", || -> Result<(), PipelineError> {
+                    srp.compute_map_into(frame, scratch, map)?;
+                    if retain > 0.0 {
+                        smoothed.smooth_from(map, retain);
+                        smoothed.peaks_into(max_peaks, min_sep, peaks);
+                    } else {
+                        map.peaks_into(max_peaks, min_sep, peaks);
+                    }
+                    Ok(())
+                })?;
+                Ok(Some(peaks))
+            }
+        }
+    }
+
+    /// Localizes the frame, returning the azimuth of the **strongest** peak in
+    /// degrees (None when disabled). Convenience wrapper around
+    /// [`LocalizeStage::localize_peaks`] for single-source consumers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LocalizeStage::localize_peaks`].
     pub fn localize(
         &mut self,
         frame: &[&[f64]],
         latency: &mut LatencyReport,
     ) -> Result<Option<f64>, PipelineError> {
-        match &mut self.localizer {
-            None => Ok(None),
-            Some(ActiveLocalizer { srp, scratch, map }) => {
-                latency.time("localization", || srp.compute_map_into(frame, scratch, map))?;
-                Ok(map.peak().map(|(_, azimuth_deg)| azimuth_deg))
-            }
-        }
+        Ok(self
+            .localize_peaks(frame, latency)?
+            .and_then(|peaks| peaks.first())
+            .map(|p| p.azimuth_deg))
     }
 
-    /// The SRP map produced by the most recent [`LocalizeStage::localize`] call
-    /// (empty before the first frame; None when the stage is disabled).
+    /// The SRP map produced by the most recent localize call (empty before the
+    /// first frame; None when the stage is disabled).
     pub fn last_map(&self) -> Option<&SrpMap> {
         self.localizer.as_ref().map(|a| &a.map)
+    }
+
+    /// The peaks extracted by the most recent localize call (empty before the
+    /// first frame; None when the stage is disabled).
+    pub fn last_peaks(&self) -> Option<&[Peak]> {
+        self.localizer.as_ref().map(|a| a.peaks.as_slice())
     }
 }
 
@@ -247,29 +318,87 @@ impl Stage for LocalizeStage {
         "localization"
     }
 
-    fn reset(&mut self) {}
+    fn reset(&mut self) {
+        // Restart the temporal map EMA: smoothing history must never leak
+        // across streams or mode switches.
+        if let Some(active) = &mut self.localizer {
+            active.smoothed.zero();
+        }
+    }
 }
 
-/// Tracking stage: azimuth Kalman filter smoothing the per-frame estimates.
+/// Tracking stage: the multi-target tracker — gated nearest-neighbour
+/// association of SRP peaks onto a bank of azimuth Kalman tracks with a
+/// tentative → confirmed → coasting lifecycle (see
+/// [`ispot_ssl::multitrack`]).
+///
+/// The stage owns all tracker storage (track slots, snapshot buffer,
+/// association scratch), so steady-state tracking performs no heap allocation.
 #[derive(Debug)]
 pub struct TrackStage {
-    tracker: AzimuthKalmanTracker,
+    tracker: MultiTargetTracker,
 }
 
 impl TrackStage {
-    /// Creates the stage with the given process / measurement noise (degrees²).
+    /// Creates the stage with the default tracking configuration at the given
+    /// per-track process / measurement noise (degrees²).
     pub fn new(process_noise: f64, measurement_noise: f64) -> Self {
-        TrackStage {
-            tracker: AzimuthKalmanTracker::new(process_noise, measurement_noise),
-        }
+        Self::with_config(TrackingConfig {
+            process_noise,
+            measurement_noise,
+            ..TrackingConfig::default()
+        })
+        .expect("default tracking configuration is valid")
     }
 
-    /// Feeds one azimuth measurement, returning the smoothed azimuth.
-    pub fn track(&mut self, azimuth_deg: f64, latency: &mut LatencyReport) -> f64 {
+    /// Creates the stage from a full tracking configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] if the configuration is out of
+    /// range.
+    pub fn with_config(config: TrackingConfig) -> Result<Self, PipelineError> {
+        Ok(TrackStage {
+            tracker: MultiTargetTracker::new(config)?,
+        })
+    }
+
+    /// Feeds one frame's peak list (strongest first, as produced by
+    /// [`LocalizeStage::localize_peaks`]) into the tracker and returns the best
+    /// track's azimuth — `None` while no track is alive.
+    pub fn track_peaks(&mut self, peaks: &[Peak], latency: &mut LatencyReport) -> Option<f64> {
         let tracker = &mut self.tracker;
-        latency
-            .time("tracking", || tracker.update(azimuth_deg))
-            .azimuth_deg
+        latency.time("tracking", || tracker.update(peaks));
+        self.best().map(|t| t.azimuth_deg)
+    }
+
+    /// Feeds one bare azimuth measurement (a single full-salience peak),
+    /// returning the smoothed azimuth of the best track. Kept for
+    /// single-source consumers of the classic API.
+    pub fn track(&mut self, azimuth_deg: f64, latency: &mut LatencyReport) -> f64 {
+        let peak = Peak {
+            index: 0,
+            azimuth_deg,
+            power: 1.0,
+            salience: 1.0,
+        };
+        self.track_peaks(&[peak], latency).unwrap_or(azimuth_deg)
+    }
+
+    /// Snapshots of every live track after the most recent update, best first.
+    pub fn tracks(&self) -> &[TrackSnapshot] {
+        self.tracker.tracks()
+    }
+
+    /// The best track (strongest confirmed, falling back to the strongest
+    /// tentative hypothesis), if any track is alive.
+    pub fn best(&self) -> Option<&TrackSnapshot> {
+        self.tracker.best()
+    }
+
+    /// Read access to the underlying multi-target tracker.
+    pub fn tracker(&self) -> &MultiTargetTracker {
+        &self.tracker
     }
 }
 
@@ -415,12 +544,16 @@ impl StageGraph {
             return Ok(FrameOutcome::Analyzed);
         }
         // Stage 3 + 4 (localization, tracking): only on confident detections.
+        // The localizer extracts the top-K SRP peaks and the multi-target
+        // tracker associates them onto its track bank; the outcome keeps the
+        // classic single-source view (strongest peak, best track) while the
+        // full track set is exposed via the track stage.
         let mut azimuth_deg = None;
         let mut tracked = None;
         if params.localization_enabled {
-            if let Some(az) = localize.localize(frame, latency)? {
-                azimuth_deg = Some(az);
-                tracked = Some(track.track(az, latency));
+            if let Some(peaks) = localize.localize_peaks(frame, latency)? {
+                azimuth_deg = peaks.first().map(|p| p.azimuth_deg);
+                tracked = track.track_peaks(peaks, latency);
             }
         }
         Ok(FrameOutcome::Detection {

@@ -1,9 +1,11 @@
 //! Asserts that the sink-based streaming path of the full perception pipeline —
 //! chunk ingestion through the frame assembler, mixdown, trigger, detection,
-//! localization, tracking, and event emission through an [`EventSink`] — is
-//! allocation-free in steady state, using a counting global allocator. This
-//! extends the SRP-PHAT-only coverage in `crates/ssl/tests/zero_alloc.rs` to the
-//! whole system.
+//! localization, multi-target tracking, and event emission through an
+//! [`EventSink`] — is allocation-free in steady state, using a counting global
+//! allocator. This extends the SRP-PHAT-only coverage in
+//! `crates/ssl/tests/zero_alloc.rs` to the whole system, including the
+//! multi-track path: peak extraction, gated association, track births and
+//! deaths all run inside preallocated storage.
 //!
 //! The whole test binary runs under the counting allocator; the assertions only
 //! look at the *delta* across the measured region, so unrelated allocations made
@@ -12,8 +14,12 @@
 //! no other test can allocate concurrently inside the measured window.
 
 use ispot_core::prelude::*;
+use ispot_roadsim::engine::Simulator;
 use ispot_roadsim::geometry::Position;
 use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_roadsim::scene::SceneBuilder;
+use ispot_roadsim::source::SoundSource;
+use ispot_roadsim::trajectory::Trajectory;
 use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,26 +52,55 @@ fn allocation_count() -> usize {
     ALLOCATIONS.load(Ordering::SeqCst)
 }
 
-/// Streams `rounds` chunks of `chunk[..]` into the session through a
-/// non-retaining sink and returns (allocation delta, counter).
+/// A sink that counts frames/events and remembers the deepest track list seen —
+/// fixed-size state, so feeding it never allocates.
+#[derive(Default)]
+struct TrackStats {
+    counter: AlertCounter,
+    max_tracks: usize,
+    max_confirmed: usize,
+}
+
+impl EventSink for TrackStats {
+    fn on_event(&mut self, event: &PerceptionEvent) {
+        self.counter.on_event(event);
+        self.max_tracks = self.max_tracks.max(event.tracks.len());
+        self.max_confirmed = self.max_confirmed.max(event.tracks.confirmed().count());
+    }
+
+    fn on_frame(&mut self, outcome: &ispot_core::stages::FrameOutcome) {
+        self.counter.on_frame(outcome);
+    }
+}
+
+/// Streams `rounds` chunks of `chunk_len` samples into the session through a
+/// non-retaining sink and returns (allocation delta, stats). The per-chunk
+/// channel views are built on the stack, so the measured region contains only
+/// pipeline work.
 fn measure(
     session: &mut Session,
     channels: &[Vec<f64>],
     chunk_len: usize,
     rounds: usize,
-) -> (usize, AlertCounter) {
-    let mut counter = AlertCounter::new();
+) -> (usize, TrackStats) {
+    const MAX_CHANNELS: usize = 8;
+    assert!(channels.len() <= MAX_CHANNELS);
+    let mut stats = TrackStats::default();
     let len = channels[0].len();
     let before = allocation_count();
     let mut start = 0;
     for _ in 0..rounds {
         let end = (start + chunk_len).min(len);
-        // Build the chunk views on the stack (2 channels).
-        let chunk = [&channels[0][start..end], &channels[1][start..end]];
-        session.push_chunk_with(&chunk, &mut counter).unwrap();
+        let mut views: [&[f64]; MAX_CHANNELS] = [&[]; MAX_CHANNELS];
+        for (view, ch) in views.iter_mut().zip(channels) {
+            *view = &ch[start..end];
+        }
+        session
+            .push_chunk_with(&views[..channels.len()], &mut stats)
+            .unwrap();
         start = if end == len { 0 } else { end };
     }
-    (allocation_count() - before, counter)
+    (allocation_count() - before, stats)
 }
 
 #[test]
@@ -86,29 +121,80 @@ fn steady_state_streaming_with_sinks_allocates_nothing() {
     // Warm-up: size the assembler rings, recycled frame buffers, detector and
     // SRP scratch, the latency-report entries and the output map.
     let (_, warm) = measure(&mut session, &channels, 1600, 64);
-    assert!(warm.frames > 0, "warm-up processed no frames");
-    assert!(warm.alerts > 0, "warm-up fired no events");
+    assert!(warm.counter.frames > 0, "warm-up processed no frames");
+    assert!(warm.counter.alerts > 0, "warm-up fired no events");
 
     // Measured region: capture-sized chunks (10 ms blocks at 16 kHz), events
     // firing, localization and tracking running — zero allocations allowed.
-    let (delta, counter) = measure(&mut session, &channels, 160, 256);
-    assert!(counter.frames > 0, "measured window processed no frames");
+    let (delta, stats) = measure(&mut session, &channels, 160, 256);
+    assert!(
+        stats.counter.frames > 0,
+        "measured window processed no frames"
+    );
     assert_eq!(
         delta, 0,
         "sink-based streaming path allocated {delta} times in steady state \
          ({} frames, {} events)",
-        counter.frames, counter.events
+        stats.counter.frames, stats.counter.events
     );
 
     // The same holds in park mode (trigger-gated path) after its own warm-up.
     session.set_mode(OperatingMode::Park);
     let (_, _) = measure(&mut session, &channels, 1600, 32);
-    let (delta, counter) = measure(&mut session, &channels, 160, 128);
+    let (delta, stats) = measure(&mut session, &channels, 160, 128);
     assert_eq!(
         delta, 0,
         "park-mode streaming path allocated {delta} times in steady state \
          ({} frames, {} gated)",
-        counter.frames, counter.gated
+        stats.counter.frames, stats.counter.gated
+    );
+
+    // Multi-track steady state: a rendered two-siren road scene on a 4-mic
+    // array, so the session runs genuine multi-target tracking — several SRP
+    // peaks per frame, concurrent confirmed tracks, births and deaths — while
+    // events carry their full track lists through the sink.
+    let multi = {
+        let wail = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(2.0);
+        let yelp = SirenSynthesizer::new(SirenKind::Yelp, fs).synthesize(2.0);
+        let quad = MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0));
+        let scene = SceneBuilder::new(fs)
+            .source(SoundSource::new(
+                wail,
+                Trajectory::fixed(Position::new(10.0, 12.0, 1.0)),
+            ))
+            .source(SoundSource::new(
+                yelp,
+                Trajectory::fixed(Position::new(-4.0, -14.0, 1.0)),
+            ))
+            .array(quad.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        let audio = Simulator::new(scene).unwrap().run().unwrap();
+        let engine = PipelineBuilder::new(fs)
+            .array(&quad)
+            .build_engine()
+            .unwrap();
+        (audio.into_channels(), engine)
+    };
+    let mut session = multi.1.open_session();
+    let (_, warm) = measure(&mut session, &multi.0, 1600, 64);
+    assert!(
+        warm.counter.alerts > 0,
+        "multi-source warm-up fired no events"
+    );
+    let (delta, stats) = measure(&mut session, &multi.0, 160, 256);
+    assert!(
+        stats.max_tracks >= 2,
+        "multi-source window tracked only {} source(s)",
+        stats.max_tracks
+    );
+    assert_eq!(
+        delta, 0,
+        "multi-track streaming path allocated {delta} times in steady state \
+         ({} frames, {} events, up to {} tracks)",
+        stats.counter.frames, stats.counter.events, stats.max_tracks
     );
 
     // Sanity check that the counter is actually live.

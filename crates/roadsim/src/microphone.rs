@@ -69,6 +69,34 @@ impl MicrophoneArray {
         MicrophoneArray { positions }
     }
 
+    /// Six microphones on an **irregular** hexagon (jittered angles and radii,
+    /// ~0.2 m aperture) in the horizontal plane through `center` — the
+    /// reference roof-array layout of the scenario harness and examples.
+    ///
+    /// A regular polygon array is invariant under reflection about its
+    /// symmetry axes, so its SRP maps answer a source at `+θ` with a
+    /// persistent mirror lobe near `−θ` that multi-target tracking would
+    /// confirm as a phantom source; jittering the geometry breaks the symmetry
+    /// and removes those lobes while costing nothing in single-source accuracy
+    /// (see the tracking-subsystem notes in `ARCHITECTURE.md`).
+    pub fn irregular_hexagon(center: Position) -> Self {
+        const ANGLES_DEG: [f64; 6] = [0.0, 47.0, 113.0, 166.0, 218.0, 285.0];
+        const RADII_M: [f64; 6] = [0.22, 0.17, 0.21, 0.16, 0.23, 0.18];
+        let positions = ANGLES_DEG
+            .iter()
+            .zip(&RADII_M)
+            .map(|(a, r)| {
+                let theta = a.to_radians();
+                Position::new(
+                    center.x + r * theta.cos(),
+                    center.y + r * theta.sin(),
+                    center.z,
+                )
+            })
+            .collect();
+        MicrophoneArray { positions }
+    }
+
     /// A rectangular grid of `nx * ny` microphones with spacings `dx`, `dy`, centred on
     /// `center`.
     pub fn rectangular(nx: usize, ny: usize, dx: f64, dy: f64, center: Position) -> Self {

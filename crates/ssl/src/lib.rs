@@ -19,7 +19,12 @@
 //!   path performs no heap allocation;
 //! * a Cross3D-style CNN back-end operating on stacked SRP maps ([`cross3d`]);
 //! * a constant-velocity Kalman tracker for the azimuth trajectory ([`tracking`]);
-//! * angular-error metrics ([`metrics`]).
+//! * a **multi-target tracker** ([`multitrack`]) that turns the per-frame peak
+//!   list of an SRP map ([`srp_phat::SrpMap::peaks_into`]) into stable-identity
+//!   tracks by gated nearest-neighbour association, with an M-of-N confirmation
+//!   and coasting lifecycle — the per-vehicle view multi-source road scenes need;
+//! * angular-error metrics, including multi-source OSPA and track-identity
+//!   scoring ([`metrics`]).
 //!
 //! # Example
 //!
@@ -57,6 +62,7 @@
 pub mod cross3d;
 pub mod error;
 pub mod metrics;
+pub mod multitrack;
 pub mod seld;
 pub mod srp_fast;
 pub mod srp_phat;
@@ -70,9 +76,12 @@ pub mod prelude {
     pub use crate::cross3d::{Cross3dConfig, Cross3dNet};
     pub use crate::error::SslError;
     pub use crate::metrics::{angular_error_deg, mean_angular_error_deg};
+    pub use crate::multitrack::{
+        MultiTargetTracker, TrackId, TrackSnapshot, TrackStatus, TrackingConfig,
+    };
     pub use crate::seld::{score_seld, SeldAnnotation, SeldScores};
     pub use crate::srp_fast::SrpPhatFast;
-    pub use crate::srp_phat::{DoaEstimate, SrpConfig, SrpMap, SrpPhat, SrpScratch};
+    pub use crate::srp_phat::{DoaEstimate, Peak, SrpConfig, SrpMap, SrpPhat, SrpScratch};
     pub use crate::steering::SteeringGrid;
     pub use crate::tracking::AzimuthKalmanTracker;
 }

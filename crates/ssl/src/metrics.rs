@@ -1,4 +1,8 @@
-//! Angular error metrics for DOA estimation.
+//! Angular error metrics for DOA estimation, including multi-source set metrics
+//! (OSPA) and track-identity scoring for the multi-target tracker.
+
+use crate::multitrack::TrackId;
+use std::collections::BTreeMap;
 
 /// Absolute angular difference in degrees between two azimuths, accounting for
 /// wrap-around (result in `[0, 180]`).
@@ -126,6 +130,305 @@ impl MultiSourceDoaScore {
     }
 }
 
+/// OSPA (Optimal SubPattern Assignment) error between a set of bearing
+/// estimates and a set of ground-truth bearings, in degrees (order `p = 1`).
+///
+/// This is the standard multi-target metric that charges **both** localization
+/// error and cardinality error in one number: per-bearing angular errors are
+/// clamped at `cutoff_deg`, the estimate↔truth pairing is chosen **optimally**
+/// (not greedily), every missing or spurious bearing costs the full cutoff, and
+/// the total is normalized by the larger set size:
+///
+/// ```text
+/// OSPA = ( min over assignments Σ min(cutoff, err) + cutoff · |m − n| ) / max(m, n)
+/// ```
+///
+/// Two empty sets score 0. Non-finite bearings are dropped before scoring.
+///
+/// # Example
+///
+/// ```
+/// use ispot_ssl::metrics::ospa_deg;
+/// // Perfect two-source estimate, any order.
+/// assert_eq!(ospa_deg(&[-120.0, 40.0], &[40.0, -120.0], 30.0), 0.0);
+/// // One source missed entirely: half the mass pays the cutoff.
+/// assert_eq!(ospa_deg(&[40.0], &[40.0, -120.0], 30.0), 15.0);
+/// ```
+pub fn ospa_deg(estimates_deg: &[f64], truths_deg: &[f64], cutoff_deg: f64) -> f64 {
+    let est: Vec<f64> = estimates_deg
+        .iter()
+        .copied()
+        .filter(|e| e.is_finite())
+        .collect();
+    let truth: Vec<f64> = truths_deg
+        .iter()
+        .copied()
+        .filter(|t| t.is_finite())
+        .collect();
+    let (small, large) = if est.len() <= truth.len() {
+        (&est, &truth)
+    } else {
+        (&truth, &est)
+    };
+    if large.is_empty() {
+        return 0.0;
+    }
+    let assignment = min_assignment_cost(small, large, cutoff_deg, &mut vec![false; large.len()]);
+    (assignment + cutoff_deg * (large.len() - small.len()) as f64) / large.len() as f64
+}
+
+/// Minimum total clamped angular cost of assigning every element of `small` to
+/// a distinct element of `large`, by exhaustive search (set sizes here are the
+/// handful of sources in a road scene, so the factorial search is cheap).
+fn min_assignment_cost(small: &[f64], large: &[f64], cutoff: f64, used: &mut [bool]) -> f64 {
+    let Some((&first, rest)) = small.split_first() else {
+        return 0.0;
+    };
+    let mut best = f64::INFINITY;
+    for j in 0..large.len() {
+        if used[j] {
+            continue;
+        }
+        used[j] = true;
+        let cost = angular_error_deg(first, large[j]).min(cutoff)
+            + min_assignment_cost(rest, large, cutoff, used);
+        used[j] = false;
+        best = best.min(cost);
+    }
+    best
+}
+
+/// Identity-aware scoring of multi-target tracks against ground-truth sources:
+/// per-track truth assignment, identity-swap counting and per-track bearing
+/// error.
+///
+/// Feed every scored frame's confirmed track snapshots together with the
+/// bearings of the simultaneously active ground-truth sources
+/// ([`TrackIdentityScore::observe_frame`]). Tracks are paired with truths by
+/// **optimal 1:1 assignment** (minimum total angular error) rather than
+/// independent nearest-truth, so two tracks cannot both be credited to the same
+/// source; a small hysteresis bonus keeps each track on its previous truth
+/// unless the alternative is clearly closer, which prevents phantom swaps when
+/// two truth bearings cross. A track whose assigned truth changes between
+/// frames has **swapped identity** — the failure mode a plain nearest-truth
+/// metric is blind to.
+///
+/// # Example
+///
+/// ```
+/// use ispot_ssl::metrics::TrackIdentityScore;
+/// use ispot_ssl::multitrack::TrackId;
+///
+/// let mut score = TrackIdentityScore::new();
+/// let id = TrackId::default();
+/// score.observe_frame(&[(id, 41.0)], &[40.0, -120.0]);
+/// score.observe_frame(&[(id, 44.0)], &[45.0, -120.0]);
+/// assert_eq!(score.swap_count(), 0);
+/// assert_eq!(score.num_tracks(), 1);
+/// assert!(score.mean_error_deg().unwrap() < 1.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrackIdentityScore {
+    /// Hysteresis bonus (degrees) for keeping a track's previous assignment.
+    hysteresis_deg: f64,
+    /// Current truth assignment of each track.
+    assigned: BTreeMap<TrackId, usize>,
+    /// Per-track accumulated (error sum, observation count).
+    errors: BTreeMap<TrackId, (f64, usize)>,
+    swaps: usize,
+}
+
+/// Cost charged when a frame has more tracks than truths and a track must stay
+/// unassigned — far above any angular error, so skips only happen when forced.
+const UNASSIGNED_COST: f64 = 1e9;
+
+impl TrackIdentityScore {
+    /// Creates an empty accumulator with no assignment hysteresis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty accumulator whose assignment prefers each track's
+    /// previous truth unless an alternative is closer by more than
+    /// `hysteresis_deg` degrees.
+    pub fn with_hysteresis(hysteresis_deg: f64) -> Self {
+        TrackIdentityScore {
+            hysteresis_deg: hysteresis_deg.max(0.0),
+            ..Self::default()
+        }
+    }
+
+    /// Scores one frame: optimally assigns the given `(track, azimuth)` pairs
+    /// to the active truth bearings and accumulates per-track errors and
+    /// identity swaps. Non-finite bearings are dropped; frames with no track or
+    /// no truth record nothing. Tracks beyond the truth count stay unassigned
+    /// for the frame (their error is not scored).
+    ///
+    /// `truths_deg` must list every source at a **stable position** across
+    /// frames — assignments (and therefore swap counting) are keyed by that
+    /// position. Mark a momentarily inactive source with `f64::NAN` instead of
+    /// dropping it from the list, or the indices of the remaining sources
+    /// would shift and register as phantom swaps.
+    pub fn observe_frame(&mut self, tracks: &[(TrackId, f64)], truths_deg: &[f64]) {
+        let tracks: Vec<(TrackId, f64)> = tracks
+            .iter()
+            .copied()
+            .filter(|(_, a)| a.is_finite())
+            .collect();
+        // Keep each finite truth together with its position in the CALLER's
+        // list: standing assignments are keyed by that position, which must
+        // stay stable across frames — a caller whose truth set changes over
+        // time passes NaN for momentarily inactive sources (not a shorter
+        // list), so truth #1 is the same vehicle in every frame.
+        let truths: Vec<(usize, f64)> = truths_deg
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, t)| t.is_finite())
+            .collect();
+        if tracks.is_empty() || truths.is_empty() {
+            return;
+        }
+        // Effective cost of pairing track i with truth j: the angular error,
+        // plus the hysteresis penalty for abandoning the track's standing
+        // assignment. (Penalizing every non-matching pair is equivalent to a
+        // bonus on the matching one, and keeps all costs non-negative so the
+        // branch-and-bound pruning below stays sound.)
+        let cost = |i: usize, j: usize| -> f64 {
+            let err = angular_error_deg(tracks[i].1, truths[j].1);
+            match self.assigned.get(&tracks[i].0) {
+                Some(&prev) if prev != truths[j].0 => err + self.hysteresis_deg,
+                _ => err,
+            }
+        };
+        let mut used = vec![false; truths.len()];
+        let mut best_assignment = vec![None; tracks.len()];
+        let mut current = vec![None; tracks.len()];
+        let mut best_cost = f64::INFINITY;
+        assign_recursive(
+            0,
+            &tracks,
+            &truths,
+            &cost,
+            &mut used,
+            &mut current,
+            0.0,
+            &mut best_cost,
+            &mut best_assignment,
+        );
+        for (i, assignment) in best_assignment.iter().enumerate() {
+            let Some(j) = *assignment else { continue };
+            let id = tracks[i].0;
+            let (truth_idx, truth_deg) = truths[j];
+            if let Some(&prev) = self.assigned.get(&id) {
+                if prev != truth_idx {
+                    self.swaps += 1;
+                }
+            }
+            self.assigned.insert(id, truth_idx);
+            let entry = self.errors.entry(id).or_insert((0.0, 0));
+            entry.0 += angular_error_deg(tracks[i].1, truth_deg);
+            entry.1 += 1;
+        }
+    }
+
+    /// Number of identity swaps: observations whose nearest truth differed from
+    /// the same track's previous assignment.
+    pub fn swap_count(&self) -> usize {
+        self.swaps
+    }
+
+    /// Number of distinct tracks observed.
+    pub fn num_tracks(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Total scored observations across all tracks.
+    pub fn samples(&self) -> usize {
+        self.errors.values().map(|(_, n)| n).sum()
+    }
+
+    /// Mean bearing error over every scored observation, degrees.
+    pub fn mean_error_deg(&self) -> Option<f64> {
+        let (sum, count) = self
+            .errors
+            .values()
+            .fold((0.0, 0usize), |(s, c), &(es, ec)| (s + es, c + ec));
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Mean bearing error of each track, degrees, keyed by identity.
+    pub fn per_track_mean_error_deg(&self) -> impl Iterator<Item = (TrackId, f64)> + '_ {
+        self.errors
+            .iter()
+            .map(|(&id, &(sum, count))| (id, sum / count.max(1) as f64))
+    }
+
+    /// The largest per-track mean error, degrees — the headline "every track
+    /// stayed on its vehicle" number.
+    pub fn worst_track_mean_error_deg(&self) -> Option<f64> {
+        self.per_track_mean_error_deg()
+            .map(|(_, e)| e)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// Exhaustive search for the minimum-cost 1:1 assignment of tracks to truths
+/// (set sizes are the handful of sources in a road scene). A track may stay
+/// unassigned only at [`UNASSIGNED_COST`], i.e. when tracks outnumber truths.
+#[allow(clippy::too_many_arguments)]
+fn assign_recursive(
+    i: usize,
+    tracks: &[(TrackId, f64)],
+    truths: &[(usize, f64)],
+    cost: &impl Fn(usize, usize) -> f64,
+    used: &mut [bool],
+    current: &mut Vec<Option<usize>>,
+    acc: f64,
+    best_cost: &mut f64,
+    best: &mut Vec<Option<usize>>,
+) {
+    if acc >= *best_cost {
+        return;
+    }
+    if i == tracks.len() {
+        *best_cost = acc;
+        best.clone_from(current);
+        return;
+    }
+    for j in 0..truths.len() {
+        if used[j] {
+            continue;
+        }
+        used[j] = true;
+        current[i] = Some(j);
+        assign_recursive(
+            i + 1,
+            tracks,
+            truths,
+            cost,
+            used,
+            current,
+            acc + cost(i, j),
+            best_cost,
+            best,
+        );
+        used[j] = false;
+    }
+    current[i] = None;
+    assign_recursive(
+        i + 1,
+        tracks,
+        truths,
+        cost,
+        used,
+        current,
+        acc + UNASSIGNED_COST,
+        best_cost,
+        best,
+    );
+}
+
 /// Fraction of estimates within `tolerance_deg` of the ground truth.
 pub fn accuracy_within(estimates_deg: &[f64], truths_deg: &[f64], tolerance_deg: f64) -> f64 {
     if estimates_deg.is_empty() || estimates_deg.len() != truths_deg.len() {
@@ -173,6 +476,112 @@ mod tests {
         assert_eq!(score.count(), 2);
         assert!((score.mean_error_deg().unwrap() - 11.0).abs() < 1e-12);
         assert_eq!(score.fraction_within(5.0), 0.5);
+    }
+
+    #[test]
+    fn ospa_charges_localization_and_cardinality_optimally() {
+        // Matching sets in any order score zero.
+        assert_eq!(ospa_deg(&[], &[], 30.0), 0.0);
+        assert_eq!(ospa_deg(&[10.0, -90.0], &[-90.0, 10.0], 30.0), 0.0);
+        // Pure localization error, wrap-aware.
+        assert!((ospa_deg(&[179.0], &[-179.0], 30.0) - 2.0).abs() < 1e-12);
+        // Per-bearing error clamps at the cutoff.
+        assert_eq!(ospa_deg(&[0.0], &[120.0], 30.0), 30.0);
+        // Cardinality error: each unmatched bearing costs the full cutoff.
+        assert_eq!(ospa_deg(&[], &[40.0, -120.0], 30.0), 30.0);
+        assert_eq!(ospa_deg(&[40.0, -120.0, 5.0], &[40.0, -120.0], 30.0), 10.0);
+        // The assignment is optimal, not greedy: greedy would pair 4->3 first
+        // (cost 1) and be forced into 0->6 (cost 6, total 7); the optimal
+        // pairing (0->3, 4->6) totals 5.
+        let o = ospa_deg(&[0.0, 4.0], &[3.0, 6.0], 30.0);
+        assert!((o - 2.5).abs() < 1e-12, "got {o}");
+        // Non-finite bearings are dropped, then charged as cardinality error.
+        assert_eq!(ospa_deg(&[f64::NAN, 40.0], &[40.0], 30.0), 0.0);
+    }
+
+    #[test]
+    fn track_identity_score_counts_swaps_and_per_track_errors() {
+        use crate::multitrack::TrackId;
+        let mut score = TrackIdentityScore::new();
+        let (a, b) = (TrackId(0), TrackId(1));
+        // Track a rides truth 0, track b rides truth 1.
+        for step in 0..4 {
+            let t = step as f64;
+            score.observe_frame(&[(a, 40.0 + t), (b, -118.0)], &[40.0, -120.0]);
+        }
+        assert_eq!(score.swap_count(), 0);
+        assert_eq!(score.num_tracks(), 2);
+        assert_eq!(score.samples(), 8);
+        // Track b alone jumps onto truth 0: one identity swap (and back: two).
+        score.observe_frame(&[(b, 41.0)], &[40.0, -120.0]);
+        score.observe_frame(&[(b, -120.0)], &[40.0, -120.0]);
+        assert_eq!(score.swap_count(), 2);
+        // Per-track means: a stays near truth 0 within 3 deg, worst track is b.
+        let per: std::collections::BTreeMap<_, _> = score.per_track_mean_error_deg().collect();
+        assert!(per[&a] < 3.0 + 1e-12);
+        assert!(score.worst_track_mean_error_deg().unwrap() >= per[&a]);
+        assert!(score.mean_error_deg().unwrap() > 0.0);
+        // No active truths / non-finite input record nothing.
+        score.observe_frame(&[(a, 0.0)], &[]);
+        score.observe_frame(&[(a, f64::NAN)], &[0.0]);
+        assert_eq!(score.samples(), 10);
+    }
+
+    #[test]
+    fn track_identity_assignment_is_exclusive_and_hysteretic() {
+        use crate::multitrack::TrackId;
+        let (a, b) = (TrackId(0), TrackId(1));
+        // Exclusivity: both tracks sit nearest truth 0, but the optimal 1:1
+        // assignment sends one of them to truth 1 — independent nearest-truth
+        // would double-credit truth 0 and hide the missing source.
+        let mut score = TrackIdentityScore::new();
+        score.observe_frame(&[(a, 10.0), (b, 20.0)], &[12.0, 60.0]);
+        let per: std::collections::BTreeMap<_, _> = score.per_track_mean_error_deg().collect();
+        assert!((per[&a] - 2.0).abs() < 1e-12, "a -> truth 0");
+        assert!((per[&b] - 40.0).abs() < 1e-12, "b forced onto truth 1");
+        // More tracks than truths: the extra track stays unscored.
+        let mut score = TrackIdentityScore::new();
+        score.observe_frame(&[(a, 0.0), (b, 90.0)], &[1.0]);
+        assert_eq!(score.num_tracks(), 1);
+        // Hysteresis: when two truths cross, a small bias no longer flips the
+        // assignment — without hysteresis the same sequence counts a swap.
+        let crossing = [
+            ([(a, 0.0), (b, 30.0)], [0.0, 30.0]),
+            ([(a, 10.0), (b, 20.0)], [11.0, 19.0]),
+            // Truths nearly coincide and the noisy track bearings cross over.
+            ([(a, 14.0), (b, 16.0)], [15.5, 14.5]),
+            ([(a, 20.0), (b, 10.0)], [19.0, 11.0]),
+            ([(a, 30.0), (b, 0.0)], [30.0, 0.0]),
+        ];
+        let mut plain = TrackIdentityScore::new();
+        let mut hysteretic = TrackIdentityScore::with_hysteresis(10.0);
+        for (tracks, truths) in &crossing {
+            plain.observe_frame(tracks, truths);
+            hysteretic.observe_frame(tracks, truths);
+        }
+        assert!(
+            plain.swap_count() > 0,
+            "plain scoring flips at the crossing"
+        );
+        assert_eq!(hysteretic.swap_count(), 0, "hysteresis rides through");
+    }
+
+    #[test]
+    fn truth_indices_stay_stable_when_sources_deactivate() {
+        use crate::multitrack::TrackId;
+        // Regression: assignments used to be keyed by the index into the
+        // frame's *filtered* truth list, so a source going inactive shifted
+        // every later index and registered phantom swaps. Inactive sources are
+        // now marked NaN in place and indices never move.
+        let a = TrackId(0);
+        let mut score = TrackIdentityScore::new();
+        score.observe_frame(&[(a, -119.0)], &[40.0, -120.0]);
+        // Source 0 goes inactive: the track still rides source 1 — no swap.
+        score.observe_frame(&[(a, -121.0)], &[f64::NAN, -120.0]);
+        score.observe_frame(&[(a, -120.0)], &[40.0, -120.0]);
+        assert_eq!(score.swap_count(), 0);
+        assert_eq!(score.num_tracks(), 1);
+        assert!(score.mean_error_deg().unwrap() < 1.0);
     }
 
     #[test]

@@ -135,6 +135,117 @@ impl SrpMap {
             .map(|(i, _)| (i, self.azimuths_deg[i]))
     }
 
+    /// Extracts up to `max_peaks` local maxima of the map by non-maximum
+    /// suppression on the **wrapped** azimuth grid, writing them into `out` in
+    /// decreasing power order (ties broken like [`SrpMap::peak`]: the higher
+    /// grid index wins, so `out[0]` always coincides with the global peak).
+    ///
+    /// A direction qualifies as a peak when its power is finite, no smaller than
+    /// both wrapped grid neighbours, and at least `min_separation_deg` (angular,
+    /// wrap-aware) away from every stronger peak already selected — the
+    /// suppression step that keeps the shoulders of a strong main lobe from
+    /// masquerading as secondary sources.
+    ///
+    /// `out` is caller-provided scratch: it is cleared and refilled, so a vector
+    /// reserved for `max_peaks` entries makes the call allocation-free — this is
+    /// the multi-target localization hot path.
+    pub fn peaks_into(&self, max_peaks: usize, min_separation_deg: f64, out: &mut Vec<Peak>) {
+        out.clear();
+        let n = self.power.len();
+        if n == 0 || max_peaks == 0 {
+            return;
+        }
+        // Salience scale: the map extrema, so callers can threshold secondary
+        // peaks relative to the frame's own dynamic range.
+        let mut pmin = f64::INFINITY;
+        let mut pmax = f64::NEG_INFINITY;
+        for &p in &self.power {
+            if p.is_finite() {
+                pmin = pmin.min(p);
+                pmax = pmax.max(p);
+            }
+        }
+        let range = (pmax - pmin).max(1e-12);
+        while out.len() < max_peaks {
+            let mut best: Option<usize> = None;
+            'candidates: for i in 0..n {
+                let p = self.power[i];
+                if !p.is_finite() {
+                    continue;
+                }
+                // Local maximum on the wrapped grid (a 1-point map is its own
+                // peak; plateaus qualify everywhere and collapse under NMS).
+                let prev = self.power[(i + n - 1) % n];
+                let next = self.power[(i + 1) % n];
+                if n > 1 && (p < prev || p < next) {
+                    continue;
+                }
+                // Already selected, or suppressed by a stronger selected peak?
+                // (The index check matters at `min_separation_deg == 0`, where
+                // the distance test alone would re-admit the same maximum.)
+                for chosen in out.iter() {
+                    if chosen.index == i
+                        || crate::metrics::angular_error_deg(
+                            self.azimuths_deg[i],
+                            chosen.azimuth_deg,
+                        ) < min_separation_deg
+                    {
+                        continue 'candidates;
+                    }
+                }
+                // Keep the tie-break of `peak()`: later index wins on equal power.
+                best = match best {
+                    Some(b) if self.power[b].total_cmp(&p).is_gt() => Some(b),
+                    _ => Some(i),
+                };
+            }
+            let Some(i) = best else { break };
+            out.push(Peak {
+                index: i,
+                azimuth_deg: self.azimuths_deg[i],
+                power: self.power[i],
+                salience: (self.power[i] - pmin) / range,
+            });
+        }
+    }
+
+    /// Allocating convenience wrapper around [`SrpMap::peaks_into`].
+    pub fn peaks(&self, max_peaks: usize, min_separation_deg: f64) -> Vec<Peak> {
+        let mut out = Vec::with_capacity(max_peaks);
+        self.peaks_into(max_peaks, min_separation_deg, &mut out);
+        out
+    }
+
+    /// Zeroes every power (grid kept): restarts a [`SrpMap::smooth_from`] EMA
+    /// without reallocating.
+    pub fn zero(&mut self) {
+        self.power.fill(0.0);
+    }
+
+    /// Exponentially smooths this map towards `new`: every power becomes
+    /// `retain · old + (1 − retain) · new`. If this map is empty or on a
+    /// different grid it becomes a copy of `new` (the EMA restarts). In steady
+    /// state — same grid, same length — this performs no heap allocation.
+    ///
+    /// Per-frame SRP maps of tonal sources carry heavy clutter (inter-source
+    /// cross-terms, spatial aliasing lobes) that fluctuates in position from
+    /// frame to frame while genuine sources persist; a short EMA before peak
+    /// extraction suppresses exactly that clutter. This is the map the
+    /// multi-target tracking front-end peaks from.
+    pub fn smooth_from(&mut self, new: &SrpMap, retain: f64) {
+        if self.azimuths_deg.as_slice() != new.azimuths_deg.as_slice() {
+            self.azimuths_deg.clear();
+            self.azimuths_deg.extend_from_slice(&new.azimuths_deg);
+            self.power.clear();
+            self.power.extend_from_slice(&new.power);
+            return;
+        }
+        let alpha = retain.clamp(0.0, 1.0);
+        for (old, &p) in self.power.iter_mut().zip(&new.power) {
+            *old = alpha * *old + (1.0 - alpha) * p;
+        }
+    }
+
     /// Power vector normalized to `[0, 1]` (useful as a CNN input feature).
     pub fn normalized(&self) -> Vec<f64> {
         let max = self.power.iter().cloned().fold(f64::MIN, f64::max);
@@ -160,6 +271,24 @@ impl SrpMap {
         }
         num / (da.sqrt() * db.sqrt()).max(1e-12)
     }
+}
+
+/// One local maximum of an [`SrpMap`], as extracted by [`SrpMap::peaks_into`].
+///
+/// Multi-source frames produce one peak per resolvable source (plus occasional
+/// side-lobe clutter, which downstream tracking filters by `salience` and by
+/// track lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Grid index of the peak direction.
+    pub index: usize,
+    /// Azimuth of the peak in degrees, wrapped to `[-180, 180)`.
+    pub azimuth_deg: f64,
+    /// Raw steered response power at the peak.
+    pub power: f64,
+    /// Peak power normalized to the map's own dynamic range, in `[0, 1]`
+    /// (the global peak of a non-flat map always scores 1.0).
+    pub salience: f64,
 }
 
 /// A direction-of-arrival estimate.
@@ -584,6 +713,114 @@ mod tests {
         let est = DoaEstimate::from_map(map.clone()).unwrap();
         assert_eq!(est.azimuth_deg(), 0.0);
         assert_eq!(est.map().len(), 3);
+    }
+
+    #[test]
+    fn peaks_applies_nms_on_the_wrapped_grid() {
+        // Grid of 8 directions over [-180, 180); a strong lobe straddling the
+        // wrap point (135 / -180 / -135 at 8.5 / 9 / 8) and a weak lobe at -45.
+        let azimuths: Vec<f64> = (0..8).map(|d| -180.0 + 45.0 * d as f64).collect();
+        //                         -180  -135  -90  -45   0    45   90   135
+        let power = vec![9.0, 8.0, 1.0, 1.5, 1.0, 2.0, 6.0, 8.5];
+        let map = SrpMap::new(azimuths, power);
+        let peaks = map.peaks(4, 80.0);
+        // The wrap-straddling lobe yields exactly one peak: its 135- and
+        // -135-degree shoulders are not local maxima across the wrap.
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].azimuth_deg, -180.0);
+        assert_eq!(peaks[0].salience, 1.0);
+        assert_eq!(peaks[1].azimuth_deg, -45.0);
+        assert!(peaks[1].salience > 0.0 && peaks[1].salience < 0.1);
+        // The first peak always matches the global peak().
+        assert_eq!(peaks[0].index, map.peak().unwrap().0);
+        // A separation wider than the lobe spacing suppresses the weak lobe.
+        let peaks = map.peaks(4, 170.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].azimuth_deg, -180.0);
+        // max_peaks truncates in power order.
+        let peaks = map.peaks(1, 10.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].azimuth_deg, -180.0);
+        // Zero separation disables NMS but must never duplicate a peak: each
+        // local maximum appears exactly once.
+        let two_lobes = SrpMap::new(vec![-180.0, -90.0, 0.0, 90.0], vec![5.0, 1.0, 4.0, 1.0]);
+        let peaks = two_lobes.peaks(4, 0.0);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 0);
+        assert_eq!(peaks[1].index, 2);
+    }
+
+    #[test]
+    fn peaks_into_reuses_scratch_and_handles_degenerate_maps() {
+        let mut out = Vec::with_capacity(4);
+        SrpMap::new(Vec::new(), Vec::new()).peaks_into(4, 10.0, &mut out);
+        assert!(out.is_empty());
+        let one = SrpMap::new(vec![30.0], vec![2.5]);
+        one.peaks_into(4, 10.0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].azimuth_deg, 30.0);
+        // Scratch is cleared between calls, and max_peaks == 0 yields nothing.
+        one.peaks_into(0, 10.0, &mut out);
+        assert!(out.is_empty());
+        // Non-finite powers are skipped rather than propagated.
+        let bad = SrpMap::new(vec![-90.0, 0.0, 90.0], vec![f64::NAN, 1.0, 2.0]);
+        bad.peaks_into(4, 10.0, &mut out);
+        assert!(out.iter().all(|p| p.power.is_finite()));
+        assert_eq!(out[0].azimuth_deg, 90.0);
+    }
+
+    #[test]
+    fn two_simulated_sources_yield_two_peaks() {
+        use ispot_roadsim::engine::Simulator;
+        use ispot_roadsim::geometry::Position;
+        use ispot_roadsim::scene::SceneBuilder;
+        use ispot_roadsim::source::SoundSource;
+        use ispot_roadsim::trajectory::Trajectory;
+
+        let fs = 16_000.0;
+        let array = ispot_roadsim::microphone::MicrophoneArray::circular(
+            6,
+            0.2,
+            Position::new(0.0, 0.0, 1.0),
+        );
+        let mut sources = Vec::new();
+        for (az_deg, seed) in [(40.0_f64, 7u64), (-110.0, 13)] {
+            let az = az_deg.to_radians();
+            let signal: Vec<f64> = ispot_dsp::generator::NoiseSource::new(
+                ispot_dsp::generator::NoiseKind::White,
+                seed,
+            )
+            .take(8192)
+            .collect();
+            sources.push(SoundSource::new(
+                signal,
+                Trajectory::fixed(Position::new(18.0 * az.cos(), 18.0 * az.sin(), 1.0)),
+            ));
+        }
+        let scene = SceneBuilder::new(fs)
+            .sources(sources)
+            .array(array.clone())
+            .reflection(false)
+            .air_absorption(false)
+            .build()
+            .unwrap();
+        let audio = Simulator::new(scene).unwrap().run().unwrap();
+        let srp = SrpPhat::new(SrpConfig::default(), &array, fs).unwrap();
+        let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
+        let map = srp.compute_map(&frame).unwrap();
+        let peaks = map.peaks(4, 20.0);
+        assert!(peaks.len() >= 2, "only {} peaks", peaks.len());
+        let mut hits = 0;
+        for truth in [40.0, -110.0] {
+            if peaks
+                .iter()
+                .take(3)
+                .any(|p| angular_error_deg(p.azimuth_deg, truth) < 8.0)
+            {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 2, "peaks {peaks:?} miss a source");
     }
 
     #[test]

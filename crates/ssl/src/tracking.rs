@@ -105,6 +105,33 @@ impl AzimuthKalmanTracker {
         state
     }
 
+    /// Advances the filter one step **without** a measurement: the state moves
+    /// along its constant-velocity prediction and the covariance inflates by the
+    /// process noise. Returns the predicted state, or `None` if the filter has
+    /// never been initialized by an update.
+    ///
+    /// This is the coasting step of multi-target tracking
+    /// ([`crate::multitrack`]): a track whose source is momentarily occluded (or
+    /// merged with another SRP lobe) keeps moving along its estimated rate until
+    /// a gated measurement re-associates with it or it times out.
+    pub fn coast(&mut self) -> Option<TrackState> {
+        let prev = self.state?;
+        let [p00, p01, p10, p11] = self.covariance;
+        let q = self.process_noise;
+        self.covariance = [
+            p00 + p01 + p10 + p11 + q * 0.25,
+            p01 + p11 + q * 0.5,
+            p10 + p11 + q * 0.5,
+            p11 + q,
+        ];
+        let state = TrackState {
+            azimuth_deg: wrap_deg(prev.azimuth_deg + prev.rate_deg_per_step),
+            rate_deg_per_step: prev.rate_deg_per_step,
+        };
+        self.state = Some(state);
+        Some(state)
+    }
+
     /// Processes a whole sequence of measurements, returning the smoothed azimuths.
     pub fn smooth(&mut self, measurements_deg: &[f64]) -> Vec<f64> {
         measurements_deg
@@ -180,6 +207,64 @@ mod tests {
         assert_eq!(s.rate_deg_per_step, 0.0);
         tracker.reset();
         assert!(tracker.state().is_none());
+    }
+
+    #[test]
+    fn innovation_wraps_across_plus_minus_180() {
+        // Regression pin: a measurement sequence stepping over the ±180° seam
+        // (178° then -179°) must be treated as a +3° innovation through the
+        // seam, never as a -357° swing that drags the state through 0°.
+        let mut tracker = AzimuthKalmanTracker::new(1.0, 25.0);
+        tracker.update(178.0);
+        let state = tracker.update(-179.0);
+        // The smoothed azimuth stays in the seam neighbourhood...
+        assert!(
+            angular_error_deg(state.azimuth_deg, 180.0) < 3.0,
+            "state spun to {}",
+            state.azimuth_deg
+        );
+        // ...and the estimated rate is the small positive step, not a full turn.
+        assert!(
+            state.rate_deg_per_step.abs() < 10.0,
+            "rate exploded to {}",
+            state.rate_deg_per_step
+        );
+        // Continuing around the circle keeps tracking tightly through the wrap.
+        for i in 0..40 {
+            let truth = wrap_deg(-179.0 + 3.0 * (i + 1) as f64);
+            let s = tracker.update(truth);
+            assert!(
+                angular_error_deg(s.azimuth_deg, truth) < 8.0,
+                "step {i}: tracked {} vs truth {truth}",
+                s.azimuth_deg
+            );
+        }
+    }
+
+    #[test]
+    fn coast_advances_prediction_and_inflates_covariance() {
+        let mut tracker = AzimuthKalmanTracker::new(0.5, 1.0);
+        assert_eq!(tracker.coast(), None, "uninitialized filter cannot coast");
+        for i in 0..30 {
+            tracker.update(i as f64 * 2.0);
+        }
+        let before = tracker.state().unwrap();
+        let coasted = tracker.coast().unwrap();
+        assert!(
+            (coasted.azimuth_deg - (before.azimuth_deg + before.rate_deg_per_step)).abs() < 1e-9
+        );
+        assert_eq!(coasted.rate_deg_per_step, before.rate_deg_per_step);
+        // Coasting across the seam wraps the prediction.
+        let mut seam = AzimuthKalmanTracker::new(0.5, 1.0);
+        for i in 0..40 {
+            seam.update(wrap_deg(170.0 + 3.0 * i as f64));
+        }
+        let prev = seam.state().unwrap();
+        let next = seam.coast().unwrap();
+        assert!((-180.0..=180.0).contains(&next.azimuth_deg));
+        assert!(
+            angular_error_deg(next.azimuth_deg, prev.azimuth_deg + prev.rate_deg_per_step) < 1e-9
+        );
     }
 
     #[test]

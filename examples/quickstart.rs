@@ -13,14 +13,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Synthesize two seconds of a "wail" siren.
     let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(2.0);
 
-    // 2. Describe the road scene: the emergency vehicle drives past the car at 20 m/s,
-    //    4 m to the side; the car carries a 6-microphone circular array on its roof.
+    // 2. Describe the road scene: the emergency vehicle drives past the car at 15 m/s,
+    //    6 m to the side; the car carries a 6-microphone roof array. The mics sit on
+    //    an irregular hexagon (jittered angles/radii) — breaking the regular array's
+    //    reflection symmetry suppresses the mirror lobes that would otherwise appear
+    //    as phantom sources (see ARCHITECTURE.md, tracking subsystem).
     let trajectory = Trajectory::linear(
-        Position::new(-40.0, 4.0, 0.8),
-        Position::new(40.0, 4.0, 0.8),
-        20.0,
+        Position::new(-30.0, 6.0, 0.8),
+        Position::new(30.0, 6.0, 0.8),
+        15.0,
     );
-    let array = MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.4));
+    let array = MicrophoneArray::irregular_hexagon(Position::new(0.0, 0.0, 1.4));
     let scene = SceneBuilder::new(fs)
         .source(SoundSource::new(siren, trajectory))
         .array(array.clone())
