@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ispot_bench::{simulate_static_source, SAMPLE_RATE};
-use ispot_ssl::srp_fast::SrpPhatFast;
+use ispot_ssl::srp_fast::{SrpPhatFast, SrpSearchConfig};
 use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpPhat};
 use std::hint::black_box;
 use std::time::Duration;
@@ -24,12 +24,37 @@ fn bench_srp(c: &mut Criterion) {
         b.iter(|| black_box(fast.compute_map(black_box(&frame)).unwrap()))
     });
     // The real hot path: scratch and output map reused across frames, precomputed
-    // steering taps, zero per-frame heap allocation.
+    // f32 steering taps, SIMD kernels, zero per-frame heap allocation.
     group.bench_function("low_complexity_scratch_reuse", |b| {
         let mut scratch = fast.make_scratch();
         let mut map = SrpMap::default();
         b.iter(|| {
             fast.compute_map_into(black_box(&frame), &mut scratch, &mut map)
+                .unwrap();
+            black_box(map.power()[0])
+        })
+    });
+    // The retained scalar f64 path (full-band rebuild + iFFT per pair) the SIMD
+    // pipeline is numerically pinned against.
+    group.bench_function("scalar_reference_scratch_reuse", |b| {
+        let mut scratch = fast.make_scratch();
+        let mut map = SrpMap::default();
+        b.iter(|| {
+            fast.compute_map_reference_into(black_box(&frame), &mut scratch, &mut map)
+                .unwrap();
+            black_box(map.power()[0])
+        })
+    });
+    // Coarse-to-fine: decimated steering pass, NMS on the coarse map, exact
+    // refinement only around the surviving peaks.
+    group.bench_function("hierarchical_scratch_reuse", |b| {
+        let hier =
+            SrpPhatFast::with_search(config, SrpSearchConfig::hierarchical(), &array, SAMPLE_RATE)
+                .unwrap();
+        let mut scratch = hier.make_scratch();
+        let mut map = SrpMap::default();
+        b.iter(|| {
+            hier.compute_map_into(black_box(&frame), &mut scratch, &mut map)
                 .unwrap();
             black_box(map.power()[0])
         })

@@ -2,16 +2,27 @@
 //!
 //! Paper claim (Sec. IV-B): the hardware-driven analysis and the low-complexity SRP
 //! literature inspire "a mathematically equivalent SRP-PHAT algorithm with ~10x latency
-//! boost and ~50% coefficients reduce". This binary measures both implementations on
-//! identical simulated frames and reports latency, speedup, coefficient counts and the
-//! numerical equivalence of the produced maps.
+//! boost and ~50% coefficients reduce". This binary measures the conventional
+//! frequency-domain steering and the three lag-domain variants (scalar `f64`
+//! reference, `f32` SIMD, `f32` SIMD + hierarchical coarse-to-fine search) on
+//! identical simulated frames and reports latency, speedup, coefficient counts
+//! and the numerical equivalence of the produced maps.
+//!
+//! Flags:
+//!
+//! * `--smoke` — fewer repetitions, skip JSON (CI release-mode smoke run);
+//! * `--json` — additionally write `BENCH_srp.json` (per-variant mean/min ms and
+//!   speedups over the conventional implementation), the machine-readable perf
+//!   trajectory consumed by CI.
 
 use ispot_bench::{print_header, print_row, simulate_static_source, SAMPLE_RATE};
-use ispot_codesign::profiler::HostProfiler;
-use ispot_ssl::srp_fast::SrpPhatFast;
-use ispot_ssl::srp_phat::{SrpConfig, SrpPhat};
+use ispot_codesign::profiler::{HostProfiler, ProfileRecord};
+use ispot_ssl::srp_fast::{SrpPhatFast, SrpSearchConfig};
+use ispot_ssl::srp_phat::{SrpConfig, SrpMap, SrpPhat};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
     print_header(
         "E4 - low-complexity SRP-PHAT vs conventional frequency-domain steering",
         "~10x latency boost and ~50% coefficient reduction, mathematically equivalent",
@@ -20,25 +31,39 @@ fn main() {
     let config = SrpConfig::default();
     let conventional = SrpPhat::new(config, &array, SAMPLE_RATE).expect("conventional SRP");
     let fast = SrpPhatFast::new(config, &array, SAMPLE_RATE).expect("fast SRP");
+    let hierarchical =
+        SrpPhatFast::with_search(config, SrpSearchConfig::hierarchical(), &array, SAMPLE_RATE)
+            .expect("hierarchical SRP");
     let frame: Vec<&[f64]> = audio.channels().iter().map(|c| &c[4096..6144]).collect();
 
-    let profiler = HostProfiler::new(2, 10);
+    let (warmup, reps) = if smoke { (1, 3) } else { (5, 50) };
+    let profiler = HostProfiler::new(warmup, reps);
+
     let mut conv_scratch = conventional.make_scratch();
-    let mut conv_map = ispot_ssl::srp_phat::SrpMap::default();
+    let mut conv_map = SrpMap::default();
     let conv_time = profiler.measure("conventional", || {
         conventional
             .compute_map_into(&frame, &mut conv_scratch, &mut conv_map)
             .expect("map")
     });
     let mut fast_scratch = fast.make_scratch();
-    let mut fast_map = ispot_ssl::srp_phat::SrpMap::default();
-    let fast_time = profiler.measure("fast", || {
-        fast.compute_map_into(&frame, &mut fast_scratch, &mut fast_map)
+    let mut scalar_map = SrpMap::default();
+    let scalar_time = profiler.measure("scalar_fast", || {
+        fast.compute_map_reference_into(&frame, &mut fast_scratch, &mut scalar_map)
             .expect("map")
     });
-
-    let map_a = conventional.compute_map(&frame).expect("map");
-    let map_b = fast.compute_map(&frame).expect("map");
+    let mut simd_map = SrpMap::default();
+    let simd_time = profiler.measure("simd_fast", || {
+        fast.compute_map_into(&frame, &mut fast_scratch, &mut simd_map)
+            .expect("map")
+    });
+    let mut hier_scratch = hierarchical.make_scratch();
+    let mut hier_map = SrpMap::default();
+    let hier_time = profiler.measure("hierarchical", || {
+        hierarchical
+            .compute_map_into(&frame, &mut hier_scratch, &mut hier_map)
+            .expect("map")
+    });
 
     print_row(
         "microphones / pairs",
@@ -46,19 +71,19 @@ fn main() {
     );
     print_row("grid directions", config.num_directions);
     print_row("frame length (samples)", config.frame_len);
+    print_row("profiler repetitions", reps);
     println!();
-    print_row(
-        "conventional latency per map (ms)",
-        format!("{:.3}", conv_time.mean_ms),
-    );
-    print_row(
-        "fast latency per map (ms)",
-        format!("{:.3}", fast_time.mean_ms),
-    );
-    print_row(
-        "latency speedup (paper: ~10x)",
-        format!("{:.1}x", conv_time.mean_ms / fast_time.mean_ms),
-    );
+    let speedup = |t: &ProfileRecord| conv_time.mean_ms / t.mean_ms;
+    for time in [&conv_time, &scalar_time, &simd_time, &hier_time] {
+        print_row(
+            format!("{} latency per map (ms)", time.name).as_str(),
+            format!(
+                "{:.3}  ({:.1}x vs conventional)",
+                time.mean_ms,
+                speedup(time)
+            ),
+        );
+    }
     println!();
     print_row(
         "conventional coefficients per pair",
@@ -71,13 +96,42 @@ fn main() {
     );
     println!();
     print_row(
-        "map correlation (equivalence)",
-        format!("{:.4}", map_a.correlation(&map_b)),
+        "map correlation conv vs simd (equivalence)",
+        format!("{:.4}", conv_map.correlation(&simd_map)),
     );
-    let az_a = map_a.peak().expect("non-empty map").1;
-    let az_b = map_b.peak().expect("non-empty map").1;
     print_row(
-        "peak azimuth conventional / fast (deg)",
-        format!("{az_a:.1} / {az_b:.1}"),
+        "map correlation conv vs hierarchical",
+        format!("{:.4}", conv_map.correlation(&hier_map)),
     );
+    let az_conv = conv_map.peak().expect("non-empty map").1;
+    let az_simd = simd_map.peak().expect("non-empty map").1;
+    let az_hier = hier_map.peak().expect("non-empty map").1;
+    print_row(
+        "peak azimuth conventional / simd / hierarchical (deg)",
+        format!("{az_conv:.1} / {az_simd:.1} / {az_hier:.1}"),
+    );
+
+    if json {
+        let entry = |t: &ProfileRecord| {
+            format!(
+                "  {{\"variant\": \"{}\", \"mean_ms\": {:.6}, \"min_ms\": {:.6}, \
+                 \"speedup_vs_conventional\": {:.3}}}",
+                t.name,
+                t.mean_ms,
+                t.min_ms,
+                speedup(t)
+            )
+        };
+        let body = format!(
+            "[\n{},\n{},\n{},\n{}\n]\n",
+            entry(&conv_time),
+            entry(&scalar_time),
+            entry(&simd_time),
+            entry(&hier_time)
+        );
+        let path = "BENCH_srp.json";
+        std::fs::write(path, body)?;
+        println!("\nwrote {path} (4 variants)");
+    }
+    Ok(())
 }

@@ -632,6 +632,7 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
         .frame_len(FRAME_LEN)
         .hop(HOP)
         .mode(scenario.mode)
+        .search(SrpSearchConfig::hierarchical())
         .build_engine()?;
     let mut session = engine.open_session();
     let mut sink = VecSink::new();

@@ -96,4 +96,5 @@ pub mod prelude {
     pub use crate::stream::StreamRunner;
     pub use crate::trigger::{EnergyTrigger, TriggerConfig};
     pub use ispot_ssl::multitrack::{TrackId, TrackSnapshot, TrackStatus, TrackingConfig};
+    pub use ispot_ssl::srp_fast::SrpSearchConfig;
 }

@@ -25,6 +25,7 @@ use crate::error::PipelineError;
 use crate::mode::OperatingMode;
 use crate::trigger::TriggerConfig;
 use ispot_ssl::multitrack::TrackingConfig;
+use ispot_ssl::srp_fast::SrpSearchConfig;
 use ispot_ssl::SslError;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,9 @@ pub struct PipelineConfig {
     /// Multi-target tracking configuration (peak budget, association gate,
     /// confirmation and coasting counts).
     pub tracking: TrackingConfig,
+    /// SRP search strategy: exhaustive (default) or coarse-to-fine hierarchical
+    /// (see [`SrpSearchConfig`]).
+    pub search: SrpSearchConfig,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +76,7 @@ impl Default for PipelineConfig {
             confidence_threshold: 0.2,
             trigger: TriggerConfig::default(),
             tracking: TrackingConfig::default(),
+            search: SrpSearchConfig::exhaustive(),
         }
     }
 }
@@ -97,7 +102,10 @@ impl PipelineConfig {
     ///   `floor_smoothing` must lie strictly inside `(0, 1)`;
     /// * every tracking parameter must pass
     ///   [`TrackingConfig::validate`] (positive counts within their caps, gate
-    ///   and salience thresholds in range).
+    ///   and salience thresholds in range);
+    /// * the SRP search parameters must pass [`SrpSearchConfig::validate`]
+    ///   against `num_directions` (a decimated grid must keep at least eight
+    ///   coarse cells, and the refinement radius must cover one coarse step).
     pub fn validate(&self) -> Result<(), PipelineError> {
         if self.frame_len == 0 {
             return Err(PipelineError::invalid_config(
@@ -146,6 +154,14 @@ impl PipelineConfig {
             }
             other => PipelineError::Localization(other),
         })?;
+        self.search
+            .validate(self.num_directions)
+            .map_err(|e| match e {
+                SslError::InvalidConfig { name, reason } => {
+                    PipelineError::InvalidConfig { name, reason }
+                }
+                other => PipelineError::Localization(other),
+            })?;
         Ok(())
     }
 }

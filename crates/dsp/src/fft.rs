@@ -179,6 +179,63 @@ impl Fft {
         Ok(())
     }
 
+    /// Computes the forward DFTs of **two** real-valued signals with a single
+    /// complex transform, writing the combined spectrum of `a + i·b` into `out`.
+    ///
+    /// This is the classic two-for-one trick for real inputs: pack the second
+    /// signal into the imaginary lane, transform once, and recover the
+    /// individual spectra from the (anti-)Hermitian parts of the result:
+    ///
+    /// ```text
+    /// A(k) = (Z(k) + conj(Z(N-k))) / 2
+    /// B(k) = (Z(k) - conj(Z(N-k))) / (2i)
+    /// ```
+    ///
+    /// (with `Z(N) ≡ Z(0)`). [`Fft::split_pair_bin`] evaluates that separation
+    /// for one bin. Callers that only need a band of bins — like the SRP-PHAT
+    /// front-end — separate just those bins and skip the rest, which is why this
+    /// method returns the combined spectrum instead of materializing both.
+    ///
+    /// For power-of-two sizes this performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `a.len()`, `b.len()` or
+    /// `out.len()` differs from `self.len()`.
+    pub fn forward_real_pair_into(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        out: &mut [Complex],
+    ) -> Result<(), DspError> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.check_len(out.len())?;
+        for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *slot = Complex::new(x, y);
+        }
+        self.transform_in_place(out, false);
+        Ok(())
+    }
+
+    /// Separates bin `k` of a combined two-real-signal spectrum (as produced by
+    /// [`Fft::forward_real_pair_into`]) into the two individual spectra,
+    /// returning `(A(k), B(k))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()` or `z.len() != self.len()`.
+    #[inline]
+    pub fn split_pair_bin(&self, z: &[Complex], k: usize) -> (Complex, Complex) {
+        assert_eq!(z.len(), self.size, "spectrum length mismatch");
+        let zk = z[k];
+        let zn = z[(self.size - k) % self.size];
+        (
+            Complex::new(0.5 * (zk.re + zn.re), 0.5 * (zk.im - zn.im)),
+            Complex::new(0.5 * (zk.im + zn.im), 0.5 * (zn.re - zk.re)),
+        )
+    }
+
     /// Computes the inverse DFT and returns only the real part.
     ///
     /// This is the natural companion of [`Fft::forward_real`] for signals known to be
@@ -413,6 +470,46 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(peak, (f0 / fs * n as f64).round() as usize);
+    }
+
+    #[test]
+    fn paired_real_transform_separates_into_individual_spectra() {
+        for n in [16usize, 64, 15] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() - 0.3).collect();
+            let fft = Fft::new(n);
+            let mut sa = vec![Complex::ZERO; n];
+            let mut sb = vec![Complex::ZERO; n];
+            fft.forward_real_into(&a, &mut sa).unwrap();
+            fft.forward_real_into(&b, &mut sb).unwrap();
+            let mut z = vec![Complex::ZERO; n];
+            fft.forward_real_pair_into(&a, &b, &mut z).unwrap();
+            for k in 0..n {
+                let (ak, bk) = fft.split_pair_bin(&z, k);
+                assert!(
+                    (ak.re - sa[k].re).abs() < 1e-9 && (ak.im - sa[k].im).abs() < 1e-9,
+                    "A({k}) mismatch for n={n}: {ak:?} vs {:?}",
+                    sa[k]
+                );
+                assert!(
+                    (bk.re - sb[k].re).abs() < 1e-9 && (bk.im - sb[k].im).abs() < 1e-9,
+                    "B({k}) mismatch for n={n}: {bk:?} vs {:?}",
+                    sb[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paired_real_transform_rejects_wrong_lengths() {
+        let fft = Fft::new(8);
+        let a = [0.0; 8];
+        let short = [0.0; 7];
+        let mut out = vec![Complex::ZERO; 8];
+        assert!(fft.forward_real_pair_into(&short, &a, &mut out).is_err());
+        assert!(fft.forward_real_pair_into(&a, &short, &mut out).is_err());
+        let mut short_out = vec![Complex::ZERO; 7];
+        assert!(fft.forward_real_pair_into(&a, &a, &mut short_out).is_err());
     }
 
     #[test]

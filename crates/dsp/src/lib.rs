@@ -57,6 +57,7 @@ pub mod level;
 pub mod resample;
 pub mod ring;
 pub mod sample;
+pub mod simd;
 pub mod stft;
 pub mod window;
 
@@ -80,6 +81,9 @@ pub mod prelude {
     pub use crate::resample::LinearResampler;
     pub use crate::ring::RingBuffer;
     pub use crate::sample::Sample;
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    pub use crate::simd::paired_dot_fma;
+    pub use crate::simd::{fma_available, paired_dot, F32x8};
     pub use crate::stft::{Stft, StftBuilder, StftScratch};
     pub use crate::window::{Window, WindowKind};
 }

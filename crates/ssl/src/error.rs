@@ -23,6 +23,18 @@ pub enum SslError {
         /// Number of channels supplied.
         actual: usize,
     },
+    /// A caller-provided scratch buffer does not match the processor's geometry.
+    ///
+    /// The allocation-free compute paths require scratch buffers pre-sized by the
+    /// processor's `make_scratch`; they refuse to grow buffers on the hot path.
+    ScratchSize {
+        /// Name of the offending scratch buffer.
+        buffer: &'static str,
+        /// Length the processor requires.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
     /// A low-level DSP operation failed.
     Dsp(DspError),
     /// A feature-extraction step failed.
@@ -39,6 +51,17 @@ impl fmt::Display for SslError {
             }
             SslError::ChannelMismatch { expected, actual } => {
                 write!(f, "channel mismatch: expected {expected}, got {actual}")
+            }
+            SslError::ScratchSize {
+                buffer,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "scratch buffer `{buffer}` has length {actual}, expected {expected} \
+                     (create the scratch with the processor's make_scratch)"
+                )
             }
             SslError::Dsp(e) => write!(f, "dsp error: {e}"),
             SslError::Feature(e) => write!(f, "feature error: {e}"),
@@ -100,6 +123,13 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains('6'));
+        let e = SslError::ScratchSize {
+            buffer: "lag_tables",
+            expected: 765,
+            actual: 0,
+        };
+        assert!(e.to_string().contains("lag_tables"));
+        assert!(e.to_string().contains("765"));
         let wrapped: SslError = NnError::EmptyModel.into();
         assert!(Error::source(&wrapped).is_some());
     }

@@ -65,6 +65,7 @@ pub mod metrics;
 pub mod multitrack;
 pub mod seld;
 pub mod srp_fast;
+mod srp_kernels;
 pub mod srp_phat;
 pub mod steering;
 pub mod tracking;
@@ -80,7 +81,7 @@ pub mod prelude {
         MultiTargetTracker, TrackId, TrackSnapshot, TrackStatus, TrackingConfig,
     };
     pub use crate::seld::{score_seld, SeldAnnotation, SeldScores};
-    pub use crate::srp_fast::SrpPhatFast;
+    pub use crate::srp_fast::{SrpPhatFast, SrpSearchConfig};
     pub use crate::srp_phat::{DoaEstimate, Peak, SrpConfig, SrpMap, SrpPhat, SrpScratch};
     pub use crate::steering::SteeringGrid;
     pub use crate::tracking::AzimuthKalmanTracker;

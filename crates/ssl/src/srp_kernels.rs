@@ -1,0 +1,381 @@
+//! Runtime-dispatched SIMD kernels for the low-complexity SRP-PHAT hot path.
+//!
+//! Two per-frame loops dominate [`crate::srp_fast::SrpPhatFast::compute_map_into`]:
+//!
+//! 1. **PHAT + lag synthesis** ([`phat_lags`]): for every microphone pair, form the
+//!    PHAT-normalized cross spectrum and synthesize its band-limited
+//!    cross-correlation directly on the `±max_lag` grid as a small dense
+//!    matrix-vector product against precomputed cosine/sine tables — replacing the
+//!    full-band spectrum rebuild plus full-length inverse FFT per pair. The `±lag`
+//!    symmetry is folded: one fused pass per non-negative lag row produces
+//!    `A = Σ Re·cos`, `B = Σ Im·sin`, and writes `corr(+ℓ) = A − B`,
+//!    `corr(−ℓ) = A + B`, halving both flops and table memory.
+//! 2. **Steering** ([`steer`]): for every direction, the `pairs × K` windowed-sinc
+//!    reduction over the lag tables. `K = 8` taps is exactly one [`F32x8`], so a
+//!    direction is 15 lane loads + 15 lane FMAs + one horizontal sum.
+//!
+//! Both kernels come in two copies selected at runtime: a portable one written
+//! over [`F32x8`] lane arrays (autovectorized with baseline codegen), and an
+//! `avx2`+`fma` one whose vector shape is pinned with explicit `core::arch`
+//! intrinsics. The intrinsic copies exist because LLVM's re-vectorization of
+//! the portable lane loops is context-fragile — in this crate's exact inlining
+//! context it demoted the reductions to 128-bit halves with per-iteration
+//! accumulator spills, a measured ~4× slowdown (see
+//! [`ispot_dsp::simd::paired_dot_fma`]). Callers pass the cached
+//! [`ispot_dsp::simd::fma_available`] result as `use_fma`.
+
+use ispot_dsp::simd::{paired_dot, F32x8};
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+use ispot_dsp::simd::paired_dot_fma;
+
+/// Tap count of one steering window; one full [`F32x8`] register.
+pub(crate) const K_TAPS: usize = 8;
+
+/// Band spectra of all channels, structure-of-arrays (borrowed from `SrpScratch`).
+pub(crate) struct PairSpectra<'a> {
+    /// Real parts, channel-major `num_channels × num_bins`.
+    pub ch_re: &'a [f32],
+    /// Imaginary parts, channel-major `num_channels × num_bins`.
+    pub ch_im: &'a [f32],
+    /// Number of band bins per channel.
+    pub nb: usize,
+    /// Microphone pair index list.
+    pub pairs: &'a [(usize, usize)],
+}
+
+/// The precomputed lag-synthesis operator (borrowed from `SrpPhatFast`).
+pub(crate) struct LagSynthOp<'a> {
+    /// `scale_k · cos(2π k ℓ / N)`, row-major `(max_lag + 1) × num_bins`.
+    pub syn_cos: &'a [f32],
+    /// `scale_k · sin(2π k ℓ / N)`, same layout. Row `ℓ = 0` must be zero (it
+    /// is `sin(0)` by construction): the two folded writes of that row target
+    /// the same cell, and only a zero `B` makes them agree.
+    pub syn_sin: &'a [f32],
+    /// Maximum integer lag (rows cover `0..=max_lag`).
+    pub max_lag: usize,
+    /// Zero-pad cells at each edge of one lag table.
+    pub pad: usize,
+    /// Length of one padded lag table.
+    pub padded_len: usize,
+}
+
+/// The precomputed steering operator (borrowed from `SrpPhatFast`).
+pub(crate) struct SteerOp<'a> {
+    /// Windowed-sinc weights, direction-major `(d · num_pairs + p) · K_TAPS`.
+    pub tap_weights: &'a [f32],
+    /// Window start offsets into each pair's padded lag table, same indexing.
+    pub tap_starts: &'a [u32],
+    /// Number of microphone pairs.
+    pub num_pairs: usize,
+    /// Length of one padded lag table.
+    pub padded_len: usize,
+}
+
+/// PHAT-normalizes one pair's cross spectrum `X_i · conj(X_j) / |·|` into
+/// `phat_re`/`phat_im` (all slices pre-cut to the band length). A plain scalar
+/// loop on purpose: LLVM autovectorizes the sqrt/divide form well on every
+/// target, so both kernel copies share it.
+#[inline(always)]
+fn phat_norm_pair(
+    ri: &[f32],
+    ii: &[f32],
+    rj: &[f32],
+    ij: &[f32],
+    phat_re: &mut [f32],
+    phat_im: &mut [f32],
+) {
+    for (k, slot_re) in phat_re.iter_mut().enumerate() {
+        let cr = ri[k] * rj[k] + ii[k] * ij[k];
+        let ci = ii[k] * rj[k] - ri[k] * ij[k];
+        let mag = (cr * cr + ci * ci).sqrt();
+        let w = if mag > 1e-12 { 1.0 / mag } else { 0.0 };
+        *slot_re = cr * w;
+        phat_im[k] = ci * w;
+    }
+}
+
+fn phat_lags_portable(
+    spectra: &PairSpectra<'_>,
+    op: &LagSynthOp<'_>,
+    phat_re: &mut [f32],
+    phat_im: &mut [f32],
+    lag_tables: &mut [f32],
+) {
+    let nb = spectra.nb;
+    for (pair_idx, &(i, j)) in spectra.pairs.iter().enumerate() {
+        phat_norm_pair(
+            &spectra.ch_re[i * nb..(i + 1) * nb],
+            &spectra.ch_im[i * nb..(i + 1) * nb],
+            &spectra.ch_re[j * nb..(j + 1) * nb],
+            &spectra.ch_im[j * nb..(j + 1) * nb],
+            &mut phat_re[..nb],
+            &mut phat_im[..nb],
+        );
+        // Lag synthesis: one fused (cos·re, sin·im) reduction per non-negative
+        // lag, folded to both signs.
+        let table = &mut lag_tables[pair_idx * op.padded_len..][..op.padded_len];
+        let center = op.pad + op.max_lag;
+        for lag in 0..=op.max_lag {
+            let cos_row = &op.syn_cos[lag * nb..(lag + 1) * nb];
+            let sin_row = &op.syn_sin[lag * nb..(lag + 1) * nb];
+            let (a, b) = paired_dot::<false>(cos_row, &phat_re[..nb], sin_row, &phat_im[..nb]);
+            table[center + lag] = a - b;
+            table[center - lag] = a + b;
+        }
+    }
+}
+
+fn steer_portable(op: &SteerOp<'_>, lag_tables: &[f32], d0: usize, step: usize, out: &mut [f64]) {
+    for (di, slot) in out.iter_mut().enumerate() {
+        let row = (d0 + di * step) * op.num_pairs;
+        let mut acc0 = F32x8::zero();
+        let mut acc1 = F32x8::zero();
+        for p in 0..op.num_pairs {
+            let w = F32x8::load(&op.tap_weights[(row + p) * K_TAPS..][..K_TAPS]);
+            let start = op.tap_starts[row + p] as usize;
+            let t = F32x8::load(&lag_tables[p * op.padded_len + start..][..K_TAPS]);
+            if p & 1 == 0 {
+                acc0 = w.mul_add::<false>(t, acc0);
+            } else {
+                acc1 = w.mul_add::<false>(t, acc1);
+            }
+        }
+        *slot = (acc0 + acc1).sum() as f64;
+    }
+}
+
+/// Same loop as [`phat_lags_portable`], but the lag-synthesis reduction goes
+/// through the intrinsic [`paired_dot_fma`], which guarantees 256-bit FMA
+/// codegen regardless of inlining context.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn phat_lags_avx2(
+    spectra: &PairSpectra<'_>,
+    op: &LagSynthOp<'_>,
+    phat_re: &mut [f32],
+    phat_im: &mut [f32],
+    lag_tables: &mut [f32],
+) {
+    let nb = spectra.nb;
+    for (pair_idx, &(i, j)) in spectra.pairs.iter().enumerate() {
+        phat_norm_pair(
+            &spectra.ch_re[i * nb..(i + 1) * nb],
+            &spectra.ch_im[i * nb..(i + 1) * nb],
+            &spectra.ch_re[j * nb..(j + 1) * nb],
+            &spectra.ch_im[j * nb..(j + 1) * nb],
+            &mut phat_re[..nb],
+            &mut phat_im[..nb],
+        );
+        let table = &mut lag_tables[pair_idx * op.padded_len..][..op.padded_len];
+        let center = op.pad + op.max_lag;
+        for lag in 0..=op.max_lag {
+            let cos_row = &op.syn_cos[lag * nb..(lag + 1) * nb];
+            let sin_row = &op.syn_sin[lag * nb..(lag + 1) * nb];
+            // Safe call: this context already enables avx2 + fma.
+            let (a, b) = paired_dot_fma(cos_row, &phat_re[..nb], sin_row, &phat_im[..nb]);
+            table[center + lag] = a - b;
+            table[center - lag] = a + b;
+        }
+    }
+}
+
+/// Same loop as [`steer_portable`], with the per-direction tap reduction pinned
+/// to 256-bit FMAs.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn steer_avx2(op: &SteerOp<'_>, lag_tables: &[f32], d0: usize, step: usize, out: &mut [f64]) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    for (di, slot) in out.iter_mut().enumerate() {
+        let row = (d0 + di * step) * op.num_pairs;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for p in 0..op.num_pairs {
+            let w = &op.tap_weights[(row + p) * K_TAPS..][..K_TAPS];
+            let start = op.tap_starts[row + p] as usize;
+            let t = &lag_tables[p * op.padded_len + start..][..K_TAPS];
+            // SAFETY: both slices hold exactly `K_TAPS == 8` lanes.
+            let (wv, tv) = unsafe { (_mm256_loadu_ps(w.as_ptr()), _mm256_loadu_ps(t.as_ptr())) };
+            if p & 1 == 0 {
+                acc0 = _mm256_fmadd_ps(wv, tv, acc0);
+            } else {
+                acc1 = _mm256_fmadd_ps(wv, tv, acc1);
+            }
+        }
+        let mut lanes = [0.0f32; 8];
+        // SAFETY: the destination is an eight-element array.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), _mm256_add_ps(acc0, acc1)) };
+        *slot = F32x8(lanes).sum() as f64;
+    }
+}
+
+/// PHAT normalization + folded lag synthesis for every pair, dispatched to the
+/// fused `avx2`+`fma` copy when `use_fma` (callers cache
+/// [`ispot_dsp::simd::fma_available`]).
+pub(crate) fn phat_lags(
+    use_fma: bool,
+    spectra: &PairSpectra<'_>,
+    op: &LagSynthOp<'_>,
+    phat_re: &mut [f32],
+    phat_im: &mut [f32],
+    lag_tables: &mut [f32],
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if use_fma {
+        // SAFETY: `use_fma` is only true when `fma_available()` confirmed
+        // avx2+fma support on this host.
+        unsafe { phat_lags_avx2(spectra, op, phat_re, phat_im, lag_tables) };
+        return;
+    }
+    let _ = use_fma;
+    phat_lags_portable(spectra, op, phat_re, phat_im, lag_tables);
+}
+
+/// Steers directions `d0, d0+step, …` (one per `out` slot), dispatched like
+/// [`phat_lags`]. Serves the exhaustive pass (`step = 1` over the whole grid),
+/// the decimated coarse pass (`step = decimation`) and the refinement runs
+/// (`step = 1` over a window).
+pub(crate) fn steer(
+    use_fma: bool,
+    op: &SteerOp<'_>,
+    lag_tables: &[f32],
+    d0: usize,
+    step: usize,
+    out: &mut [f64],
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if use_fma {
+        // SAFETY: `use_fma` is only true when `fma_available()` confirmed
+        // avx2+fma support on this host.
+        unsafe { steer_avx2(op, lag_tables, d0, step, out) };
+        return;
+    }
+    let _ = use_fma;
+    steer_portable(op, lag_tables, d0, step, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar f64 re-implementation of one steered direction.
+    fn steer_reference(op: &SteerOp<'_>, lag_tables: &[f32], d: usize) -> f64 {
+        let mut acc = 0.0f64;
+        for p in 0..op.num_pairs {
+            let row = d * op.num_pairs + p;
+            let start = op.tap_starts[row] as usize;
+            for k in 0..K_TAPS {
+                acc += op.tap_weights[row * K_TAPS + k] as f64
+                    * lag_tables[p * op.padded_len + start + k] as f64;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn steer_matches_scalar_reference_for_both_copies() {
+        let num_pairs = 5;
+        let num_dirs = 9;
+        let padded_len = 23;
+        let tap_weights: Vec<f32> = (0..num_dirs * num_pairs * K_TAPS)
+            .map(|i| ((i * 37 % 97) as f32 - 48.0) / 48.0)
+            .collect();
+        let tap_starts: Vec<u32> = (0..num_dirs * num_pairs)
+            .map(|i| (i * 13 % (padded_len - K_TAPS + 1)) as u32)
+            .collect();
+        let lag_tables: Vec<f32> = (0..num_pairs * padded_len)
+            .map(|i| ((i * 53 % 89) as f32 - 44.0) / 10.0)
+            .collect();
+        let op = SteerOp {
+            tap_weights: &tap_weights,
+            tap_starts: &tap_starts,
+            num_pairs,
+            padded_len,
+        };
+        for use_fma in [false, ispot_dsp::simd::fma_available()] {
+            // Full grid (step 1), then a strided pass (step 2).
+            let mut out = vec![0.0; num_dirs];
+            steer(use_fma, &op, &lag_tables, 0, 1, &mut out);
+            for (d, &got) in out.iter().enumerate() {
+                let want = steer_reference(&op, &lag_tables, d);
+                assert!((got - want).abs() < 1e-4, "d={d}: {got} vs {want}");
+            }
+            let mut strided = vec![0.0; num_dirs / 2];
+            steer(use_fma, &op, &lag_tables, 1, 2, &mut strided);
+            for (di, &got) in strided.iter().enumerate() {
+                let want = steer_reference(&op, &lag_tables, 1 + 2 * di);
+                assert!((got - want).abs() < 1e-4, "di={di}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn phat_lags_folds_lag_symmetry_and_normalizes() {
+        // 2 channels, 1 pair, tiny band; reference computed per lag sign.
+        let nb = 19;
+        let max_lag = 3;
+        let pad = 2;
+        let padded_len = 2 * max_lag + 1 + 2 * pad;
+        let ch_re: Vec<f32> = (0..2 * nb).map(|i| (i as f32 * 0.7).sin() + 1.4).collect();
+        let ch_im: Vec<f32> = (0..2 * nb).map(|i| (i as f32 * 0.3).cos() - 0.2).collect();
+        let syn_cos: Vec<f32> = (0..(max_lag + 1) * nb)
+            .map(|i| (i as f32 * 0.11).cos())
+            .collect();
+        // Row 0 of the sine table is zero by the operator contract (sin(0)).
+        let syn_sin: Vec<f32> = (0..(max_lag + 1) * nb)
+            .map(|i| if i < nb { 0.0 } else { (i as f32 * 0.11).sin() })
+            .collect();
+        let pairs = [(0usize, 1usize)];
+        let spectra = PairSpectra {
+            ch_re: &ch_re,
+            ch_im: &ch_im,
+            nb,
+            pairs: &pairs,
+        };
+        let op = LagSynthOp {
+            syn_cos: &syn_cos,
+            syn_sin: &syn_sin,
+            max_lag,
+            pad,
+            padded_len,
+        };
+        let mut phat_re = vec![0.0f32; nb];
+        let mut phat_im = vec![0.0f32; nb];
+        let mut tables = vec![0.0f32; padded_len];
+        phat_lags(
+            false,
+            &spectra,
+            &op,
+            &mut phat_re,
+            &mut phat_im,
+            &mut tables,
+        );
+        // Every PHAT bin has unit magnitude (inputs are well above threshold).
+        for k in 0..nb {
+            let mag = (phat_re[k] * phat_re[k] + phat_im[k] * phat_im[k]).sqrt();
+            assert!((mag - 1.0).abs() < 1e-5, "bin {k}: |c| = {mag}");
+        }
+        // Folded rows match the unfolded A ∓ B reference.
+        let center = pad + max_lag;
+        for lag in 0..=max_lag {
+            let mut a = 0.0f64;
+            let mut b = 0.0f64;
+            for k in 0..nb {
+                a += syn_cos[lag * nb + k] as f64 * phat_re[k] as f64;
+                b += syn_sin[lag * nb + k] as f64 * phat_im[k] as f64;
+            }
+            assert!((tables[center + lag] as f64 - (a - b)).abs() < 1e-4);
+            assert!((tables[center - lag] as f64 - (a + b)).abs() < 1e-4);
+        }
+        // Pad cells stay untouched.
+        assert!(tables[..pad].iter().all(|&v| v == 0.0));
+        assert!(tables[padded_len - pad..].iter().all(|&v| v == 0.0));
+    }
+}

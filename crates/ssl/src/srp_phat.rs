@@ -330,28 +330,51 @@ impl DoaEstimate {
 /// Reusable scratch memory for the allocation-free SRP-PHAT entry points
 /// ([`SrpPhat::compute_map_into`], [`crate::srp_fast::SrpPhatFast::compute_map_into`]).
 ///
-/// All buffers are sized lazily on first use and reused afterwards, so a scratch
-/// created by [`SrpPhat::make_scratch`] / `SrpPhatFast::make_scratch` (or even
-/// [`SrpScratch::new`]) settles into a zero-allocation steady state after the first
-/// frame. One scratch serves one processor at a time; it may be moved between
-/// processors of different geometry at the cost of a one-off reallocation.
+/// The conventional path sizes its buffers lazily on first use; the low-complexity
+/// hot path instead **requires** a scratch pre-sized by
+/// `SrpPhatFast::make_scratch` and returns [`crate::SslError::ScratchSize`] on any
+/// mismatch, so no resize can sneak onto the per-frame path. One scratch serves one
+/// processor at a time.
 #[derive(Debug, Clone, Default)]
 pub struct SrpScratch {
-    /// Full-frame complex workspace: forward-FFT output per channel, and the
-    /// rebuilt full-band cross spectrum in the lag-domain path.
+    /// Full-frame complex workspace: forward-FFT output per channel (or channel
+    /// pair), and the rebuilt full-band cross spectrum in the f64 lag-domain path.
     pub(crate) spec: Vec<Complex>,
     /// Band-limited per-channel spectra, channel-major (`num_channels × num_bins`).
     pub(crate) channel_bins: Vec<Complex>,
     /// PHAT-weighted cross-power spectra, pair-major (`num_pairs × num_bins`).
     pub(crate) cross: Vec<Complex>,
-    /// Full-frame real workspace for the inverse transform (lag-domain path).
+    /// Full-frame real workspace for the inverse transform (f64 lag-domain path).
     pub(crate) corr: Vec<f64>,
-    /// Zero-padded Nyquist-rate lag tables, pair-major (lag-domain path).
+    /// Zero-padded Nyquist-rate lag tables, pair-major (f64 lag-domain path).
     pub(crate) lag_tables: Vec<f64>,
+    /// Band-limited per-channel spectra, real parts, channel-major
+    /// (`num_channels × num_bins`; f32 SIMD path).
+    pub(crate) ch_re: Vec<f32>,
+    /// Imaginary parts matching [`SrpScratch::ch_re`].
+    pub(crate) ch_im: Vec<f32>,
+    /// PHAT-normalized cross spectrum of the pair currently being synthesized,
+    /// real parts (`num_bins`; f32 SIMD path).
+    pub(crate) phat_re: Vec<f32>,
+    /// Imaginary parts matching [`SrpScratch::phat_re`].
+    pub(crate) phat_im: Vec<f32>,
+    /// Zero-padded Nyquist-rate lag tables, pair-major (f32 SIMD path). The
+    /// `half_taps` pad cells at each table edge are zeroed once at creation and
+    /// never written by the kernels, so edge tap windows read exact zeros.
+    pub(crate) lag_f32: Vec<f32>,
+    /// Decimated coarse-grid map (hierarchical search).
+    pub(crate) coarse: SrpMap,
+    /// Coarse-peak scratch for the refinement stage (hierarchical search).
+    pub(crate) peaks: Vec<Peak>,
+    /// Per-direction "holds an exactly steered value" mask (hierarchical
+    /// search): interpolation runs between anchored cells after refinement so
+    /// the seeded fill stays continuous at refinement-window edges.
+    pub(crate) anchored: Vec<bool>,
 }
 
 impl SrpScratch {
-    /// Creates an empty scratch; buffers grow on first use.
+    /// Creates an empty scratch. The conventional path grows it on first use; the
+    /// low-complexity hot path rejects it — use `SrpPhatFast::make_scratch` there.
     pub fn new() -> Self {
         SrpScratch::default()
     }
@@ -432,7 +455,7 @@ impl SrpPhat {
         &self.fft
     }
 
-    fn validate_frame(&self, frame: &[&[f64]]) -> Result<(), SslError> {
+    pub(crate) fn validate_frame(&self, frame: &[&[f64]]) -> Result<(), SslError> {
         if frame.len() != self.num_channels {
             return Err(SslError::ChannelMismatch {
                 expected: self.num_channels,
@@ -461,8 +484,7 @@ impl SrpPhat {
             spec: vec![Complex::ZERO; self.config.frame_len],
             channel_bins: vec![Complex::ZERO; self.num_channels * self.num_bins()],
             cross: vec![Complex::ZERO; self.grid.num_pairs() * self.num_bins()],
-            corr: Vec::new(),
-            lag_tables: Vec::new(),
+            ..SrpScratch::default()
         }
     }
 

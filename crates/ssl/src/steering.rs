@@ -116,6 +116,11 @@ impl SteeringGrid {
         &self.pairs
     }
 
+    /// Number of microphone channels the pair list spans.
+    pub fn num_channels(&self) -> usize {
+        self.pairs.iter().map(|&(_, j)| j + 1).max().unwrap_or(0)
+    }
+
     /// Azimuth (degrees) of grid direction `d`.
     ///
     /// # Panics

@@ -1,0 +1,185 @@
+//! Property tests pinning the numerics of the `f32` SIMD SRP pipeline against
+//! its retained `f64` reference, and of the coarse-to-fine hierarchical search
+//! against the exhaustive scan.
+//!
+//! Frames are synthesized directly (far-field delayed broadband noise, one
+//! integer-sample delay per microphone) so every case exercises a physically
+//! plausible cross-correlation structure with a controllable dominant azimuth.
+
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_ssl::srp_fast::{SrpPhatFast, SrpSearchConfig};
+use ispot_ssl::srp_phat::{SrpConfig, SrpMap};
+use proptest::prelude::*;
+
+/// Deterministic white noise in `[-1, 1]` from a splitmix64 stream.
+fn noise(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// One frame of far-field broadband noise arriving from `azimuth_deg`: each
+/// channel is the shared noise stream shifted by its (rounded) geometric delay.
+fn far_field_frame(
+    array: &MicrophoneArray,
+    config: &SrpConfig,
+    fs: f64,
+    azimuth_deg: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let theta = azimuth_deg.to_radians();
+    let unit = Position::new(theta.cos(), theta.sin(), 0.0);
+    let margin = 64;
+    let base = noise(seed, config.frame_len + 2 * margin);
+    array
+        .positions()
+        .iter()
+        .map(|p| {
+            // A mic further along the propagation direction hears the wavefront
+            // earlier; round to the nearest integer sample.
+            let delay = (-(p.dot(unit)) / config.speed_of_sound * fs).round() as isize;
+            let start = (margin as isize + delay) as usize;
+            base[start..start + config.frame_len].to_vec()
+        })
+        .collect()
+}
+
+/// Wrap-aware index distance on the circular azimuth grid.
+fn grid_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = (a + n - b) % n;
+    d.min(n - d)
+}
+
+fn argmax(power: &[f64]) -> usize {
+    power
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The `f32` SIMD map must agree with the `f64` reference path elementwise
+    /// (relative to the map's dynamic range) and place the global peak in the
+    /// same grid cell (± one neighbour, since adjacent cells can tie to within
+    /// `f32` rounding).
+    #[test]
+    fn f32_simd_map_matches_f64_reference(
+        azimuth_deg in 0.0f64..360.0,
+        seed in 1u64..10_000,
+    ) {
+        let fs = 16_000.0;
+        let config = SrpConfig::default();
+        let array = MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.0));
+        let fast = SrpPhatFast::new(config, &array, fs).unwrap();
+
+        let channels = far_field_frame(&array, &config, fs, azimuth_deg, seed);
+        let frame: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+
+        let mut scratch = fast.make_scratch();
+        let mut simd_map = SrpMap::default();
+        let mut ref_map = SrpMap::default();
+        fast.compute_map_into(&frame, &mut scratch, &mut simd_map).unwrap();
+        fast.compute_map_reference_into(&frame, &mut scratch, &mut ref_map).unwrap();
+
+        let simd = simd_map.power();
+        let reference = ref_map.power();
+        prop_assert_eq!(simd.len(), reference.len());
+        let scale = reference
+            .iter()
+            .fold(0.0f64, |m, p| m.max(p.abs()))
+            .max(1e-12);
+        for (d, (a, b)) in simd.iter().zip(reference).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-3 * scale,
+                "direction {}: simd {} vs reference {} (scale {})",
+                d, a, b, scale
+            );
+        }
+
+        let n = simd.len();
+        let dist = grid_distance(argmax(simd), argmax(reference), n);
+        prop_assert!(
+            dist <= 1,
+            "global peak moved {} cells between f32 SIMD ({}) and f64 reference ({})",
+            dist, argmax(simd), argmax(reference)
+        );
+    }
+
+    /// The hierarchical coarse-to-fine search must reproduce the exhaustive
+    /// scan's top peaks: each of the strongest exhaustive peaks has a
+    /// hierarchical counterpart within one grid cell, and the global maximum
+    /// lands in exactly the same cell (its neighbourhood is re-steered at full
+    /// resolution, so the scores there are bit-identical).
+    #[test]
+    fn hierarchical_peaks_match_exhaustive_within_one_cell(
+        azimuth_deg in 0.0f64..360.0,
+        seed in 1u64..10_000,
+    ) {
+        let fs = 16_000.0;
+        let config = SrpConfig::default();
+        let array = MicrophoneArray::circular(6, 0.2, Position::new(0.0, 0.0, 1.0));
+        let exhaustive = SrpPhatFast::new(config, &array, fs).unwrap();
+        let hierarchical = SrpPhatFast::with_search(
+            config,
+            SrpSearchConfig::hierarchical(),
+            &array,
+            fs,
+        )
+        .unwrap();
+
+        let channels = far_field_frame(&array, &config, fs, azimuth_deg, seed);
+        let frame: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+
+        let mut ex_scratch = exhaustive.make_scratch();
+        let mut hi_scratch = hierarchical.make_scratch();
+        let mut ex_map = SrpMap::default();
+        let mut hi_map = SrpMap::default();
+        exhaustive.compute_map_into(&frame, &mut ex_scratch, &mut ex_map).unwrap();
+        hierarchical.compute_map_into(&frame, &mut hi_scratch, &mut hi_map).unwrap();
+
+        let n = ex_map.power().len();
+        let (ex_best, hi_best) = (argmax(ex_map.power()), argmax(hi_map.power()));
+        prop_assert!(
+            ex_best == hi_best,
+            "global SRP peak differs: exhaustive {} vs hierarchical {}",
+            ex_best, hi_best
+        );
+
+        // Top-K agreement: every strong, well-separated exhaustive peak must
+        // appear in the hierarchical map within one grid cell. K stays at the
+        // hierarchical coarse-peak budget so each one had a refinement window.
+        let k = SrpSearchConfig::hierarchical().coarse_peaks.min(3);
+        let ex_peaks = ex_map.peaks(k, 20.0);
+        let hi_peaks = hi_map.peaks(k, 20.0);
+        for pk in &ex_peaks {
+            // Sidelobes far below the main peak may round differently under
+            // interpolation; only pin peaks within 6 dB of the maximum.
+            if pk.power < ex_peaks[0].power * 0.25 {
+                continue;
+            }
+            let matched = hi_peaks
+                .iter()
+                .any(|h| grid_distance(h.index, pk.index, n) <= 1);
+            prop_assert!(
+                matched,
+                "exhaustive peak at index {} ({:.1} deg, power {:.3e}) has no \
+                 hierarchical counterpart within one cell; hierarchical peaks: {:?}",
+                pk.index, pk.azimuth_deg, pk.power,
+                hi_peaks.iter().map(|p| p.index).collect::<Vec<_>>()
+            );
+        }
+    }
+}
