@@ -1,0 +1,492 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The analyzer only needs a *sound approximation* of the token stream: it must
+//! never mistake the inside of a string literal, character literal, or comment
+//! for code (otherwise `"panic!"` in an error message would trip the hot-path
+//! lint), and it must report accurate line numbers. It does not need to
+//! understand numeric suffixes, operator precedence, or macro expansion.
+//!
+//! The lexer therefore produces three things per file:
+//!
+//! * a flat stream of **code tokens** — identifiers and single-character
+//!   punctuation, each tagged with its 1-based line;
+//! * a **comment map** — for each line, the concatenated text of every comment
+//!   that starts on it (line comments `//`, doc comments `///` and `//!`, and
+//!   block comments `/* .. */` including nested ones);
+//! * per-line **flags** — whether the line carries any code token, whether it
+//!   carries a comment, and whether its first code token is `#` (an attribute
+//!   line, which the `// SAFETY:` walk-up is allowed to step over).
+//!
+//! String handling covers the forms that appear in real Rust: escapes inside
+//! `"…"`, byte strings `b"…"`, raw strings `r"…"` / `r#"…"#` with any number of
+//! hashes (and `br#"…"#`), character literals `'a'` / `'\n'` versus lifetimes
+//! `'a`, and numeric literals (consumed opaquely so `0.5` never emits a `.`
+//! punctuation token that could glue onto a method-call pattern).
+
+use std::collections::HashMap;
+
+/// The kind of a code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `(`, `{`, `:`, …).
+    Punct(char),
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// Returns true if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Returns true if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == s)
+    }
+}
+
+/// Per-line metadata derived while lexing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineFlags {
+    /// The line carries at least one code token (or a literal).
+    pub has_code: bool,
+    /// The line carries (part of) a comment.
+    pub has_comment: bool,
+    /// The first code token on the line is `#` — an attribute line.
+    pub starts_with_attr: bool,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Concatenated comment text per 1-based line (joined with a space when a
+    /// line holds several comments).
+    pub comments: HashMap<u32, String>,
+    /// Per-line flags, indexed by 1-based line via [`Lexed::flags`].
+    line_flags: Vec<LineFlags>,
+}
+
+impl Lexed {
+    /// Flags for a 1-based line number; lines past EOF report default flags.
+    pub fn flags(&self, line: u32) -> LineFlags {
+        self.line_flags
+            .get(line as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Comment text recorded for a 1-based line, if any.
+    pub fn comment(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+}
+
+/// Lexes `source` into tokens, comments and line flags.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        let lines = source.lines().count() + 2;
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Lexed {
+                tokens: Vec::new(),
+                comments: HashMap::new(),
+                line_flags: vec![LineFlags::default(); lines],
+            },
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn mark_code(&mut self) {
+        let line = self.line as usize;
+        if let Some(f) = self.out.line_flags.get_mut(line) {
+            f.has_code = true;
+        }
+    }
+
+    fn mark_comment_line(&mut self, line: u32) {
+        if let Some(f) = self.out.line_flags.get_mut(line as usize) {
+            f.has_comment = true;
+        }
+    }
+
+    fn record_comment(&mut self, line: u32, text: &str) {
+        let entry = self.out.comments.entry(line).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(text.trim());
+    }
+
+    fn push_ident(&mut self, ident: String) {
+        self.mark_code();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Ident(ident),
+            line: self.line,
+        });
+    }
+
+    fn push_punct(&mut self, c: char) {
+        let line = self.line;
+        let first_on_line = {
+            let f = self.out.line_flags[line as usize];
+            !f.has_code
+        };
+        self.mark_code();
+        if c == '#' && first_on_line {
+            if let Some(f) = self.out.line_flags.get_mut(line as usize) {
+                f.starts_with_attr = true;
+            }
+        }
+        self.out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' => match self.peek(1) {
+                    Some(b'/') => self.line_comment(),
+                    Some(b'*') => self.block_comment(),
+                    _ => {
+                        self.push_punct('/');
+                        self.bump();
+                    }
+                },
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_prefixed_literal(),
+                other => {
+                    // Multi-byte UTF-8 punctuation (em dashes in comments never
+                    // reach here; in code it would be invalid Rust anyway) is
+                    // consumed byte-wise and surfaced as a placeholder.
+                    let c = if other.is_ascii() {
+                        other as char
+                    } else {
+                        '\u{fffd}'
+                    };
+                    self.push_punct(c);
+                    self.bump();
+                    while self.peek(0).is_some_and(|b| (0x80..0xC0).contains(&b)) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .to_string();
+        self.mark_comment_line(start_line);
+        self.record_comment(start_line, &text);
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated comment: tolerate
+            }
+        }
+        let end_line = self.line;
+        let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .to_string();
+        for line in start_line..=end_line {
+            self.mark_comment_line(line);
+        }
+        self.record_comment(start_line, &text);
+    }
+
+    /// Consumes a `"…"` string (escape-aware). The opening quote has not been
+    /// consumed yet.
+    fn string_literal(&mut self) {
+        self.mark_code();
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump(); // escaped char, even `\"`
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, … after the prefix identifier was read.
+    /// Returns true if a raw string was actually present and consumed.
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(); // hashes + opening quote
+        }
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        return true;
+                    }
+                }
+                Some(_) => {}
+                None => return true, // unterminated: tolerate
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` (lifetimes).
+    fn char_or_lifetime(&mut self) {
+        self.mark_code();
+        match (self.peek(1), self.peek(2)) {
+            (Some(b'\\'), _) => {
+                // Escaped char literal: consume until the closing quote.
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char (enough for \n, \\, \'; unicode
+                             // escapes close on the quote scan below)
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+            }
+            (Some(_), Some(b'\'')) => {
+                // Plain one-byte char literal 'x'.
+                self.bump();
+                self.bump();
+                self.bump();
+            }
+            _ => {
+                // Lifetime: consume the quote and the identifier after it.
+                self.bump();
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a numeric literal opaquely (so `0.5` emits no `.` token).
+    fn number(&mut self) {
+        self.mark_code();
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1; // idents cannot contain newlines; no line tracking needed
+        }
+        let ident = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // Raw / byte string and byte char prefixes: the "identifier" was really
+        // a literal prefix.
+        match ident.as_str() {
+            "r" | "br" | "b" if self.peek(0) == Some(b'"') || self.peek(0) == Some(b'#') => {
+                if ident == "b" && self.peek(0) == Some(b'#') {
+                    // `b#` is not a literal prefix; fall through to ident.
+                } else if ident == "b" {
+                    self.mark_code();
+                    self.string_literal();
+                    return;
+                } else if self.raw_string() {
+                    self.mark_code();
+                    return;
+                }
+            }
+            "b" if self.peek(0) == Some(b'\'') => {
+                self.mark_code();
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        self.push_ident(ident);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "panic!(\"inside\")"; // unwrap() in a comment
+            /* vec![collect] */
+            let b = r#"format!("raw")"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "panic" || i == "unwrap" || i == "vec"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner panic!() */ still comment */ fn after() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "after"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail() {
+        let src = "fn f<'a>(c: char) { let q = '\\''; let n = '\\n'; let x = 'y'; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"char".to_string()));
+        // The lifetime `'a` must not swallow the rest of the signature.
+        assert!(ids.contains(&"q".to_string()) && ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_emit_dot_puncts() {
+        let src = "let x = 0.5f64; let y = x.to_vec();";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 1, "only the method-call dot survives");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_matching_hash_count() {
+        let src = r###"let s = r##"contains "# unwrap() inside"##; fn g() {}"###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(ids.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn comment_text_and_flags_are_recorded() {
+        let src = "// SAFETY: fine\nunsafe { work() } // trailing\n";
+        let lexed = lex(src);
+        assert!(lexed.comment(1).unwrap().contains("SAFETY: fine"));
+        assert!(lexed.flags(1).has_comment && !lexed.flags(1).has_code);
+        assert!(lexed.flags(2).has_code && lexed.flags(2).has_comment);
+    }
+
+    #[test]
+    fn attribute_lines_are_flagged() {
+        let src = "#[cfg(test)]\nfn t() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.flags(1).starts_with_attr);
+        assert!(!lexed.flags(2).starts_with_attr);
+    }
+}

@@ -1,0 +1,209 @@
+//! The declarative invariant manifest: *which* files and functions the rules
+//! apply to.
+//!
+//! The manifest is data, not code — reviewers changing the hot-path surface
+//! edit the tables in [`Manifest::workspace`], and the self-scan test pins the
+//! result. Paths are matched by suffix with `/` separators, so the same
+//! manifest works regardless of where the workspace is checked out.
+
+/// Which functions of a hot-path file the discipline rules cover.
+#[derive(Debug, Clone)]
+pub enum HotScope {
+    /// Every function in the file is a hot path (pure kernel modules).
+    AllFunctions,
+    /// Only the named functions; constructors and cold accessors are exempt.
+    Functions(Vec<String>),
+}
+
+/// One hot-path file with its covered scope.
+#[derive(Debug, Clone)]
+pub struct HotPathEntry {
+    /// Path suffix, e.g. `crates/ssl/src/srp_fast.rs`.
+    pub file: String,
+    /// Covered functions.
+    pub scope: HotScope,
+}
+
+/// The full rule-scoping manifest for one analyzer run.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Hot-path files/functions: panics and allocations denied.
+    pub hot_paths: Vec<HotPathEntry>,
+    /// Files allowed to call bare `f32::mul_add` / `f64::mul_add` (the
+    /// runtime-dispatched SIMD wrappers live here).
+    pub mul_add_wrappers: Vec<String>,
+    /// Scoring / metrics files where `std::collections::HashMap` is denied
+    /// because its iteration order would feed pinned bench numbers.
+    pub ordered_scoring_files: Vec<String>,
+    /// Treat every scanned file as hot + determinism-scoped (fixture mode).
+    pub all_files_hot: bool,
+}
+
+fn entry(file: &str, fns: &[&str]) -> HotPathEntry {
+    HotPathEntry {
+        file: file.to_string(),
+        scope: if fns.is_empty() {
+            HotScope::AllFunctions
+        } else {
+            HotScope::Functions(fns.iter().map(|s| s.to_string()).collect())
+        },
+    }
+}
+
+impl Manifest {
+    /// The workspace manifest: every per-frame path that PRs 1–6 made
+    /// allocation-free, plus the determinism-sensitive scoring files.
+    pub fn workspace() -> Self {
+        Manifest {
+            hot_paths: vec![
+                // SRP-PHAT fast path: per-frame map computation. Construction
+                // (`new`, `with_search`, `make_scratch`) allocates by design.
+                entry(
+                    "crates/ssl/src/srp_fast.rs",
+                    &[
+                        "compute_map_into",
+                        "band_spectra_f32",
+                        "steer_hierarchical",
+                        "compute_map_reference_into",
+                        "fill_lag_tables",
+                        "ensure_len",
+                    ],
+                ),
+                // Pure steering kernels: everything here runs per frame.
+                entry("crates/ssl/src/srp_kernels.rs", &[]),
+                // Conventional SRP-PHAT steering loop + map utilities that the
+                // per-frame path touches.
+                entry(
+                    "crates/ssl/src/srp_phat.rs",
+                    &[
+                        "peak",
+                        "peaks_into",
+                        "zero",
+                        "smooth_from",
+                        "cross_spectra_into",
+                        "compute_map_into",
+                    ],
+                ),
+                // Multi-target tracker: per-frame association and snapshots.
+                entry(
+                    "crates/ssl/src/multitrack.rs",
+                    &[
+                        "update",
+                        "hits_in_window",
+                        "snapshot",
+                        "tracks",
+                        "best",
+                        "confirmed_count",
+                    ],
+                ),
+                // Single-track Kalman core.
+                entry(
+                    "crates/ssl/src/tracking.rs",
+                    &["update", "coast", "state", "wrap_deg"],
+                ),
+                // Stage graph: the per-frame drive loop.
+                entry(
+                    "crates/core/src/stages.rs",
+                    &[
+                        "gate",
+                        "classify",
+                        "localize_peaks",
+                        "localize",
+                        "track_peaks",
+                        "track",
+                        "run_frame",
+                    ],
+                ),
+                // Streaming substrate.
+                entry(
+                    "crates/dsp/src/framing.rs",
+                    &[
+                        "push",
+                        "push_planar",
+                        "push_interleaved",
+                        "settle_discard",
+                        "frame_ready",
+                        "emit_into",
+                    ],
+                ),
+                entry(
+                    "crates/dsp/src/ring.rs",
+                    &[
+                        "write",
+                        "write_iter",
+                        "read",
+                        "peek",
+                        "skip",
+                        "clear",
+                        "available",
+                        "free",
+                    ],
+                ),
+                // `bluestein_transform` is deliberately absent: it is the cold
+                // fallback for non-power-of-two sizes, which the realtime
+                // pipeline never configures (frame lengths are powers of two),
+                // and it allocates its convolution buffers per call.
+                entry(
+                    "crates/dsp/src/fft.rs",
+                    &[
+                        "forward_real_into",
+                        "forward_real_pair_into",
+                        "split_pair_bin",
+                        "inverse_real_into",
+                        "check_len",
+                        "transform_in_place",
+                    ],
+                ),
+                entry("crates/dsp/src/stft.rs", &["frame_spectrum_into"]),
+                // SIMD layer: pure kernels, all hot.
+                entry("crates/dsp/src/simd.rs", &[]),
+            ],
+            mul_add_wrappers: vec!["crates/dsp/src/simd.rs".to_string()],
+            ordered_scoring_files: vec![
+                "crates/ssl/src/metrics.rs".to_string(),
+                "crates/sed/src/metrics.rs".to_string(),
+                "crates/bench/src/scenarios.rs".to_string(),
+            ],
+            all_files_hot: false,
+        }
+    }
+
+    /// Fixture mode: every file is hot-path, determinism-scoped and
+    /// ordering-scoped, so seeded-violation fixtures trip every rule without
+    /// having to live at manifest paths.
+    pub fn all_hot() -> Self {
+        Manifest {
+            all_files_hot: true,
+            ..Manifest::default()
+        }
+    }
+
+    /// Hot-path scope for a file (matched by path suffix), if any.
+    pub fn hot_scope(&self, rel_path: &str) -> Option<HotScope> {
+        if self.all_files_hot {
+            return Some(HotScope::AllFunctions);
+        }
+        self.hot_paths
+            .iter()
+            .find(|e| rel_path.ends_with(e.file.as_str()))
+            .map(|e| e.scope.clone())
+    }
+
+    /// Whether bare `mul_add` is allowed in this file.
+    pub fn is_mul_add_wrapper(&self, rel_path: &str) -> bool {
+        !self.all_files_hot
+            && self
+                .mul_add_wrappers
+                .iter()
+                .any(|f| rel_path.ends_with(f.as_str()))
+    }
+
+    /// Whether this file is ordering-sensitive scoring/metrics code.
+    pub fn is_ordered_scoring(&self, rel_path: &str) -> bool {
+        self.all_files_hot
+            || self
+                .ordered_scoring_files
+                .iter()
+                .any(|f| rel_path.ends_with(f.as_str()))
+    }
+}

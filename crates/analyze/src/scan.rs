@@ -1,0 +1,454 @@
+//! Structural scanning on top of the raw token stream.
+//!
+//! This pass recovers just enough structure for the rules to be scoped
+//! correctly:
+//!
+//! * **test regions** — token ranges covered by a `#[cfg(test)]` attribute
+//!   (attached to the following item, brace-block or `;`-terminated) or by a
+//!   `mod tests { … }` block. Hot-path and determinism rules do not apply
+//!   inside them; the unsafe audit still does.
+//! * **function spans** — for every `fn name`, the token range of its body, so
+//!   hot-path rules can be scoped to a manifest of function names. Nested
+//!   functions attribute their tokens to the innermost named function.
+//! * **unsafe sites** — every `unsafe` keyword introducing a block, `fn`,
+//!   `impl` or `trait`, together with whether an adjacent `// SAFETY:` comment
+//!   (same line, or the contiguous comment block directly above, stepping over
+//!   attribute lines) justifies it.
+//!
+//! `#[cfg(not(test))]` is recognised and *not* treated as a test region: the
+//! attribute scan requires a `test` identifier that is not preceded by `not`.
+
+use crate::lexer::{Lexed, Tok};
+
+/// Token-index range (half-open) of a region of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index in the region.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+impl Span {
+    /// Whether a token index falls inside the span.
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+/// A named function and the token span of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name (identifier after `fn`).
+    pub name: String,
+    /// Token span of the body, including the outer braces.
+    pub body: Span,
+}
+
+/// The kind of construct an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }`
+    Block,
+    /// `unsafe fn …`
+    Fn,
+    /// `unsafe impl …`
+    Impl,
+    /// `unsafe trait …`
+    Trait,
+    /// `unsafe extern …` or other forms
+    Other,
+}
+
+impl UnsafeKind {
+    /// Stable lowercase label used in the JSON inventory.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Other => "other",
+        }
+    }
+}
+
+/// One `unsafe` occurrence and its SAFETY justification, if found.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// What the keyword introduces.
+    pub kind: UnsafeKind,
+    /// Whether the site sits inside a test region.
+    pub in_tests: bool,
+    /// The justification text after `SAFETY:` (or a `# Safety` doc section),
+    /// when present.
+    pub justification: Option<String>,
+}
+
+impl UnsafeSite {
+    /// Whether the site carries a justification.
+    pub fn covered(&self) -> bool {
+        self.justification.is_some()
+    }
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Test regions (token spans), non-overlapping, in order.
+    pub test_regions: Vec<Span>,
+    /// Function body spans, in source order (may nest).
+    pub functions: Vec<FnSpan>,
+    /// All `unsafe` sites with their audit status.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+impl Structure {
+    /// Whether the token at `idx` falls inside a test region.
+    pub fn in_tests(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(idx))
+    }
+
+    /// Name of the innermost function whose body contains `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&str> {
+        self.functions
+            .iter()
+            .filter(|f| f.body.contains(idx))
+            .min_by_key(|f| f.body.end - f.body.start)
+            .map(|f| f.name.as_str())
+    }
+}
+
+/// Scans a lexed file into its structural facts.
+pub fn scan(lexed: &Lexed) -> Structure {
+    let toks = &lexed.tokens;
+    let mut st = Structure::default();
+
+    st.test_regions = find_test_regions(toks);
+    st.functions = find_functions(toks);
+    st.unsafe_sites = find_unsafe_sites(lexed, &st);
+    st
+}
+
+/// Finds the matching `}` for the `{` at `open`, returning one past it.
+/// Falls back to the end of the stream for unbalanced input.
+fn matching_brace_end(toks: &[Tok], open: usize) -> usize {
+    debug_assert!(toks[open].is_punct('{'));
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Detects `#[cfg(test)]`-attributed items and `mod tests { … }` blocks.
+fn find_test_regions(toks: &[Tok]) -> Vec<Span> {
+    let mut regions: Vec<Span> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(r) = regions.last() {
+            if i < r.end {
+                i = r.end;
+                continue;
+            }
+        }
+        // `#[ … test … ]` attribute (rejecting `not(test)`).
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("test") {
+                    saw_test = true;
+                } else if t.is_ident("not") {
+                    saw_not = true;
+                }
+                j += 1;
+            }
+            let attr_has_cfg = toks[i + 2..j].iter().any(|t| t.is_ident("cfg"));
+            if attr_has_cfg && saw_test && !saw_not {
+                // Skip any further attributes between this one and the item.
+                let mut k = j;
+                while k < toks.len()
+                    && toks[k].is_punct('#')
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < toks.len() {
+                        if toks[k].is_punct('[') {
+                            d += 1;
+                        } else if toks[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // The attributed item extends to its block or terminating `;`.
+                let mut m = k;
+                let mut bracket = 0i32;
+                let end = loop {
+                    match toks.get(m) {
+                        None => break toks.len(),
+                        Some(t) if t.is_punct('{') => break matching_brace_end(toks, m),
+                        Some(t) if t.is_punct('(') || t.is_punct('[') => bracket += 1,
+                        Some(t) if t.is_punct(')') || t.is_punct(']') => bracket -= 1,
+                        Some(t) if t.is_punct(';') && bracket == 0 => break m + 1,
+                        Some(_) => {}
+                    }
+                    m += 1;
+                };
+                regions.push(Span { start: i, end });
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        // `mod tests { … }` without (or in addition to) the attribute.
+        if toks[i].is_ident("mod")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("tests"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let end = matching_brace_end(toks, i + 2);
+            regions.push(Span { start: i, end });
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Recovers `fn name { body }` spans (including nested functions).
+fn find_functions(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                // Walk the signature for the body `{`; a `;` at bracket depth 0
+                // means a trait method declaration without a body.
+                let mut j = i + 2;
+                let mut bracket = 0i32;
+                loop {
+                    match toks.get(j) {
+                        None => break,
+                        Some(t) if t.is_punct('(') || t.is_punct('[') => bracket += 1,
+                        Some(t) if t.is_punct(')') || t.is_punct(']') => bracket -= 1,
+                        Some(t) if t.is_punct(';') && bracket == 0 => break,
+                        Some(t) if t.is_punct('{') => {
+                            let end = matching_brace_end(toks, j);
+                            fns.push(FnSpan {
+                                name: name.to_string(),
+                                body: Span { start: j, end },
+                            });
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Locates every `unsafe` keyword and pairs it with a SAFETY justification.
+fn find_unsafe_sites(lexed: &Lexed, st: &Structure) -> Vec<UnsafeSite> {
+    let toks = &lexed.tokens;
+    let mut sites = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => UnsafeKind::Block,
+            Some(n) if n.is_ident("fn") => UnsafeKind::Fn,
+            Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+            Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+            _ => UnsafeKind::Other,
+        };
+        sites.push(UnsafeSite {
+            line: t.line,
+            kind,
+            in_tests: st.in_tests(i),
+            justification: find_safety_comment(lexed, t.line),
+        });
+    }
+    sites
+}
+
+/// Searches for a `SAFETY:` comment on the `unsafe` line itself or in the
+/// contiguous comment block directly above it (attribute-only lines may sit in
+/// between). For `unsafe fn`s documented rustdoc-style, a `# Safety` doc
+/// section also counts.
+fn find_safety_comment(lexed: &Lexed, line: u32) -> Option<String> {
+    let extract = |text: &str| -> Option<String> {
+        if let Some(pos) = text.find("SAFETY:") {
+            return Some(text[pos + "SAFETY:".len()..].trim().to_string());
+        }
+        if text.contains("# Safety") {
+            return Some(text.trim().to_string());
+        }
+        None
+    };
+    if let Some(text) = lexed.comment(line) {
+        if let Some(j) = extract(text) {
+            return Some(j);
+        }
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let flags = lexed.flags(l);
+        if flags.has_comment && !flags.has_code {
+            if let Some(j) = lexed.comment(l).and_then(extract) {
+                return Some(j);
+            }
+            // keep walking through a multi-line comment block
+        } else if flags.starts_with_attr {
+            // step over attribute lines like #[target_feature(...)]
+        } else {
+            break;
+        }
+        l -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn structure(src: &str) -> (Lexed, Structure) {
+        let lexed = lex(src);
+        let st = scan(&lexed);
+        (lexed, st)
+    }
+    use crate::lexer::Lexed;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (lexed, st) = structure(src);
+        let helper_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        let live_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .unwrap();
+        assert!(st.in_tests(helper_idx));
+        assert!(!st.in_tests(live_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { work(); }\n";
+        let (lexed, st) = structure(src);
+        let idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("work"))
+            .unwrap();
+        assert!(!st.in_tests(idx));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_covers_only_that_item() {
+        let src = "#[cfg(test)]\nuse helpers::x;\nfn live() { work(); }\n";
+        let (lexed, st) = structure(src);
+        let idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("work"))
+            .unwrap();
+        assert!(!st.in_tests(idx));
+        let use_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helpers"))
+            .unwrap();
+        assert!(st.in_tests(use_idx));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_the_innermost() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let (lexed, st) = structure(src);
+        let deep = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("deep"))
+            .unwrap();
+        let shallow = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("shallow"))
+            .unwrap();
+        assert_eq!(st.enclosing_fn(deep), Some("inner"));
+        assert_eq!(st.enclosing_fn(shallow), Some("outer"));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body_span() {
+        let src = "trait T { fn decl(&self) -> usize; }\nfn real() { x(); }";
+        let (_, st) = structure(src);
+        assert_eq!(st.functions.len(), 1);
+        assert_eq!(st.functions[0].name, "real");
+    }
+
+    #[test]
+    fn unsafe_block_with_safety_above_is_covered() {
+        let src = "fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { go() }\n}\n";
+        let (_, st) = structure(src);
+        assert_eq!(st.unsafe_sites.len(), 1);
+        assert_eq!(
+            st.unsafe_sites[0].justification.as_deref(),
+            Some("bounds checked above.")
+        );
+    }
+
+    #[test]
+    fn unsafe_same_line_and_uncovered_sites() {
+        let src = "fn f() {\n    let x = unsafe { go() }; // SAFETY: inline note\n    unsafe { bare() }\n}\n";
+        let (_, st) = structure(src);
+        assert_eq!(st.unsafe_sites.len(), 2);
+        assert!(st.unsafe_sites[0].covered());
+        assert!(!st.unsafe_sites[1].covered());
+    }
+
+    #[test]
+    fn safety_walkup_steps_over_attribute_lines() {
+        let src = "// SAFETY: caller checked cpuid.\n#[target_feature(enable = \"avx2\")]\nunsafe fn kernel() {}\n";
+        let (_, st) = structure(src);
+        assert_eq!(st.unsafe_sites.len(), 1);
+        assert!(st.unsafe_sites[0].covered());
+        assert_eq!(st.unsafe_sites[0].kind, UnsafeKind::Fn);
+    }
+}

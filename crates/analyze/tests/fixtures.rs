@@ -1,0 +1,143 @@
+//! Fixture-based accept/reject tests for the analyzer.
+//!
+//! The fixture files under `tests/fixtures/` are never compiled — they are
+//! parsed by the analyzer in fixture mode (every function hot, every file
+//! determinism- and ordering-scoped) and the expected violation sets are
+//! asserted exactly, lines included, so a lexer regression cannot silently
+//! shift what the gate catches.
+
+use ispot_analyze::{Analyzer, Manifest, Rule};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn analyze(name: &str) -> ispot_analyze::Analysis {
+    Analyzer::new(Manifest::all_hot()).analyze_source(name, &fixture(name))
+}
+
+#[test]
+fn clean_fixture_is_accepted() {
+    let analysis = analyze("clean.rs");
+    assert!(
+        analysis.violations.is_empty(),
+        "clean fixture must pass, got: {:#?}",
+        analysis.violations
+    );
+    // Its one unsafe block is documented and inventoried.
+    assert_eq!(analysis.unsafe_inventory.len(), 1);
+    assert!(analysis.unsafe_inventory[0].site.covered());
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule_at_the_expected_lines() {
+    let analysis = analyze("seeded.rs");
+    let got: Vec<(&str, u32)> = analysis
+        .violations
+        .iter()
+        .map(|v| (v.rule.name(), v.line))
+        .collect();
+    let expected: Vec<(&str, u32)> = vec![
+        ("panic", 9),
+        ("unwrap", 15),
+        ("expect", 19),
+        ("alloc", 23),
+        ("alloc", 24),
+        ("alloc", 25),
+        ("alloc", 26),
+        ("alloc", 27),
+        ("alloc", 28),
+        ("mul_add", 33),
+        ("hash_map", 36),
+        ("unsafe_no_safety", 42),
+        ("bad_allow", 46),
+        ("unwrap", 47),
+    ];
+    assert_eq!(got, expected, "violations: {:#?}", analysis.violations);
+    // Every rule family is represented.
+    for rule in [
+        Rule::Panic,
+        Rule::Unwrap,
+        Rule::Expect,
+        Rule::Alloc,
+        Rule::MulAdd,
+        Rule::HashMap,
+        Rule::UnsafeNoSafety,
+        Rule::BadAllow,
+    ] {
+        assert!(
+            analysis.violations.iter().any(|v| v.rule == rule),
+            "rule {} not exercised by the seeded fixture",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn seeded_violations_carry_their_enclosing_function() {
+    let analysis = analyze("seeded.rs");
+    let by_fn = |name: &str| {
+        analysis
+            .violations
+            .iter()
+            .filter(|v| v.function.as_deref() == Some(name))
+            .count()
+    };
+    assert_eq!(by_fn("hot_panics"), 1);
+    assert_eq!(by_fn("hot_allocates"), 6);
+    assert_eq!(by_fn("bare_mul_add"), 1);
+}
+
+#[test]
+fn tricky_fixture_defeats_the_lexing_traps() {
+    let analysis = analyze("tricky.rs");
+    let got: Vec<(&str, u32, Option<&str>)> = analysis
+        .violations
+        .iter()
+        .map(|v| (v.rule.name(), v.line, v.function.as_deref()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("unwrap", 55, Some("actually_hot"))],
+        "exactly the one real violation must survive the traps: {:#?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn workspace_manifest_scopes_rules_to_listed_functions() {
+    let analyzer = Analyzer::new(Manifest::workspace());
+    // `make_scratch` is not in the hot list for srp_fast.rs: allocation fine.
+    let cold = "impl X { pub fn make_scratch(&self) -> Vec<f64> { vec![0.0; 4] } }";
+    assert!(analyzer
+        .analyze_source("crates/ssl/src/srp_fast.rs", cold)
+        .violations
+        .is_empty());
+    // `compute_map_into` is listed: the same allocation is denied.
+    let hot = "impl X { pub fn compute_map_into(&self) -> Vec<f64> { vec![0.0; 4] } }";
+    let v = analyzer
+        .analyze_source("crates/ssl/src/srp_fast.rs", hot)
+        .violations;
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, Rule::Alloc);
+    // An unlisted file sees no hot-path rules at all.
+    assert!(analyzer
+        .analyze_source("crates/sed/src/detector.rs", hot)
+        .violations
+        .is_empty());
+}
+
+#[test]
+fn unsafe_inventory_json_round_trips_the_seeded_site() {
+    let analysis = analyze("seeded.rs");
+    let json = ispot_analyze::report::unsafe_inventory_json(&analysis.unsafe_inventory);
+    assert!(json.contains("\"total_sites\": 1"));
+    assert!(json.contains("\"covered_sites\": 0"));
+    assert!(json.contains("\"justification\": null"));
+    assert!(json.contains("seeded.rs"));
+}

@@ -1,0 +1,67 @@
+//! Fixture: a file that satisfies every invariant in fixture mode (all
+//! functions hot). Never compiled — parsed by the analyzer's tests only.
+
+/// A hot function that works entirely in preallocated storage.
+pub fn hot_sum(input: &[f64], out: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = x * 2.0;
+        acc += x;
+    }
+    acc
+}
+
+/// Errors are returned, not panicked, and messages are static.
+pub fn checked_get(data: &[f64], idx: usize) -> Result<f64, &'static str> {
+    match data.get(idx) {
+        Some(&v) => Ok(v),
+        None => Err("index out of range"),
+    }
+}
+
+/// A justified waiver: the rule fires but the inline allow covers it.
+pub fn bounded_pop(stack: &mut Vec<u8>) -> u8 {
+    if stack.is_empty() {
+        return 0;
+    }
+    // analyze: allow(unwrap) — statically infallible: emptiness checked above
+    stack.pop().unwrap()
+}
+
+/// Strings and comments that merely *mention* banned constructs are fine:
+/// panic!, unwrap(), vec![1], format!("x"), Box::new, String::from.
+pub fn mentions() -> &'static str {
+    "panic! unwrap() vec![collect] format! Box::new String::from HashMap mul_add"
+}
+
+/// An unsafe block with its adjacent justification.
+pub fn documented_unsafe(v: &[f32]) -> f32 {
+    if v.is_empty() {
+        0.0
+    } else {
+        // SAFETY: the pointer read stays inside `v` — the emptiness check
+        // directly above guarantees at least one element.
+        unsafe { *v.as_ptr() }
+    }
+}
+
+/// The dispatched-wrapper call shape: a const-generic turbofish marks the
+/// `ispot_dsp::simd` wrapper, not the bare float method.
+pub fn wrapper_mul_add(w: F32x8, t: F32x8, acc: F32x8) -> F32x8 {
+    w.mul_add::<false>(t, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_allocate_and_unwrap_freely() {
+        let v: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut out = vec![0.0; 8];
+        assert!(hot_sum(&v, &mut out) > 0.0);
+        assert_eq!(checked_get(&v, 0).unwrap(), 0.0);
+        let msg = format!("{:?}", v.to_vec());
+        assert!(!msg.is_empty());
+    }
+}

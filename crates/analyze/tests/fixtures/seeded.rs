@@ -1,0 +1,48 @@
+//! Fixture: seeded violations, one (or more) per rule. The fixture tests — and
+//! the CI step proving the gate actually fails — assert the exact set of
+//! (rule, line) pairs below. Never compiled.
+//!
+//! KEEP LINE NUMBERS STABLE or update `crates/analyze/tests/fixtures.rs`.
+
+pub fn hot_panics(x: usize) -> usize {
+    if x == 0 {
+        panic!("zero"); // line 9: panic
+    }
+    x - 1
+}
+
+pub fn hot_unwraps(v: &[f64]) -> f64 {
+    *v.first().unwrap() // line 15: unwrap
+}
+
+pub fn hot_expects(v: &[f64]) -> f64 {
+    *v.last().expect("non-empty") // line 19: expect
+}
+
+pub fn hot_allocates(n: usize) -> usize {
+    let v = vec![0u8; n]; // line 23: alloc (vec!)
+    let w = v.to_vec(); // line 24: alloc (to_vec)
+    let s: Vec<usize> = (0..n).collect(); // line 25: alloc (collect)
+    let msg = format!("{n}"); // line 26: alloc (format!)
+    let b = Box::new(n); // line 27: alloc (Box::new)
+    let t = String::from("x"); // line 28: alloc (String::from)
+    v.len() + w.len() + s.len() + msg.len() + *b + t.len()
+}
+
+pub fn bare_mul_add(x: f64) -> f64 {
+    x.mul_add(2.0, 1.0) // line 33: mul_add (no turbofish = bare float method)
+}
+
+pub fn nondeterministic_scoring(scores: &HashMap<u32, f64>) -> f64 {
+    // line 36: hash_map (iteration order feeds pinned numbers)
+    scores.values().sum()
+}
+
+pub fn undocumented_unsafe(v: &[f32]) -> f32 {
+    unsafe { *v.as_ptr() } // line 42: unsafe_no_safety
+}
+
+pub fn unjustified_waiver(v: &[f64]) -> f64 {
+    // analyze: allow(unwrap)
+    *v.first().unwrap() // line 47: unwrap still fires; line 46: bad_allow
+}

@@ -1,0 +1,56 @@
+//! Fixture: lexing traps. Every banned construct below is hidden where the
+//! lexer must not see it — raw strings, nested block comments, char literals,
+//! `#[cfg(test)]` regions — so fixture-mode analysis must report exactly ONE
+//! violation: the real `.unwrap()` in `actually_hot` (line 55). Never compiled.
+
+/// Raw strings with hashes: the terminator is the matching `"##`, nothing
+/// inside counts as code.
+pub fn raw_strings() -> &'static str {
+    r##"panic!("boom") .unwrap() vec![1, 2] "# still inside "##
+}
+
+/// Byte and escaped strings.
+pub fn byte_strings() -> (&'static [u8], &'static str) {
+    (b"panic!()", "escaped quote \" then .expect(\"x\")")
+}
+
+/* Nested /* block /* comments */ hide */ panic!() and friends. */
+
+/// Char literals and lifetimes must not desynchronise the lexer; if they did,
+/// the `.unwrap()` below in `actually_hot` would be missed or misattributed.
+pub fn chars<'a>(s: &'a str) -> (char, char, &'a str) {
+    let quote = '\'';
+    let newline = '\n';
+    (quote, newline, s)
+}
+
+/// A macro body is still code: banned calls inside it are caught — but this
+/// one is waived with a justification.
+macro_rules! in_macro {
+    ($v:expr) => {
+        // analyze: allow(unwrap) — fixture: macro bodies are scanned, waiver works
+        $v.first().unwrap()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions may do anything: none of these fire in fixture mode.
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(*v.first().unwrap(), 0);
+        let s = format!("{v:?}");
+        assert!(!s.is_empty());
+    }
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_live() -> usize {
+    // This region is live code (cfg(not(test))): keep it clean.
+    0
+}
+
+pub fn actually_hot(v: &[f64]) -> f64 {
+    *v.first().unwrap() // the one real violation in this file
+}

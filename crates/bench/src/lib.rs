@@ -5,7 +5,7 @@
 //! (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
 //! paper-vs-measured record).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod scenarios;
 

@@ -35,8 +35,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod dse;
 pub mod error;

@@ -342,13 +342,17 @@ pub struct TrackStage {
 impl TrackStage {
     /// Creates the stage with the default tracking configuration at the given
     /// per-track process / measurement noise (degrees²).
-    pub fn new(process_noise: f64, measurement_noise: f64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] if either noise value is not a
+    /// positive finite number.
+    pub fn new(process_noise: f64, measurement_noise: f64) -> Result<Self, PipelineError> {
         Self::with_config(TrackingConfig {
             process_noise,
             measurement_noise,
             ..TrackingConfig::default()
         })
-        .expect("default tracking configuration is valid")
     }
 
     /// Creates the stage from a full tracking configuration.
@@ -522,6 +526,8 @@ impl StageGraph {
             if ch.len() != mono.len() {
                 return Err(PipelineError::invalid_config(
                     "frame",
+                    // analyze: allow(alloc) — rejection path: the frame is refused
+                    // before any stage runs, so steady-state stays allocation-free
                     format!(
                         "every channel must have {} samples, got {}",
                         mono.len(),
@@ -575,7 +581,7 @@ mod tests {
             TriggerStage::new(TriggerConfig::default()),
             DetectStage::new(16_000.0).unwrap(),
             LocalizeStage::disabled(),
-            TrackStage::new(1.0, 36.0),
+            TrackStage::new(1.0, 36.0).unwrap(),
             frame_len,
         )
     }

@@ -29,19 +29,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a pure pass-through to the system allocator — every layout/pointer
+// contract is forwarded unchanged, the wrapper only bumps an atomic counter.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates directly to `System.alloc` under the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged under the caller's contract.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: delegates directly to `System.dealloc`; `ptr` was produced by
+    // the matching `alloc`/`realloc` on the same `System` allocator.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` are forwarded unchanged under the caller's contract.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: delegates directly to `System.realloc` under the caller's
+    // layout contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: all three arguments are forwarded unchanged under the caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -58,6 +58,8 @@ impl F32x8 {
     /// Panics if `s` has fewer than eight elements.
     #[inline(always)]
     pub fn load(s: &[f32]) -> Self {
+        // analyze: allow(expect) — statically infallible: the `[..8]` slice above
+        // either panics per the documented contract or yields exactly 8 lanes
         F32x8(s[..8].try_into().expect("slice of at least 8 lanes"))
     }
 

@@ -23,8 +23,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod chroma;
 pub mod cqt;

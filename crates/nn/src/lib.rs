@@ -34,8 +34,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod activation;
 pub mod conv;

@@ -67,8 +67,7 @@
 //! `ispot-bench`'s `scenarios` module wraps this crate in a gallery of named,
 //! scored road scenes.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod asphalt;
 pub mod atmosphere;

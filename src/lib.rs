@@ -15,6 +15,8 @@
 //! * [`codesign`] — hardware–algorithm co-design workflow
 //! * [`core`] — the end-to-end real-time pipeline
 
+#![forbid(unsafe_code)]
+
 pub use ispot_codesign as codesign;
 pub use ispot_core as core;
 pub use ispot_dsp as dsp;

@@ -174,6 +174,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark function registered in this group.
         pub fn $name() {
             let mut c = $crate::Criterion::default();
             $($target(&mut c);)+
