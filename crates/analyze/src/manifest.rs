@@ -157,6 +157,46 @@ impl Manifest {
                 entry("crates/dsp/src/stft.rs", &["frame_spectrum_into"]),
                 // SIMD layer: pure kernels, all hot.
                 entry("crates/dsp/src/simd.rs", &[]),
+                // Serving layer: the per-chunk host path — submit, dispatch,
+                // drain, metered delivery. Open/close and pool construction
+                // are cold control-plane code and allocate by design.
+                entry(
+                    "crates/serve/src/host.rs",
+                    &["push_chunk", "schedule", "note_transitions"],
+                ),
+                entry(
+                    "crates/serve/src/worker.rs",
+                    &[
+                        "worker_loop",
+                        "drain_slot",
+                        "process_chunk",
+                        "on_event",
+                        "on_frame",
+                    ],
+                ),
+                entry(
+                    "crates/serve/src/ring.rs",
+                    &[
+                        "push_planar",
+                        "pop_swap",
+                        "with_views",
+                        "len",
+                        "is_empty",
+                        "enqueued",
+                    ],
+                ),
+                entry(
+                    "crates/serve/src/load.rs",
+                    &[
+                        "on_enqueue",
+                        "on_complete",
+                        "level",
+                        "in_flight",
+                        "evaluate",
+                    ],
+                ),
+                entry("crates/serve/src/metrics.rs", &["record", "incr", "add"]),
+                entry("crates/serve/src/lib.rs", &["relock"]),
             ],
             mul_add_wrappers: vec!["crates/dsp/src/simd.rs".to_string()],
             ordered_scoring_files: vec![

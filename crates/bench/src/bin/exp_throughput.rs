@@ -1,0 +1,224 @@
+//! Experiment E8 — serving-layer throughput: concurrent sessions over a fixed
+//! worker pool.
+//!
+//! Drives an `ispot-serve` [`SessionHost`] with synthetic `ispot-roadsim`
+//! siren traffic at increasing session counts (up to 256 concurrent streams)
+//! and reports, per step: sessions per core, aggregate frames/sec, p50/p99
+//! submit-to-event latency, and the shed rate of the graceful-degradation
+//! controller. The driver honors backpressure — `Busy`/`Shed` chunks are
+//! retried, never dropped — so the numbers are the host's sustainable rates,
+//! not a fire-and-forget upper bound.
+//!
+//! Flags:
+//!
+//! * `--smoke` — two small steps, short drives, skip JSON (CI smoke run);
+//! * `--json` — additionally write `BENCH_throughput.json`, the
+//!   machine-readable scaling record consumed by CI.
+//!
+//! [`SessionHost`]: ispot_serve::SessionHost
+
+use ispot_bench::{print_header, print_row, SAMPLE_RATE};
+use ispot_core::api::PipelineBuilder;
+use ispot_roadsim::engine::{MultichannelAudio, Simulator};
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_roadsim::scene::SceneBuilder;
+use ispot_roadsim::source::SoundSource;
+use ispot_roadsim::trajectory::Trajectory;
+use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
+use ispot_serve::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Samples per pushed chunk (32 ms at 16 kHz).
+const CHUNK: usize = 512;
+
+fn array() -> MicrophoneArray {
+    MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0))
+}
+
+/// One second of a wail siren passing the array — every stream replays this.
+fn siren_traffic() -> MultichannelAudio {
+    let siren = SirenSynthesizer::new(SirenKind::Wail, SAMPLE_RATE).synthesize(1.0);
+    let scene = SceneBuilder::new(SAMPLE_RATE)
+        .source(SoundSource::new(
+            siren,
+            Trajectory::linear(
+                Position::new(-12.0, 9.0, 1.0),
+                Position::new(12.0, 9.0, 1.0),
+                24.0,
+            ),
+        ))
+        .array(array())
+        .reflection(false)
+        .air_absorption(false)
+        .build()
+        .expect("valid traffic scene");
+    Simulator::new(scene)
+        .expect("valid simulator")
+        .run()
+        .expect("traffic simulation succeeds")
+}
+
+/// One scaling step's results.
+struct StepRecord {
+    sessions: usize,
+    sessions_per_core: f64,
+    frames_per_sec: f64,
+    events: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed_rate: f64,
+    busy: u64,
+    shed_rejected: u64,
+}
+
+/// Runs one step: `sessions` streams driven flat-out for `drive` seconds.
+fn run_step(
+    audio: &MultichannelAudio,
+    sessions: usize,
+    workers: usize,
+    drive: Duration,
+) -> StepRecord {
+    let engine = PipelineBuilder::new(SAMPLE_RATE)
+        .array(&array())
+        .build_engine()
+        .expect("valid engine");
+    let host = SessionHost::new(
+        engine,
+        HostConfig {
+            workers,
+            max_sessions: sessions,
+            max_chunk_len: CHUNK,
+            ..HostConfig::default()
+        },
+    )
+    .expect("valid host");
+    let counter = CountingSink::new();
+    let ids: Vec<StreamId> = (0..sessions)
+        .map(|_| host.open_stream(counter.clone()).expect("open stream"))
+        .collect();
+
+    let channels = audio.channels();
+    let samples = channels[0].len();
+    let mut cursors = vec![0usize; sessions];
+    let started = Instant::now();
+    let deadline = started + drive;
+    while Instant::now() < deadline {
+        let mut accepted_any = false;
+        for (id, cursor) in ids.iter().zip(cursors.iter_mut()) {
+            if *cursor + CHUNK > samples {
+                *cursor = 0;
+            }
+            let views: Vec<&[f64]> = channels
+                .iter()
+                .map(|c| &c[*cursor..*cursor + CHUNK])
+                .collect();
+            match host.push_chunk(*id, &views) {
+                Ok(()) => {
+                    *cursor += CHUNK;
+                    accepted_any = true;
+                }
+                Err(e) if e.is_transient() => {}
+                Err(e) => panic!("driver bug: {e}"),
+            }
+        }
+        if !accepted_any {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    assert!(
+        host.wait_idle(Duration::from_secs(120)),
+        "host failed to drain after the drive window"
+    );
+    let wall = started.elapsed().as_secs_f64();
+    let metrics = host.metrics();
+    assert_eq!(metrics.errors, 0, "pipeline errors during the drive");
+    for id in ids {
+        host.close_stream(id).expect("close stream");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    StepRecord {
+        sessions,
+        sessions_per_core: sessions as f64 / cores as f64,
+        frames_per_sec: metrics.frames as f64 / wall,
+        events: metrics.events,
+        p50_ms: metrics.latency.p50_ms,
+        p99_ms: metrics.latency.p99_ms,
+        shed_rate: metrics.shed_rate(),
+        busy: metrics.chunks_busy,
+        shed_rejected: metrics.chunks_shed,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    print_header(
+        "E8 - serving-layer throughput at increasing session counts",
+        "one shared engine serves hundreds of bounded, degradable streams",
+    );
+    let audio = siren_traffic();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.clamp(2, 8);
+    let (steps, drive): (&[usize], Duration) = if smoke {
+        (&[1, 8], Duration::from_millis(300))
+    } else {
+        (&[1, 8, 32, 64, 128, 256], Duration::from_secs(1))
+    };
+    print_row("cores / worker threads", format!("{cores} / {workers}"));
+    print_row("chunk size (samples)", CHUNK);
+    println!();
+    println!(
+        "  {:>8}  {:>9}  {:>12}  {:>9}  {:>9}  {:>9}  {:>8}",
+        "sessions", "sess/core", "frames/s", "p50 ms", "p99 ms", "shed", "busy"
+    );
+
+    let mut records = Vec::new();
+    for &sessions in steps {
+        let record = run_step(&audio, sessions, workers, drive);
+        assert!(
+            record.frames_per_sec > 0.0,
+            "{sessions}-session step processed no frames"
+        );
+        println!(
+            "  {:>8}  {:>9.2}  {:>12.0}  {:>9.2}  {:>9.2}  {:>8.1}%  {:>8}",
+            record.sessions,
+            record.sessions_per_core,
+            record.frames_per_sec,
+            record.p50_ms,
+            record.p99_ms,
+            100.0 * record.shed_rate,
+            record.busy
+        );
+        records.push(record);
+    }
+
+    if json {
+        let entries: Vec<String> = records
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"sessions\": {}, \"sessions_per_core\": {:.3}, \
+                     \"frames_per_sec\": {:.1}, \"events\": {}, \
+                     \"latency_p50_ms\": {:.4}, \"latency_p99_ms\": {:.4}, \
+                     \"shed_rate\": {:.4}, \"busy_rejections\": {}, \
+                     \"shed_rejections\": {}}}",
+                    r.sessions,
+                    r.sessions_per_core,
+                    r.frames_per_sec,
+                    r.events,
+                    r.p50_ms,
+                    r.p99_ms,
+                    r.shed_rate,
+                    r.busy,
+                    r.shed_rejected
+                )
+            })
+            .collect();
+        let body = format!("[\n{}\n]\n", entries.join(",\n"));
+        let path = "BENCH_throughput.json";
+        std::fs::write(path, body)?;
+        println!("\nwrote {path} ({} steps)", records.len());
+    }
+    Ok(())
+}

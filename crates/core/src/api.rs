@@ -437,6 +437,7 @@ impl Engine {
             latency: LatencyReport::new(),
             frames_processed: 0,
             frames_analyzed: 0,
+            localization_shed: false,
         }
     }
 }
@@ -486,6 +487,7 @@ pub struct Session {
     latency: LatencyReport,
     frames_processed: usize,
     frames_analyzed: usize,
+    localization_shed: bool,
 }
 
 impl Session {
@@ -530,6 +532,27 @@ impl Session {
     /// Returns true if localization is available (array geometry known, ≥ 2 mics).
     pub fn localization_available(&self) -> bool {
         self.stages.localize.is_available()
+    }
+
+    /// Sheds (or restores) localization for this stream without touching the
+    /// operating mode: while shed, frames still run trigger + detection and
+    /// events still fire, but the SRP/tracking stage is skipped and events carry
+    /// no azimuth — the same detection-first priority the paper's drive/park
+    /// duty-cycling encodes, applied per stream.
+    ///
+    /// This is the graceful-degradation hook of the serving layer: an overloaded
+    /// host drops the expensive localization stage first and restores it when
+    /// load falls. Unlike [`Session::set_mode`], toggling shed never resets
+    /// stream state — tracker and trigger survive, so restoring fidelity resumes
+    /// tracking from where it left off instead of restarting cold.
+    pub fn set_localization_shed(&mut self, shed: bool) {
+        self.localization_shed = shed;
+    }
+
+    /// Returns true while localization is shed via
+    /// [`Session::set_localization_shed`].
+    pub fn localization_shed(&self) -> bool {
+        self.localization_shed
     }
 
     /// Per-stage latency statistics accumulated so far.
@@ -614,7 +637,8 @@ impl Session {
         self.frames_processed += 1;
         let params = FrameParams {
             gate_on_trigger: self.config.mode == OperatingMode::Park,
-            localization_enabled: self.config.mode.localization_enabled(),
+            localization_enabled: self.config.mode.localization_enabled()
+                && !self.localization_shed,
             confidence_threshold: self.config.confidence_threshold,
         };
         let outcome = self.stages.run_frame(frame, params, &mut self.latency)?;
@@ -1134,6 +1158,61 @@ mod tests {
             let mut sorted = statuses.clone();
             sorted.sort_unstable_by(|a, b| b.cmp(a));
             assert_eq!(statuses, sorted, "confirmed tracks must sort first");
+        }
+    }
+
+    #[test]
+    fn localization_shed_drops_azimuths_and_restores_without_reset() {
+        let fs = 16_000.0;
+        let array = MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0));
+        let siren = SirenSynthesizer::new(SirenKind::Wail, fs).synthesize(1.0);
+        let channels: Vec<&[f64]> = vec![&siren; 4];
+        let engine = PipelineBuilder::new(fs)
+            .array(&array)
+            .build_engine()
+            .unwrap();
+
+        // Shed from the start: detection events still fire, but nothing is
+        // localized or tracked.
+        let mut shed = engine.open_session();
+        assert!(!shed.localization_shed());
+        shed.set_localization_shed(true);
+        assert!(shed.localization_shed());
+        let mut shed_sink = VecSink::new();
+        shed.push_chunk_with(&channels, &mut shed_sink).unwrap();
+        assert!(
+            !shed_sink.events().is_empty(),
+            "detection must survive shed"
+        );
+        for event in shed_sink.events() {
+            assert_eq!(event.azimuth_deg, None, "{event:?}");
+            assert_eq!(event.tracked_azimuth_deg, None, "{event:?}");
+            assert!(event.tracks.is_empty(), "{event:?}");
+        }
+
+        // Restore mid-stream: later frames localize again (no state reset, so
+        // the assembler keeps its position and frame indices stay monotonic).
+        shed.set_localization_shed(false);
+        let mut restored_sink = VecSink::new();
+        shed.push_chunk_with(&channels, &mut restored_sink).unwrap();
+        assert!(
+            restored_sink
+                .events()
+                .iter()
+                .any(|e| e.azimuth_deg.is_some()),
+            "localization must resume after restore"
+        );
+
+        // Shed never changes *detection* results: classes and confidences match
+        // a full-fidelity session frame for frame over the shed window.
+        let mut full = engine.open_session();
+        let mut full_sink = VecSink::new();
+        full.push_chunk_with(&channels, &mut full_sink).unwrap();
+        assert_eq!(full_sink.events().len(), shed_sink.events().len());
+        for (a, b) in full_sink.events().iter().zip(shed_sink.events()) {
+            assert_eq!(a.frame_index, b.frame_index);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.confidence, b.confidence);
         }
     }
 

@@ -1,0 +1,634 @@
+//! The session host: N concurrent perception streams multiplexed over a fixed
+//! worker pool.
+//!
+//! One [`SessionHost`] owns one shared [`Engine`] and a fixed table of stream
+//! slots. Each open stream has a bounded ingestion ring (`ChunkRing`) in
+//! front of its [`Session`]; producers push audio chunks from any thread
+//! ([`SessionHost::push_chunk`]) and a pool of worker threads drains the rings,
+//! running the perception pipeline and delivering events to the stream's
+//! [`EventSink`].
+//!
+//! # Dispatch protocol
+//!
+//! Work distribution is a bounded ready queue of slot indices plus one
+//! `scheduled` flag per slot:
+//!
+//! * A producer that makes a ring non-empty CASes the slot's `scheduled` flag
+//!   `false → true`; only the winner enqueues the slot index. At most one token
+//!   per slot can exist, so the queue (capacity = `max_sessions`) can never
+//!   legitimately fill.
+//! * The worker that receives a token owns the session exclusively while it
+//!   drains (events of one stream are always delivered in order, from one
+//!   thread at a time). When it stops draining it clears `scheduled` **and then
+//!   re-checks the ring**: if chunks raced in after the last pop, it re-CASes
+//!   and re-enqueues, so no chunk is ever stranded.
+//!
+//! # Backpressure and degradation
+//!
+//! Nothing in the data plane blocks or allocates: a full ring returns
+//! [`SubmitError::Busy`], and past the intake watermark the host returns
+//! [`SubmitError::Shed`] before touching the ring. Between those, the
+//! load controller sheds localization host-wide (sessions keep detecting,
+//! events carry no azimuth) and restores it with hysteresis once queues drain.
+
+use crate::error::{ServeError, SubmitError};
+use crate::load::{DegradeLevel, LoadController, LoadPolicy};
+use crate::metrics::{HostMetrics, MetricsSnapshot};
+use crate::relock;
+use crate::ring::{ChunkRing, MAX_CHANNELS};
+use crate::worker;
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use ispot_core::api::{Engine, Session};
+use ispot_core::sink::EventSink;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Static configuration of a [`SessionHost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostConfig {
+    /// Worker threads draining the ingestion rings.
+    pub workers: usize,
+    /// Stream slots — the hard cap on concurrently open streams. Slots and the
+    /// ready queue are sized once at construction; opening/closing streams
+    /// recycles them.
+    pub max_sessions: usize,
+    /// Chunks each stream's ingestion ring holds before `push_chunk` reports
+    /// [`SubmitError::Busy`].
+    pub ring_capacity: usize,
+    /// Largest chunk (samples per channel) a producer may push; ring slots are
+    /// preallocated at this bound so the data plane never allocates.
+    pub max_chunk_len: usize,
+    /// Watermarks of the graceful-degradation ladder.
+    pub policy: LoadPolicy,
+    /// Start with the worker pool paused (chunks queue but are not processed)
+    /// until [`SessionHost::resume`] — used by tests and benches that need to
+    /// build up load deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            workers: 4,
+            max_sessions: 64,
+            ring_capacity: 8,
+            max_chunk_len: 512,
+            policy: LoadPolicy::default(),
+            start_paused: false,
+        }
+    }
+}
+
+impl HostConfig {
+    /// Checks every field, naming the offender.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "workers",
+                reason: "must be at least 1",
+            });
+        }
+        if self.max_sessions == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "max_sessions",
+                reason: "must be at least 1",
+            });
+        }
+        if self.max_sessions > u32::MAX as usize / 2 {
+            return Err(ServeError::InvalidConfig {
+                field: "max_sessions",
+                reason: "must fit the u32 slot index space",
+            });
+        }
+        if self.ring_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "ring_capacity",
+                reason: "must be at least 1",
+            });
+        }
+        if self.max_chunk_len == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "max_chunk_len",
+                reason: "must be at least 1",
+            });
+        }
+        self.policy.validate()
+    }
+}
+
+/// Handle to one open stream: a slot index plus the generation it was opened
+/// under, so an id kept after [`SessionHost::close_stream`] can never reach a
+/// later occupant of the recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+/// Point-in-time statistics of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Chunks queued in the ingestion ring right now.
+    pub queued: usize,
+    /// Chunks accepted since the stream opened.
+    pub chunks_in: u64,
+    /// Chunks rejected with [`SubmitError::Busy`].
+    pub chunks_busy: u64,
+    /// Analysis frames completed.
+    pub frames: u64,
+    /// Frames processed while localization was shed.
+    pub shed_frames: u64,
+    /// Perception events delivered to the stream's sink.
+    pub events: u64,
+    /// Pipeline errors surfaced while processing this stream's chunks.
+    pub errors: u64,
+    /// Whether the last processed chunk ran with localization shed — the
+    /// per-session view of the host's degrade decisions.
+    pub localization_shed: bool,
+}
+
+/// Per-slot counters (relaxed atomics; reset when the slot is reopened).
+#[derive(Debug, Default)]
+pub(crate) struct SlotStats {
+    pub(crate) chunks_in: AtomicU64,
+    pub(crate) chunks_busy: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) shed_frames: AtomicU64,
+    pub(crate) events: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) shed_applied: AtomicBool,
+}
+
+impl SlotStats {
+    fn reset(&self) {
+        self.chunks_in.store(0, Ordering::Relaxed);
+        self.chunks_busy.store(0, Ordering::Relaxed);
+        self.frames.store(0, Ordering::Relaxed);
+        self.shed_frames.store(0, Ordering::Relaxed);
+        self.events.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.shed_applied.store(false, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, queued: usize) -> StreamStats {
+        StreamStats {
+            queued,
+            chunks_in: self.chunks_in.load(Ordering::Relaxed),
+            chunks_busy: self.chunks_busy.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            shed_frames: self.shed_frames.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            localization_shed: self.shed_applied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The session and its sink — taken together under one lock so the worker that
+/// owns a drain can borrow both disjointly.
+pub(crate) struct SessionState {
+    pub(crate) session: Session,
+    pub(crate) sink: Box<dyn EventSink + Send>,
+}
+
+impl std::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One stream slot. `ring` and `session` are separate locks taken strictly
+/// sequentially (never nested): producers only touch `ring`, the draining
+/// worker takes `ring` to pop then `session` to process.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    pub(crate) ring: Mutex<Option<ChunkRing>>,
+    pub(crate) session: Mutex<Option<SessionState>>,
+    /// True while a ready-queue token for this slot exists (or a worker is
+    /// between consuming the token and re-checking the ring). The CAS on this
+    /// flag is what bounds the ready queue to one token per slot.
+    pub(crate) scheduled: AtomicBool,
+    /// Bumped on close; a [`StreamId`] is valid only while its generation
+    /// matches.
+    pub(crate) generation: AtomicU32,
+    pub(crate) stats: SlotStats,
+}
+
+/// Pause gate for the worker pool (tests/benches build load while paused).
+#[derive(Debug)]
+pub(crate) struct PauseGate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// State shared between the host handle and its workers.
+#[derive(Debug)]
+pub(crate) struct HostInner {
+    pub(crate) engine: Engine,
+    pub(crate) config: HostConfig,
+    pub(crate) slots: Vec<Slot>,
+    /// Free slot indices (control plane only).
+    free: Mutex<Vec<u32>>,
+    ready_tx: Sender<u32>,
+    pub(crate) ready_rx: Receiver<u32>,
+    pub(crate) load: LoadController,
+    pub(crate) metrics: HostMetrics,
+    shutdown: AtomicBool,
+    pause: PauseGate,
+}
+
+impl HostInner {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_paused(&self) -> bool {
+        *relock(&self.pause.flag)
+    }
+
+    /// Blocks the calling worker while the pool is paused (and not shutting
+    /// down).
+    pub(crate) fn wait_if_paused(&self) {
+        let mut paused = relock(&self.pause.flag);
+        while *paused && !self.shutdown.load(Ordering::Acquire) {
+            paused = match self.pause.cv.wait(paused) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Requests a drain of `slot_idx`: CASes the slot's `scheduled` flag and,
+    /// on winning, enqueues one token. Loser paths mean a token already exists
+    /// (or the owning worker will re-check), so the chunk cannot be stranded.
+    pub(crate) fn schedule(&self, slot_idx: usize) {
+        let slot = &self.slots[slot_idx];
+        if slot
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            match self.ready_tx.try_send(slot_idx as u32) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    // Full is unreachable (≤ 1 token per slot, queue sized at
+                    // max_sessions); Disconnected only happens at shutdown.
+                    // Either way, clear the flag so a later push can retry.
+                    slot.scheduled.store(false, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Applies any pending degrade transition and counts it.
+    pub(crate) fn note_transitions(&self) {
+        if let Some((from, to)) = self.load.evaluate() {
+            if to > from {
+                HostMetrics::incr(&self.metrics.sheds);
+            } else {
+                HostMetrics::incr(&self.metrics.restores);
+            }
+        }
+    }
+}
+
+/// A threaded host multiplexing concurrent perception streams over a fixed
+/// worker pool, with bounded queues, typed backpressure and graceful
+/// degradation. See the [module docs](self) for the dispatch protocol.
+///
+/// # Example
+///
+/// ```
+/// use ispot_core::prelude::*;
+/// use ispot_serve::{HostConfig, SessionHost, SharedVecSink};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = PipelineBuilder::new(16_000.0).channels(1).build_engine()?;
+/// let host = SessionHost::new(engine, HostConfig { workers: 2, ..HostConfig::default() })?;
+///
+/// let events = SharedVecSink::new();
+/// let stream = host.open_stream(events.clone())?;
+///
+/// let chunk = vec![0.25f64; 512];
+/// host.push_chunk(stream, &[&chunk])?;
+/// assert!(host.wait_idle(std::time::Duration::from_secs(5)));
+///
+/// let stats = host.close_stream(stream)?;
+/// assert_eq!(stats.chunks_in, 1);
+/// assert_eq!(events.len(), stats.events as usize);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SessionHost {
+    inner: Arc<HostInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SessionHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHost")
+            .field("config", &self.inner.config)
+            .field("workers", &self.workers.len())
+            .field("level", &self.inner.load.level())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionHost {
+    /// Validates `config`, builds the slot table and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field when a
+    /// configuration value is out of range, or when the engine's channel count
+    /// exceeds the serve layer's stack-view bound.
+    pub fn new(engine: Engine, config: HostConfig) -> Result<SessionHost, ServeError> {
+        config.validate()?;
+        if engine.num_channels() > MAX_CHANNELS {
+            return Err(ServeError::InvalidConfig {
+                field: "engine",
+                reason: "channel count exceeds the serve layer's 32-channel bound",
+            });
+        }
+        let (ready_tx, ready_rx) = crossbeam::channel::bounded(config.max_sessions);
+        let mut slots = Vec::with_capacity(config.max_sessions);
+        for _ in 0..config.max_sessions {
+            slots.push(Slot {
+                ring: Mutex::new(None),
+                session: Mutex::new(None),
+                scheduled: AtomicBool::new(false),
+                generation: AtomicU32::new(0),
+                stats: SlotStats::default(),
+            });
+        }
+        // Popping from the back hands out low indices first.
+        let free: Vec<u32> = (0..config.max_sessions as u32).rev().collect();
+        let inner = Arc::new(HostInner {
+            engine,
+            config,
+            slots,
+            free: Mutex::new(free),
+            ready_tx,
+            ready_rx,
+            load: LoadController::new(config.policy),
+            metrics: HostMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            pause: PauseGate {
+                flag: Mutex::new(config.start_paused),
+                cv: Condvar::new(),
+            },
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ispot-serve-{i}"))
+                    .spawn(move || worker::worker_loop(&inner))
+                    .expect("spawn serve worker thread")
+            })
+            .collect();
+        Ok(SessionHost { inner, workers })
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> HostConfig {
+        self.inner.config
+    }
+
+    /// Opens a stream: claims a slot, opens a [`Session`] on the shared engine
+    /// and installs `sink` as the stream's event consumer. The sink is invoked
+    /// from worker threads, one chunk at a time, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AtCapacity`] when every slot is occupied.
+    pub fn open_stream<S: EventSink + Send + 'static>(
+        &self,
+        sink: S,
+    ) -> Result<StreamId, ServeError> {
+        let inner = &self.inner;
+        let idx = relock(&inner.free).pop().ok_or(ServeError::AtCapacity {
+            max_sessions: inner.config.max_sessions,
+        })?;
+        let slot = &inner.slots[idx as usize];
+        let session = inner.engine.open_session();
+        slot.stats.reset();
+        *relock(&slot.session) = Some(SessionState {
+            session,
+            sink: Box::new(sink),
+        });
+        *relock(&slot.ring) = Some(ChunkRing::new(
+            inner.config.ring_capacity,
+            inner.engine.num_channels(),
+            inner.config.max_chunk_len,
+        ));
+        inner.load.add_capacity(inner.config.ring_capacity);
+        HostMetrics::incr(&inner.metrics.sessions_opened);
+        Ok(StreamId {
+            slot: idx,
+            generation: slot.generation.load(Ordering::Acquire),
+        })
+    }
+
+    /// Submits one planar `f64` chunk (`chunk[channel][sample]`) to a stream.
+    /// Non-blocking and allocation-free on every path: the chunk is copied into
+    /// the stream's preallocated ring or comes back with a typed
+    /// [`SubmitError`] — nothing is ever dropped silently.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] (ring full) and [`SubmitError::Shed`] (host past
+    /// its intake watermark) are transient by design; the remaining variants
+    /// are caller bugs (stale id, wrong shape). In every case the chunk was not
+    /// enqueued.
+    pub fn push_chunk(&self, id: StreamId, chunk: &[&[f64]]) -> Result<(), SubmitError> {
+        let inner = &self.inner;
+        let slot = inner
+            .slots
+            .get(id.slot as usize)
+            .ok_or(SubmitError::UnknownStream)?;
+        let expected = inner.engine.num_channels();
+        if chunk.len() != expected {
+            return Err(SubmitError::ChannelMismatch {
+                expected,
+                actual: chunk.len(),
+            });
+        }
+        let samples = chunk.first().map_or(0, |c| c.len());
+        for channel in chunk {
+            if channel.len() != samples {
+                return Err(SubmitError::RaggedChunk);
+            }
+        }
+        if samples > inner.config.max_chunk_len {
+            return Err(SubmitError::ChunkTooLong {
+                samples,
+                max: inner.config.max_chunk_len,
+            });
+        }
+        if inner.load.level() == DegradeLevel::ShedIntake {
+            HostMetrics::incr(&inner.metrics.chunks_shed);
+            return Err(SubmitError::Shed);
+        }
+        {
+            let mut guard = relock(&slot.ring);
+            // Generation is re-checked under the ring lock: close bumps it
+            // under the same lock, so a stale id can never reach a recycled
+            // slot's new ring.
+            if slot.generation.load(Ordering::Acquire) != id.generation {
+                return Err(SubmitError::UnknownStream);
+            }
+            let Some(ring) = guard.as_mut() else {
+                return Err(SubmitError::UnknownStream);
+            };
+            if !ring.push_planar(chunk, Instant::now()) {
+                HostMetrics::incr(&inner.metrics.chunks_busy);
+                slot.stats.chunks_busy.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Busy { queued: ring.len() });
+            }
+        }
+        HostMetrics::incr(&inner.metrics.chunks_in);
+        slot.stats.chunks_in.fetch_add(1, Ordering::Relaxed);
+        inner.load.on_enqueue();
+        inner.note_transitions();
+        inner.schedule(id.slot as usize);
+        Ok(())
+    }
+
+    /// Closes a stream: discards undelivered chunks (counted in
+    /// [`MetricsSnapshot::chunks_discarded`]), waits for any in-flight chunk of
+    /// this stream to finish, drops the session and sink, and recycles the
+    /// slot. Returns the stream's final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownStream`] if `id` is stale or was never
+    /// opened.
+    pub fn close_stream(&self, id: StreamId) -> Result<StreamStats, ServeError> {
+        let inner = &self.inner;
+        let slot = inner
+            .slots
+            .get(id.slot as usize)
+            .ok_or(ServeError::UnknownStream)?;
+        let discarded = {
+            let mut guard = relock(&slot.ring);
+            if slot.generation.load(Ordering::Acquire) != id.generation || guard.is_none() {
+                return Err(ServeError::UnknownStream);
+            }
+            slot.generation.fetch_add(1, Ordering::AcqRel);
+            guard.take().map_or(0, |mut ring| ring.clear())
+        };
+        for _ in 0..discarded {
+            inner.load.on_complete();
+        }
+        HostMetrics::add(&inner.metrics.chunks_discarded, discarded as u64);
+        // Blocks until the worker currently processing this stream (if any)
+        // releases the session lock — close never races a live drain.
+        *relock(&slot.session) = None;
+        inner.load.remove_capacity(inner.config.ring_capacity);
+        inner.note_transitions();
+        HostMetrics::incr(&inner.metrics.sessions_closed);
+        let stats = slot.stats.snapshot(0);
+        relock(&inner.free).push(id.slot);
+        Ok(stats)
+    }
+
+    /// Point-in-time statistics of one open stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownStream`] if `id` is stale or was never
+    /// opened.
+    pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, ServeError> {
+        let inner = &self.inner;
+        let slot = inner
+            .slots
+            .get(id.slot as usize)
+            .ok_or(ServeError::UnknownStream)?;
+        let guard = relock(&slot.ring);
+        if slot.generation.load(Ordering::Acquire) != id.generation {
+            return Err(ServeError::UnknownStream);
+        }
+        let queued = guard.as_ref().ok_or(ServeError::UnknownStream)?.len();
+        Ok(slot.stats.snapshot(queued))
+    }
+
+    /// Snapshots every host counter plus the latency quantiles. Reads relaxed
+    /// atomics and briefly locks control-plane state only — never the data
+    /// plane.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        MetricsSnapshot {
+            sessions_open: inner.config.max_sessions - relock(&inner.free).len(),
+            sessions_opened: HostMetrics::get(&m.sessions_opened),
+            sessions_closed: HostMetrics::get(&m.sessions_closed),
+            chunks_in: HostMetrics::get(&m.chunks_in),
+            chunks_busy: HostMetrics::get(&m.chunks_busy),
+            chunks_shed: HostMetrics::get(&m.chunks_shed),
+            chunks_discarded: HostMetrics::get(&m.chunks_discarded),
+            queue_depth: inner.load.in_flight(),
+            frames: HostMetrics::get(&m.frames),
+            shed_frames: HostMetrics::get(&m.shed_frames),
+            events: HostMetrics::get(&m.events),
+            sheds: HostMetrics::get(&m.sheds),
+            restores: HostMetrics::get(&m.restores),
+            errors: HostMetrics::get(&m.errors),
+            degrade_level: inner.load.level(),
+            latency: m.latency.snapshot(),
+        }
+    }
+
+    /// Current level of the graceful-degradation ladder.
+    pub fn degrade_level(&self) -> DegradeLevel {
+        self.inner.load.level()
+    }
+
+    /// Pauses the worker pool after it finishes the chunks it is currently
+    /// processing; accepted chunks queue in their rings. Used to build load
+    /// deterministically in tests and benches.
+    pub fn pause(&self) {
+        *relock(&self.inner.pause.flag) = true;
+    }
+
+    /// Resumes a paused worker pool.
+    pub fn resume(&self) {
+        *relock(&self.inner.pause.flag) = false;
+        self.inner.pause.cv.notify_all();
+    }
+
+    /// Blocks until every accepted chunk has been fully processed (or
+    /// discarded by a close), polling the aggregate queue depth. Returns
+    /// `false` on timeout — which is guaranteed if the pool is paused and
+    /// chunks are queued.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.inner.load.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+}
+
+impl Drop for SessionHost {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Wake anything parked on the pause gate so it can observe shutdown.
+        self.inner.pause.cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The load controller: watermark-based graceful degradation with hysteresis.
+//!
+//! The controller watches one signal — aggregate queue depth (chunks accepted
+//! but not yet processed) as a fraction of the aggregate ring capacity of the
+//! open streams — and maps it onto a three-step fidelity ladder,
+//! [`DegradeLevel`]. The ladder encodes the paper's priority order (the
+//! drive/park duty cycle already sheds localization long before it sheds
+//! detection): under overload the *expensive, deferrable* stage goes first and
+//! intake goes last, so a detection is never lost to protect an azimuth.
+//!
+//! * [`DegradeLevel::Full`] — every frame runs detection + localization +
+//!   tracking.
+//! * [`DegradeLevel::ShedLocalization`] — past the shed watermark, sessions are
+//!   processed with localization shed ([`Session::set_localization_shed`]):
+//!   events still carry class and confidence, queues drain several times
+//!   faster, and no stream state is reset so restoring is seamless.
+//! * [`DegradeLevel::ShedIntake`] — past the intake watermark, new chunks are
+//!   refused with [`SubmitError::Shed`] fleet-wide, bounding the latency of the
+//!   audio already queued. Detection itself is never silently dropped: a
+//!   producer always learns its chunk was refused.
+//!
+//! Each boundary is a watermark **pair** (up-threshold strictly above its
+//! down-threshold), so the level cannot flap when the queue hovers at one
+//! value: load must genuinely fall before fidelity is restored.
+//!
+//! [`Session::set_localization_shed`]: ispot_core::api::Session::set_localization_shed
+//! [`SubmitError::Shed`]: crate::SubmitError::Shed
+
+use crate::error::ServeError;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Fidelity ladder of the host, from full service to intake shedding. Ordered:
+/// a higher level is a more degraded state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum DegradeLevel {
+    /// Full fidelity: detection + localization + tracking on every frame.
+    #[default]
+    Full = 0,
+    /// Localization (and tracking) shed on every stream; detection continues.
+    ShedLocalization = 1,
+    /// Additionally refusing new chunks fleet-wide with `Shed`.
+    ShedIntake = 2,
+}
+
+impl DegradeLevel {
+    fn from_u8(v: u8) -> DegradeLevel {
+        match v {
+            0 => DegradeLevel::Full,
+            1 => DegradeLevel::ShedLocalization,
+            _ => DegradeLevel::ShedIntake,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeLevel::Full => "full",
+            DegradeLevel::ShedLocalization => "shed-localization",
+            DegradeLevel::ShedIntake => "shed-intake",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Watermarks of the load controller, as fractions of aggregate ring capacity.
+///
+/// Invariants (validated by [`LoadPolicy::validate`]):
+/// `0 < shed_low < shed_high < intake_high <= 1` and
+/// `shed_low <= intake_low < intake_high`. The strict gaps are the hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPolicy {
+    /// Queue fraction at/above which localization is shed.
+    pub shed_high: f64,
+    /// Queue fraction at/below which full fidelity is restored.
+    pub shed_low: f64,
+    /// Queue fraction at/above which intake is refused.
+    pub intake_high: f64,
+    /// Queue fraction at/below which intake reopens (dropping to
+    /// [`DegradeLevel::ShedLocalization`]).
+    pub intake_low: f64,
+}
+
+impl Default for LoadPolicy {
+    fn default() -> Self {
+        LoadPolicy {
+            shed_high: 0.75,
+            shed_low: 0.35,
+            intake_high: 0.90,
+            intake_low: 0.55,
+        }
+    }
+}
+
+impl LoadPolicy {
+    /// Checks the watermark invariants, naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let fields = [
+            ("shed_high", self.shed_high),
+            ("shed_low", self.shed_low),
+            ("intake_high", self.intake_high),
+            ("intake_low", self.intake_low),
+        ];
+        for (field, value) in fields {
+            if !(value.is_finite() && value > 0.0 && value <= 1.0) {
+                return Err(ServeError::InvalidConfig {
+                    field,
+                    reason: "must be a fraction in (0, 1]",
+                });
+            }
+        }
+        if self.shed_low >= self.shed_high {
+            return Err(ServeError::InvalidConfig {
+                field: "shed_low",
+                reason: "must be strictly below shed_high (the gap is the hysteresis)",
+            });
+        }
+        if self.shed_high >= self.intake_high {
+            return Err(ServeError::InvalidConfig {
+                field: "shed_high",
+                reason: "must be strictly below intake_high (localization sheds before intake)",
+            });
+        }
+        if self.intake_low >= self.intake_high {
+            return Err(ServeError::InvalidConfig {
+                field: "intake_low",
+                reason: "must be strictly below intake_high (the gap is the hysteresis)",
+            });
+        }
+        if self.intake_low < self.shed_low {
+            return Err(ServeError::InvalidConfig {
+                field: "intake_low",
+                reason: "must not be below shed_low (levels restore in order)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One transition of the degrade ladder, `(from, to)`.
+pub(crate) type Transition = (DegradeLevel, DegradeLevel);
+
+/// Tracks aggregate queue depth against the watermarks and holds the current
+/// [`DegradeLevel`]. All state is atomic: producers call
+/// [`LoadController::on_enqueue`]/[`evaluate`](LoadController::evaluate) and
+/// workers call [`LoadController::on_complete`]/`evaluate` concurrently without
+/// locks.
+#[derive(Debug)]
+pub(crate) struct LoadController {
+    level: AtomicU8,
+    in_flight: AtomicUsize,
+    /// Aggregate ring capacity of the currently open streams — the meaning of
+    /// "100% load". Updated on open/close.
+    capacity: AtomicUsize,
+    policy: LoadPolicy,
+}
+
+impl LoadController {
+    pub(crate) fn new(policy: LoadPolicy) -> Self {
+        LoadController {
+            level: AtomicU8::new(0),
+            in_flight: AtomicUsize::new(0),
+            capacity: AtomicUsize::new(0),
+            policy,
+        }
+    }
+
+    /// Current fidelity level.
+    pub(crate) fn level(&self) -> DegradeLevel {
+        DegradeLevel::from_u8(self.level.load(Ordering::Acquire))
+    }
+
+    /// Chunks accepted but not yet fully processed.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Records one accepted chunk.
+    pub(crate) fn on_enqueue(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fully processed (or discarded-at-close) chunk.
+    pub(crate) fn on_complete(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Grows the capacity baseline when a stream opens.
+    pub(crate) fn add_capacity(&self, ring_capacity: usize) {
+        self.capacity.fetch_add(ring_capacity, Ordering::Relaxed);
+    }
+
+    /// Shrinks the capacity baseline when a stream closes.
+    pub(crate) fn remove_capacity(&self, ring_capacity: usize) {
+        self.capacity.fetch_sub(ring_capacity, Ordering::Relaxed);
+    }
+
+    /// Re-evaluates the level against the watermarks, returning the transition
+    /// if one was applied. Called after every enqueue and every completion;
+    /// lock-free (one CAS on contention).
+    pub(crate) fn evaluate(&self) -> Option<Transition> {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return None;
+        }
+        let q = self.in_flight.load(Ordering::Relaxed) as f64;
+        let cap = capacity as f64;
+        let p = &self.policy;
+        loop {
+            let cur = self.level.load(Ordering::Acquire);
+            let next = match cur {
+                0 => {
+                    if q >= p.intake_high * cap {
+                        2
+                    } else if q >= p.shed_high * cap {
+                        1
+                    } else {
+                        0
+                    }
+                }
+                1 => {
+                    if q >= p.intake_high * cap {
+                        2
+                    } else if q <= p.shed_low * cap {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                _ => {
+                    if q <= p.shed_low * cap {
+                        0
+                    } else if q <= p.intake_low * cap {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            };
+            if next == cur {
+                return None;
+            }
+            if self
+                .level
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((DegradeLevel::from_u8(cur), DegradeLevel::from_u8(next)));
+            }
+            // Another thread moved the level; re-derive from the fresh state.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(capacity: usize) -> LoadController {
+        let c = LoadController::new(LoadPolicy::default());
+        c.add_capacity(capacity);
+        c
+    }
+
+    fn push_to(c: &LoadController, depth: usize) {
+        while c.in_flight() < depth {
+            c.on_enqueue();
+        }
+        while c.in_flight() > depth {
+            c.on_complete();
+        }
+        while c.evaluate().is_some() {}
+    }
+
+    #[test]
+    fn policy_default_validates_and_degenerate_policies_are_named() {
+        LoadPolicy::default().validate().unwrap();
+        let bad = [
+            LoadPolicy {
+                shed_high: f64::NAN,
+                ..LoadPolicy::default()
+            },
+            LoadPolicy {
+                shed_high: 0.0,
+                ..LoadPolicy::default()
+            },
+            LoadPolicy {
+                shed_high: 1.2,
+                ..LoadPolicy::default()
+            },
+            // No hysteresis gap.
+            LoadPolicy {
+                shed_low: 0.75,
+                ..LoadPolicy::default()
+            },
+            // Intake would shed before localization.
+            LoadPolicy {
+                intake_high: 0.70,
+                ..LoadPolicy::default()
+            },
+            LoadPolicy {
+                intake_low: 0.95,
+                ..LoadPolicy::default()
+            },
+            // Restore order inverted.
+            LoadPolicy {
+                intake_low: 0.20,
+                ..LoadPolicy::default()
+            },
+        ];
+        for policy in bad {
+            assert!(
+                matches!(policy.validate(), Err(ServeError::InvalidConfig { .. })),
+                "{policy:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn sheds_localization_then_intake_as_load_rises() {
+        // Capacity 100: shed at ≥75, intake-shed at ≥90.
+        let c = controller(100);
+        push_to(&c, 74);
+        assert_eq!(c.level(), DegradeLevel::Full);
+        push_to(&c, 75);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        push_to(&c, 89);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        push_to(&c, 90);
+        assert_eq!(c.level(), DegradeLevel::ShedIntake);
+    }
+
+    #[test]
+    fn restore_has_hysteresis_in_both_directions() {
+        let c = controller(100);
+        push_to(&c, 95);
+        assert_eq!(c.level(), DegradeLevel::ShedIntake);
+        // Dropping just below the intake-high watermark is not enough…
+        push_to(&c, 85);
+        assert_eq!(c.level(), DegradeLevel::ShedIntake);
+        // …intake reopens only at/below intake_low (55).
+        push_to(&c, 55);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        // Hovering between shed_low and shed_high keeps localization shed…
+        push_to(&c, 50);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        push_to(&c, 36);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        // …full fidelity returns only at/below shed_low (35).
+        push_to(&c, 35);
+        assert_eq!(c.level(), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn a_burst_can_skip_straight_to_intake_shedding_and_back() {
+        let c = controller(10);
+        push_to(&c, 10);
+        assert_eq!(c.level(), DegradeLevel::ShedIntake);
+        push_to(&c, 0);
+        assert_eq!(c.level(), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn transitions_are_reported_once_per_level_change() {
+        let c = controller(100);
+        push_to(&c, 74);
+        let mut transitions = Vec::new();
+        c.on_enqueue(); // 75 → shed
+        if let Some(t) = c.evaluate() {
+            transitions.push(t);
+        }
+        assert!(c.evaluate().is_none(), "no repeat transition at same depth");
+        for _ in 0..40 {
+            c.on_complete();
+        }
+        if let Some(t) = c.evaluate() {
+            transitions.push(t);
+        }
+        assert_eq!(
+            transitions,
+            vec![
+                (DegradeLevel::Full, DegradeLevel::ShedLocalization),
+                (DegradeLevel::ShedLocalization, DegradeLevel::Full),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_capacity_never_degrades() {
+        let c = LoadController::new(LoadPolicy::default());
+        assert!(c.evaluate().is_none());
+        assert_eq!(c.level(), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn capacity_tracks_open_and_close() {
+        let c = controller(10);
+        // 8/10 queued: shed.
+        push_to(&c, 8);
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        // A new stream opens (capacity 10 → 20): 8/20 is below every watermark
+        // but above shed_low — hysteresis holds the level…
+        c.add_capacity(10);
+        while c.evaluate().is_some() {}
+        assert_eq!(c.level(), DegradeLevel::ShedLocalization);
+        // …until depth falls to shed_low of the new capacity (7 ≤ 0.35·20).
+        push_to(&c, 7);
+        assert_eq!(c.level(), DegradeLevel::Full);
+        c.remove_capacity(10);
+        assert_eq!(c.in_flight(), 7);
+    }
+}

@@ -1,0 +1,250 @@
+//! Host-wide counters and the event-latency histogram, recorded with relaxed
+//! atomics so the data plane never takes a lock to observe itself, and
+//! snapshotable at any time from any thread.
+//!
+//! The shape follows the `EngineMetrics` pattern from the real-time pipeline
+//! exemplars: one plain struct of atomic counters shared behind an `Arc`,
+//! mutated with `fetch_add` on the hot path and read with a consistent-enough
+//! `load` sweep for reporting. Latency quantiles come from a fixed power-of-two
+//! histogram ([`LatencyHistogram`]): recording is one `fetch_add` into a bucket
+//! indexed by the magnitude of the sample, so it is allocation-free and
+//! wait-free; p50/p99 are resolved at snapshot time by walking 32 buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds, so 32 buckets span 1 µs to ~72 minutes.
+const NUM_BUCKETS: usize = 32;
+
+/// A fixed-size, lock-free latency histogram with power-of-two microsecond
+/// buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// Bucket index for a latency of `us` microseconds: the position of its highest
+/// set bit, clamped to the top bucket.
+fn bucket_index(us: u64) -> usize {
+    let us = us.max(1);
+    ((u64::BITS - 1 - us.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample. Wait-free: two relaxed `fetch_add`s, one
+    /// `fetch_max`, no allocation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Resolves the current counts into quantiles. Quantiles are conservative:
+    /// each resolves to the *upper* edge of the bucket holding its rank, so a
+    /// reported p99 of 4.1 ms means "99% of samples finished within 4.1 ms".
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = counts.iter().sum();
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper edge of bucket i in ms.
+                    return (1u64 << (i + 1)) as f64 / 1000.0;
+                }
+            }
+            (self.max_us.load(Ordering::Relaxed)) as f64 / 1000.0
+        };
+        LatencySnapshot {
+            count,
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                sum_us as f64 / count as f64 / 1000.0
+            },
+            p50_ms: quantile(0.50),
+            p99_ms: quantile(0.99),
+            max_ms: self.max_us.load(Ordering::Relaxed) as f64 / 1000.0,
+        }
+    }
+}
+
+/// Resolved latency statistics at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean in milliseconds.
+    pub mean_ms: f64,
+    /// Median (conservative bucket upper edge) in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile (conservative bucket upper edge) in milliseconds.
+    pub p99_ms: f64,
+    /// Largest single sample in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Aggregate counters of one [`SessionHost`](crate::SessionHost), shared by
+/// every worker and producer. All mutation is relaxed atomics; snapshotting
+/// never blocks the data plane.
+#[derive(Debug, Default)]
+pub struct HostMetrics {
+    /// Streams ever opened.
+    pub(crate) sessions_opened: AtomicU64,
+    /// Streams closed.
+    pub(crate) sessions_closed: AtomicU64,
+    /// Chunks accepted into ingestion rings.
+    pub(crate) chunks_in: AtomicU64,
+    /// Chunks rejected with [`SubmitError::Busy`](crate::SubmitError::Busy).
+    pub(crate) chunks_busy: AtomicU64,
+    /// Chunks rejected with [`SubmitError::Shed`](crate::SubmitError::Shed).
+    pub(crate) chunks_shed: AtomicU64,
+    /// Chunks discarded undelivered when their stream closed.
+    pub(crate) chunks_discarded: AtomicU64,
+    /// Analysis frames completed across all sessions.
+    pub(crate) frames: AtomicU64,
+    /// Frames processed while localization was shed.
+    pub(crate) shed_frames: AtomicU64,
+    /// Perception events delivered to stream sinks.
+    pub(crate) events: AtomicU64,
+    /// Upward degrade transitions (fidelity reduced).
+    pub(crate) sheds: AtomicU64,
+    /// Downward degrade transitions (fidelity restored).
+    pub(crate) restores: AtomicU64,
+    /// Session-level pipeline errors surfaced while processing a chunk.
+    pub(crate) errors: AtomicU64,
+    /// Submit-to-event-delivery latency across all streams.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl HostMetrics {
+    /// Bumps a counter by one. Relaxed: counters are monotonic and only read
+    /// for reporting.
+    pub(crate) fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of one counter.
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A coherent-enough copy of every host counter at one point in time, plus the
+/// resolved latency quantiles — what an operations dashboard would scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Streams currently open.
+    pub sessions_open: usize,
+    /// Streams ever opened.
+    pub sessions_opened: u64,
+    /// Streams closed.
+    pub sessions_closed: u64,
+    /// Chunks accepted into ingestion rings.
+    pub chunks_in: u64,
+    /// Chunks rejected with backpressure (`Busy`).
+    pub chunks_busy: u64,
+    /// Chunks rejected by intake shedding (`Shed`).
+    pub chunks_shed: u64,
+    /// Chunks discarded undelivered when their stream closed.
+    pub chunks_discarded: u64,
+    /// Chunks accepted but not yet fully processed (aggregate queue depth).
+    pub queue_depth: usize,
+    /// Analysis frames completed across all sessions.
+    pub frames: u64,
+    /// Frames processed while localization was shed.
+    pub shed_frames: u64,
+    /// Perception events delivered to stream sinks.
+    pub events: u64,
+    /// Upward degrade transitions.
+    pub sheds: u64,
+    /// Downward degrade transitions.
+    pub restores: u64,
+    /// Session-level pipeline errors surfaced while processing chunks.
+    pub errors: u64,
+    /// Current degrade level of the load controller.
+    pub degrade_level: crate::load::DegradeLevel,
+    /// Submit-to-event-delivery latency.
+    pub latency: LatencySnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of completed frames that ran with localization shed, in
+    /// `[0, 1]`; 0 when no frame has completed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.shed_frames as f64 / self.frames as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_the_magnitude() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative_upper_edges() {
+        let h = LatencyHistogram::default();
+        // 99 fast samples at ~100 µs, one slow at ~50 ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // 100 µs lands in bucket [64, 128) µs → p50 reports 0.128 ms.
+        assert!((s.p50_ms - 0.128).abs() < 1e-9, "p50 {}", s.p50_ms);
+        // Rank 99 is still a fast sample; p99 must not be dragged to 50 ms.
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms < 1.0, "p99 {}", s.p99_ms);
+        assert!(s.max_ms >= 50.0);
+        assert!(s.mean_ms > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn shed_rate_handles_zero_frames() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(snap.shed_rate(), 0.0);
+        snap.frames = 10;
+        snap.shed_frames = 4;
+        assert!((snap.shed_rate() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Sinks suited to hosted streams, where events arrive on worker threads and
+//! the opener keeps only a handle.
+//!
+//! [`SessionHost::open_stream`](crate::SessionHost::open_stream) takes the sink
+//! by value and invokes it from the worker pool, so a caller that wants to see
+//! the events needs a *shared* sink: a cheap handle it clones into the host
+//! while keeping one for itself. [`SharedVecSink`] is that collector;
+//! [`CountingSink`] is its allocation-free counterpart for load tests and
+//! benches; [`DiscardSink`] is the explicit "I only want the metrics" choice.
+
+use ispot_core::events::PerceptionEvent;
+use ispot_core::sink::EventSink;
+use ispot_core::stages::FrameOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Drops every event and frame outcome. Use when only the host's metrics and
+/// per-stream statistics matter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscardSink;
+
+impl EventSink for DiscardSink {
+    fn on_event(&mut self, _event: &PerceptionEvent) {}
+}
+
+/// A clone-to-share event collector: every clone appends to the same vector.
+///
+/// Clone one handle into [`open_stream`](crate::SessionHost::open_stream) and
+/// keep the other; events the workers deliver are visible through
+/// [`SharedVecSink::snapshot`]/[`take`](SharedVecSink::take) at any time.
+/// Collection locks a mutex and may grow the vector — use
+/// [`SharedVecSink::with_capacity`] (or [`CountingSink`]) where the delivery
+/// path must stay allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SharedVecSink {
+    events: Arc<Mutex<Vec<PerceptionEvent>>>,
+}
+
+impl SharedVecSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SharedVecSink::default()
+    }
+
+    /// Creates a collector whose vector is preallocated for `capacity` events,
+    /// so deliveries up to that count perform no allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedVecSink {
+            events: Arc::new(Mutex::new(Vec::with_capacity(capacity))),
+        }
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        crate::relock(&self.events).len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the events collected so far.
+    pub fn snapshot(&self) -> Vec<PerceptionEvent> {
+        crate::relock(&self.events).clone()
+    }
+
+    /// Takes the collected events, leaving the collector empty (the allocation
+    /// is kept).
+    pub fn take(&self) -> Vec<PerceptionEvent> {
+        let mut guard = crate::relock(&self.events);
+        let mut out = Vec::with_capacity(guard.capacity());
+        std::mem::swap(&mut *guard, &mut out);
+        out
+    }
+}
+
+impl EventSink for SharedVecSink {
+    fn on_event(&mut self, event: &PerceptionEvent) {
+        crate::relock(&self.events).push(event.clone());
+    }
+}
+
+/// A clone-to-share counter of events, alerts and frames. Delivery is two or
+/// three relaxed `fetch_add`s — no lock, no allocation — so it is the sink of
+/// choice for throughput benches and the zero-allocation tests.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    counts: Arc<CountingSinkCounts>,
+}
+
+#[derive(Debug, Default)]
+struct CountingSinkCounts {
+    events: AtomicU64,
+    alerts: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Events delivered so far.
+    pub fn events(&self) -> u64 {
+        self.counts.events.load(Ordering::Relaxed)
+    }
+
+    /// Alert-class events delivered so far.
+    pub fn alerts(&self) -> u64 {
+        self.counts.alerts.load(Ordering::Relaxed)
+    }
+
+    /// Frames completed so far.
+    pub fn frames(&self) -> u64 {
+        self.counts.frames.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for CountingSink {
+    fn on_event(&mut self, event: &PerceptionEvent) {
+        self.counts.events.fetch_add(1, Ordering::Relaxed);
+        if event.is_alert() {
+            self.counts.alerts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_frame(&mut self, _outcome: &FrameOutcome) {
+        self.counts.frames.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_sed::EventClass;
+
+    fn event() -> PerceptionEvent {
+        PerceptionEvent {
+            frame_index: 3,
+            time_s: 0.2,
+            class: EventClass::WailSiren,
+            confidence: 0.9,
+            azimuth_deg: None,
+            tracked_azimuth_deg: None,
+            tracks: ispot_core::events::TrackList::default(),
+        }
+    }
+
+    #[test]
+    fn shared_vec_sink_clones_share_one_store() {
+        let keeper = SharedVecSink::new();
+        let mut given_away = keeper.clone();
+        given_away.on_event(&event());
+        given_away.on_event(&event());
+        assert_eq!(keeper.len(), 2);
+        assert_eq!(keeper.snapshot().len(), 2);
+        let taken = keeper.take();
+        assert_eq!(taken.len(), 2);
+        assert!(keeper.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_tallies_through_clones() {
+        let keeper = CountingSink::new();
+        let mut given_away = keeper.clone();
+        given_away.on_event(&event());
+        given_away.on_frame(&FrameOutcome::Analyzed);
+        given_away.on_frame(&FrameOutcome::Gated);
+        assert_eq!(keeper.events(), 1);
+        assert_eq!(keeper.alerts(), 1);
+        assert_eq!(keeper.frames(), 2);
+    }
+
+    #[test]
+    fn discard_sink_is_a_no_op() {
+        let mut sink = DiscardSink;
+        sink.on_event(&event());
+        sink.on_frame(&FrameOutcome::Analyzed);
+    }
+}

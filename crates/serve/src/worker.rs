@@ -1,0 +1,137 @@
+//! The worker pool: drains ingestion rings, runs the perception pipeline and
+//! meters every event.
+//!
+//! Workers share the host's bounded ready queue of slot tokens. Receiving a
+//! token grants exclusive ownership of that stream until the worker stops
+//! draining (see the dispatch protocol in the [`host`](crate::host) module
+//! docs), so per-stream event order is exactly submission order regardless of
+//! the pool size — the basis of the cross-worker-count determinism tests.
+//!
+//! The per-chunk path is allocation-free: the worker swaps its spare buffer
+//! with the ring slot ([`ChunkRing::pop_swap`]), builds stack channel views and
+//! feeds the session, which reuses its own scratch. Metering is relaxed
+//! atomics.
+//!
+//! [`ChunkRing::pop_swap`]: crate::ring::ChunkRing::pop_swap
+
+use crate::host::{HostInner, SessionState, Slot};
+use crate::load::DegradeLevel;
+use crate::metrics::HostMetrics;
+use crate::relock;
+use crate::ring::ChunkBuf;
+use crossbeam::channel::TryRecvError;
+use ispot_core::events::PerceptionEvent;
+use ispot_core::sink::EventSink;
+use ispot_core::stages::FrameOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker parks between ready-queue polls. The vendored
+/// channel's blocking receive holds the shared-receiver lock, which would
+/// serialize the pool, so workers poll with `try_recv` and park briefly when
+/// the queue is empty.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Body of one worker thread: poll the ready queue, drain the named slot,
+/// repeat until shutdown.
+pub(crate) fn worker_loop(inner: &HostInner) {
+    let mut buf = ChunkBuf::new(inner.engine.num_channels(), inner.config.max_chunk_len);
+    while !inner.shutting_down() {
+        inner.wait_if_paused();
+        if inner.shutting_down() {
+            break;
+        }
+        match inner.ready_rx.try_recv() {
+            Ok(slot_idx) => drain_slot(inner, slot_idx as usize, &mut buf),
+            Err(TryRecvError::Empty) => std::thread::sleep(IDLE_PARK),
+            Err(TryRecvError::Disconnected) => break,
+        }
+    }
+}
+
+/// Drains one stream's ring, up to one ring's worth of chunks per token so a
+/// single busy stream cannot starve the others, then executes the
+/// unschedule-recheck handshake: clear `scheduled`, re-check the ring, and
+/// re-enqueue if chunks raced in after the last pop.
+fn drain_slot(inner: &HostInner, slot_idx: usize, buf: &mut ChunkBuf) {
+    let slot = &inner.slots[slot_idx];
+    for _ in 0..inner.config.ring_capacity {
+        if inner.is_paused() || inner.shutting_down() {
+            break;
+        }
+        let popped = relock(&slot.ring).as_mut().is_some_and(|r| r.pop_swap(buf));
+        if !popped {
+            break;
+        }
+        process_chunk(inner, slot, buf);
+        inner.load.on_complete();
+        inner.note_transitions();
+    }
+    slot.scheduled.store(false, Ordering::Release);
+    let nonempty = relock(&slot.ring).as_ref().is_some_and(|r| !r.is_empty());
+    if nonempty {
+        inner.schedule(slot_idx);
+    }
+}
+
+/// Runs one chunk through the slot's session under the current degrade level,
+/// delivering events through the stream's sink via the metering wrapper.
+fn process_chunk(inner: &HostInner, slot: &Slot, buf: &ChunkBuf) {
+    let shed = inner.load.level() >= DegradeLevel::ShedLocalization;
+    let mut guard = relock(&slot.session);
+    let Some(state) = guard.as_mut() else {
+        // The stream closed between our pop and now; the chunk is gone but was
+        // popped before close cleared the ring, so count it ourselves.
+        HostMetrics::incr(&inner.metrics.chunks_discarded);
+        return;
+    };
+    if state.session.localization_shed() != shed {
+        state.session.set_localization_shed(shed);
+    }
+    slot.stats.shed_applied.store(shed, Ordering::Relaxed);
+    let SessionState { session, sink } = state;
+    let mut metered = MeteredSink {
+        sink: sink.as_mut(),
+        enqueued: buf.enqueued(),
+        host: &inner.metrics,
+        slot_events: &slot.stats.events,
+    };
+    match buf.with_views(|views| session.push_chunk_with(views, &mut metered)) {
+        Ok(frames) => {
+            let frames = frames as u64;
+            HostMetrics::add(&inner.metrics.frames, frames);
+            slot.stats.frames.fetch_add(frames, Ordering::Relaxed);
+            if shed {
+                HostMetrics::add(&inner.metrics.shed_frames, frames);
+                slot.stats.shed_frames.fetch_add(frames, Ordering::Relaxed);
+            }
+        }
+        Err(_) => {
+            HostMetrics::incr(&inner.metrics.errors);
+            slot.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Wraps a stream's sink to meter deliveries: each event bumps the host and
+/// slot counters and records submit-to-delivery latency, then is forwarded by
+/// reference — no copy, no allocation.
+struct MeteredSink<'a> {
+    sink: &'a mut dyn EventSink,
+    enqueued: Instant,
+    host: &'a HostMetrics,
+    slot_events: &'a AtomicU64,
+}
+
+impl EventSink for MeteredSink<'_> {
+    fn on_event(&mut self, event: &PerceptionEvent) {
+        self.host.latency.record(self.enqueued.elapsed());
+        HostMetrics::incr(&self.host.events);
+        self.slot_events.fetch_add(1, Ordering::Relaxed);
+        self.sink.on_event(event);
+    }
+
+    fn on_frame(&mut self, outcome: &FrameOutcome) {
+        self.sink.on_frame(outcome);
+    }
+}

@@ -1,0 +1,151 @@
+//! Graceful degradation end-to-end: a deterministically overloaded host sheds
+//! localization first (events keep their detections, lose their azimuths),
+//! then sheds intake with a typed rejection, and restores full fidelity — with
+//! hysteresis, without resetting stream state, without panics or deadlocks.
+//!
+//! Determinism: the host starts paused, so load is built up with the workers
+//! idle; watermark crossings happen at exact chunk counts. A single worker
+//! then drains the backlog, so the per-chunk degrade decisions follow one
+//! known depth trajectory.
+
+use ispot_core::prelude::*;
+use ispot_roadsim::engine::{MultichannelAudio, Simulator};
+use ispot_roadsim::geometry::Position;
+use ispot_roadsim::microphone::MicrophoneArray;
+use ispot_roadsim::scene::SceneBuilder;
+use ispot_roadsim::source::SoundSource;
+use ispot_roadsim::trajectory::Trajectory;
+use ispot_sed::sirens::{SirenKind, SirenSynthesizer};
+use ispot_serve::prelude::*;
+use std::time::Duration;
+
+const FS: f64 = 16_000.0;
+const CHUNK: usize = 512;
+
+fn array() -> MicrophoneArray {
+    MicrophoneArray::circular(4, 0.2, Position::new(0.0, 0.0, 1.0))
+}
+
+fn siren_audio() -> MultichannelAudio {
+    let siren = SirenSynthesizer::new(SirenKind::Wail, FS).synthesize(1.0);
+    let scene = SceneBuilder::new(FS)
+        .source(SoundSource::new(
+            siren,
+            Trajectory::fixed(Position::new(14.0, 10.0, 1.0)),
+        ))
+        .array(array())
+        .reflection(false)
+        .air_absorption(false)
+        .build()
+        .unwrap();
+    Simulator::new(scene).unwrap().run().unwrap()
+}
+
+#[test]
+fn overload_sheds_localization_then_intake_and_restores_with_hysteresis() {
+    let audio = siren_audio();
+    let channels = audio.channels();
+    let engine = PipelineBuilder::new(FS)
+        .array(&array())
+        .build_engine()
+        .unwrap();
+    // Two streams × ring 8 = aggregate capacity 16 with the default policy:
+    // localization sheds at depth 12 (0.75), intake at 15 (0.90); restore at
+    // 8 (0.55) and 5 (0.35).
+    let host = SessionHost::new(
+        engine,
+        HostConfig {
+            workers: 1,
+            max_sessions: 2,
+            ring_capacity: 8,
+            max_chunk_len: CHUNK,
+            start_paused: true,
+            ..HostConfig::default()
+        },
+    )
+    .unwrap();
+    let sink_a = SharedVecSink::new();
+    let sink_b = SharedVecSink::new();
+    let a = host.open_stream(sink_a.clone()).unwrap();
+    let b = host.open_stream(sink_b.clone()).unwrap();
+
+    let push = |id: StreamId, i: usize| {
+        let start = (i * CHUNK) % (channels[0].len() - CHUNK);
+        let views: Vec<&[f64]> = channels.iter().map(|c| &c[start..start + CHUNK]).collect();
+        host.push_chunk(id, &views)
+    };
+
+    // Build the backlog while paused: 8 chunks to A, 7 to B → depth 15.
+    for i in 0..8 {
+        push(a, i).unwrap();
+    }
+    for i in 0..7 {
+        push(b, i).unwrap();
+    }
+    // Watermarks crossed at exact counts: 12 → ShedLocalization, 15 → ShedIntake.
+    assert_eq!(host.degrade_level(), DegradeLevel::ShedIntake);
+    assert_eq!(host.metrics().sheds, 2);
+    // Past the intake watermark every producer gets the typed fleet-wide
+    // rejection — audio is refused loudly, never absorbed and dropped.
+    assert_eq!(push(b, 7), Err(SubmitError::Shed));
+    assert_eq!(host.metrics().chunks_shed, 1);
+
+    // One worker drains the backlog: depth 15 → 0 crosses both restore
+    // watermarks (8 then 5), ending at full fidelity.
+    host.resume();
+    assert!(host.wait_idle(Duration::from_secs(120)), "drain deadlocked");
+    let metrics = host.metrics();
+    assert_eq!(metrics.degrade_level, DegradeLevel::Full);
+    assert_eq!(metrics.restores, 2);
+    assert_eq!(metrics.chunks_in, 15);
+    assert_eq!(metrics.chunks_discarded, 0);
+    assert!(metrics.shed_frames > 0, "no frame ran in the shed window");
+
+    // Detection survived the shed: events fired during overload, carrying
+    // class and confidence but no azimuth (stream A drained first, entirely
+    // above the restore watermark).
+    let events_a = sink_a.snapshot();
+    assert!(!events_a.is_empty(), "shed stream A emitted no events");
+    assert!(
+        events_a.iter().all(|e| e.confidence > 0.0),
+        "shed events lost their detections"
+    );
+    assert!(
+        events_a.iter().any(|e| e.azimuth_deg.is_none()),
+        "no event shows localization shed"
+    );
+    assert!(host.stream_stats(a).unwrap().shed_frames > 0);
+
+    // Stream B drained last: its tail crossed below the restore watermarks, so
+    // its final frames ran at full fidelity again — restoration is in-band,
+    // not just a counter.
+    let events_b = sink_b.snapshot();
+    assert!(
+        events_b.last().is_some_and(|e| e.azimuth_deg.is_some()),
+        "stream B's tail should have been processed at full fidelity: {:?}",
+        events_b.last()
+    );
+
+    // After the storm: a fresh push is accepted and localized — intake reopened
+    // and the stream kept its state (frame indices keep counting up).
+    let last_index_a = events_a.last().unwrap().frame_index;
+    for i in 8..12 {
+        push(a, i).unwrap();
+    }
+    assert!(host.wait_idle(Duration::from_secs(120)));
+    let after = sink_a.snapshot();
+    let fresh: Vec<_> = after
+        .iter()
+        .filter(|e| e.frame_index > last_index_a)
+        .collect();
+    assert!(!fresh.is_empty(), "no events after restore");
+    assert!(
+        fresh.iter().all(|e| e.azimuth_deg.is_some()),
+        "post-restore events must be localized again"
+    );
+    assert!(!host.stream_stats(a).unwrap().localization_shed);
+
+    host.close_stream(a).unwrap();
+    host.close_stream(b).unwrap();
+    assert_eq!(host.metrics().errors, 0);
+}

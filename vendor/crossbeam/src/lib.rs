@@ -1,21 +1,35 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides the `crossbeam::channel` subset the workspace uses — [`channel::bounded`]
-//! with blocking `send`/`recv`, `try_recv` and iteration — implemented over
-//! `std::sync::mpsc::sync_channel`. Semantics match crossbeam for the SPSC patterns
-//! used here (bounded back-pressure, disconnect on drop). Swap for the real crate
-//! when the registry is reachable.
+//! with blocking `send`/`recv`, non-blocking `try_send`/`try_recv`, deadline-bounded
+//! `recv_timeout`, a **cloneable receiver** (real crossbeam channels are MPMC; the
+//! serving layer's worker pool shares one ready-queue receiver across threads) and
+//! iteration — implemented over `std::sync::mpsc::sync_channel`. Semantics match
+//! crossbeam for the patterns used here (bounded back-pressure, typed full-queue
+//! rejection, disconnect on drop). Swap for the real crate when the registry is
+//! reachable.
 
 #![warn(missing_docs)]
 
-/// Multi-producer, single-consumer bounded channels.
+/// Multi-producer, multi-consumer bounded channels.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver has disconnected; the
     /// unsent message is returned to the caller.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`]; the unsent message is returned to
+    /// the caller in both cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel's bounded buffer is full — back-pressure, retry later.
+        Full(T),
+        /// Every receiver has disconnected; the message can never be delivered.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv`] when the channel is empty and every
     /// sender has disconnected.
@@ -27,6 +41,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// The channel is currently empty.
         Empty,
+        /// Every sender has disconnected and no messages remain.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
         /// Every sender has disconnected and no messages remain.
         Disconnected,
     }
@@ -53,23 +76,69 @@ pub mod channel {
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
         }
+
+        /// Enqueues the message without blocking, or returns it with the typed
+        /// reason ([`TrySendError::Full`] under back-pressure,
+        /// [`TrySendError::Disconnected`] after every receiver dropped).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
     }
 
     /// The receiving half of a bounded channel.
+    ///
+    /// Cloneable, like real crossbeam receivers: clones share one message stream
+    /// (each message is delivered to exactly one receiver), which is how a worker
+    /// pool shares a ready queue. The stand-in serializes competing receivers
+    /// through a mutex; a blocking [`Receiver::recv`]/[`Receiver::recv_timeout`]
+    /// holds it until a message (or its deadline) arrives, so competing clones
+    /// queue behind the current waiter — acceptable for the work-distribution
+    /// patterns used here, where all consumers wait for the same stream anyway.
     #[derive(Debug)]
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
     }
 
     impl<T> Receiver<T> {
+        /// Locks the shared receiver, recovering from poison: the inner std
+        /// receiver holds no invariants a panicking holder could break (a message
+        /// is either fully taken or still queued), so a panicked peer must not
+        /// wedge every other consumer of the channel.
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.inner.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
         /// Blocks until a message arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            self.lock().recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, every sender disconnects, or `timeout`
+        /// elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock().recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Returns a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            self.lock().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
@@ -106,13 +175,19 @@ pub mod channel {
     /// (clamped to at least 1 so `send` + `recv` cannot deadlock in SPSC use).
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(capacity.max(1));
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::time::Duration;
 
     #[test]
     fn bounded_channel_round_trips_in_order() {
@@ -135,6 +210,27 @@ mod tests {
     }
 
     #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        // The buffer is full: the message comes back typed, nothing is dropped.
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        // One slot freed: the retry goes through and order is preserved.
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_reports_disconnect_with_the_message() {
+        let (tx, rx) = channel::bounded(4);
+        drop(rx);
+        assert_eq!(tx.try_send(7), Err(channel::TrySendError::Disconnected(7)));
+    }
+
+    #[test]
     fn try_recv_reports_empty_and_disconnected() {
         let (tx, rx) = channel::bounded::<i32>(1);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
@@ -142,5 +238,69 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(42));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_stream() {
+        let (tx, rx_a) = channel::bounded(8);
+        let rx_b = rx_a.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+            // Whichever clone polls sees the message exactly once.
+            let via_a = i % 2 == 0;
+            let got = if via_a {
+                rx_a.try_recv()
+            } else {
+                rx_b.try_recv()
+            };
+            assert_eq!(got, Ok(i));
+        }
+        drop(tx);
+        assert_eq!(rx_a.try_recv(), Err(channel::TryRecvError::Disconnected));
+        assert_eq!(rx_b.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_receivers_drain_a_shared_workload_across_threads() {
+        let (tx, rx) = channel::bounded(16);
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv_timeout(Duration::from_millis(200)) {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<i32> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Every message was delivered to exactly one worker.
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
     }
 }
