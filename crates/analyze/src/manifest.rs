@@ -114,6 +114,24 @@ impl Manifest {
                         "run_frame",
                     ],
                 ),
+                // Roadsim render inner loop: the per-sample path update and
+                // the geometry helpers it calls for every source-mic pair.
+                // Path *construction* (`build_path`) precomputes per-sample
+                // tables and allocates by design.
+                entry(
+                    "crates/roadsim/src/engine.rs",
+                    &["process", "effective_position"],
+                ),
+                entry(
+                    "crates/roadsim/src/environment.rs",
+                    &[
+                        "gain",
+                        "image_across_wall",
+                        "wall_ys",
+                        "contains_y",
+                        "smoothstep01",
+                    ],
+                ),
                 // Streaming substrate.
                 entry(
                     "crates/dsp/src/framing.rs",
@@ -203,6 +221,7 @@ impl Manifest {
                 "crates/ssl/src/metrics.rs".to_string(),
                 "crates/sed/src/metrics.rs".to_string(),
                 "crates/bench/src/scenarios.rs".to_string(),
+                "crates/bench/src/matrix.rs".to_string(),
             ],
             all_files_hot: false,
         }

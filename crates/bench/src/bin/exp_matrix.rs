@@ -1,0 +1,101 @@
+//! Experiment E11 — the procedural scenario matrix.
+//!
+//! Generates a seeded population of road scenes (clean / masked / street-canyon
+//! / occluded / low-SNR / no-event regimes, see `ispot_bench::matrix`), scores
+//! every scene with the full perception session and reports aggregate
+//! distributions: per-regime mean / median / 10th-percentile F1, false-alarm
+//! rate on the no-event stratum, OSPA, identity swaps and the worst-k scenes.
+//!
+//! Flags:
+//!
+//! * `--smoke` — score the 18-scene smoke population instead of the full 120;
+//! * `--seed N` — override the master seed (decimal);
+//! * `--json` — additionally write `BENCH_matrix.json` (deterministic: the
+//!   artifact is byte-identical across runs of the same seed);
+//! * `--gate` — check the aggregates against the CI quality gate and exit
+//!   non-zero on failure;
+//! * `--broken` — score under a deliberately broken pipeline configuration
+//!   (near-1.0 confidence threshold). CI runs `--broken --gate` and asserts
+//!   the run *fails* — the inverted check that proves the gate trips when
+//!   quality collapses.
+
+use ispot_bench::matrix::{evaluate_matrix_with, MatrixConfig, MatrixGate};
+use ispot_bench::scenarios::EvalOptions;
+use ispot_bench::{print_header, print_row};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let mut cfg = if has("--smoke") {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::full()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        let value = args
+            .get(pos + 1)
+            .ok_or("--seed requires a value")?
+            .parse::<u64>()?;
+        cfg.seed = value;
+    }
+    let options = EvalOptions {
+        // A detector that trusts nothing: every scene scores F1 = 0, which the
+        // gate must reject.
+        confidence_threshold: has("--broken").then_some(0.999),
+    };
+
+    print_header(
+        "E11 - procedural scenario matrix (seeded population evaluation)",
+        "aggregate quality over sampled regimes, not six hand-picked scenes",
+    );
+    print_row("scenes", cfg.num_scenes);
+    print_row("seed", cfg.seed);
+    print_row(
+        "duration_s / fs",
+        format!("{} / {}", cfg.duration_s, cfg.sample_rate),
+    );
+    if options.confidence_threshold.is_some() {
+        print_row("pipeline", "BROKEN (confidence threshold 0.999)");
+    }
+    println!();
+
+    let started = std::time::Instant::now();
+    let report = evaluate_matrix_with(&cfg, options)?;
+    println!("{}", report.table());
+    print_row("mean event F1", format!("{:.3}", report.mean_event_f1));
+    print_row(
+        "no-event false-alarm rate",
+        format!("{:.3}", report.no_event_false_alarm_rate),
+    );
+    print_row(
+        "total wall clock",
+        format!("{:.1}s", started.elapsed().as_secs_f64()),
+    );
+    println!("\n  worst scenes (by F1):");
+    for s in &report.worst_scenes {
+        println!(
+            "    {:<26} F1 {:.3}  FA {:.3}  seed {}",
+            s.name, s.scores.event_f1, s.scores.false_alarm_rate, s.seed
+        );
+    }
+
+    if has("--json") {
+        let path = "BENCH_matrix.json";
+        std::fs::write(path, report.to_json())?;
+        println!("\nwrote {path} ({} scenes)", report.num_scenes);
+    }
+
+    if has("--gate") {
+        let failures = MatrixGate::default().check(&report);
+        if failures.is_empty() {
+            println!("\ngate: PASS");
+        } else {
+            println!("\ngate: FAIL");
+            for f in &failures {
+                println!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

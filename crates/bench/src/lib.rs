@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod matrix;
 pub mod scenarios;
 
 use ispot_codesign::ir::{OpGraph, OpNode};

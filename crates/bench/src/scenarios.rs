@@ -604,14 +604,66 @@ pub fn all(fs: f64) -> Vec<Scenario> {
     ]
 }
 
-/// Renders a scenario, runs a full perception session over the audio and scores
-/// the emitted events against the scenario's ground truth.
+/// Pipeline overrides for scoring a scene outside the stock configuration.
 ///
-/// The session is configured with the scenario's array and mode at
-/// [`FRAME_LEN`]/[`HOP`]. Three scoring layers:
+/// The scenario matrix's inverted CI check scores a deliberately broken
+/// configuration (a near-1.0 confidence threshold that suppresses every
+/// detection) to prove the aggregate gate actually fails when quality
+/// collapses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Overrides the engine's minimum detector confidence when set.
+    pub confidence_threshold: Option<f64>,
+}
+
+/// Raw numeric scores of one scored scene — everything in [`ScenarioReport`]
+/// except the identity fields, plus the false-alarm rate needed by no-event
+/// scenes (where F1 is undefined because no positive frames exist).
+#[derive(Debug, Clone)]
+pub struct EvalScores {
+    /// Frames pushed through the session.
+    pub num_frames: usize,
+    /// Events emitted by the session.
+    pub num_events: usize,
+    /// Frame-level binary event F1.
+    pub event_f1: f64,
+    /// Frame-level binary event precision.
+    pub event_precision: f64,
+    /// Frame-level binary event recall.
+    pub event_recall: f64,
+    /// Fraction of background-truth frames predicted as an event.
+    pub false_alarm_rate: f64,
+    /// Mean nearest-truth error of the tracked azimuth (degrees).
+    pub mean_doa_error_deg: Option<f64>,
+    /// Number of events scored for DoA.
+    pub doa_scored: usize,
+    /// Analysis duty cycle over the scene.
+    pub duty_cycle: f64,
+    /// Distinct confirmed track identities.
+    pub confirmed_tracks: usize,
+    /// Identity swaps.
+    pub identity_swaps: usize,
+    /// Mean assigned-truth bearing error of confirmed tracks, degrees.
+    pub mean_track_error_deg: Option<f64>,
+    /// Largest per-track mean bearing error, degrees.
+    pub worst_track_error_deg: Option<f64>,
+    /// Mean OSPA error, degrees, cutoff [`OSPA_CUTOFF_DEG`].
+    pub mean_ospa_deg: Option<f64>,
+    /// Mean end-to-end processing latency per frame, milliseconds (host).
+    pub mean_frame_latency_ms: f64,
+}
+
+/// Renders a scene, runs a full perception session over the audio and scores
+/// the emitted events against the given ground truth — the scoring core shared
+/// by [`evaluate`] (the 6-scene gallery) and the procedural scenario matrix.
+///
+/// The session runs with `array` and `mode` at [`FRAME_LEN`]/[`HOP`]. Three
+/// scoring layers:
 ///
 /// * **detection** — frame-by-frame event-vs-background
-///   (`ClassificationReport`);
+///   (`ClassificationReport`), plus the false-alarm rate over
+///   background-truth frames (the only defined detection number for no-event
+///   scenes);
 /// * **legacy DoA** — the best tracked bearing of every event against the
 ///   nearest simultaneously active source (`MultiSourceDoaScore`), kept for
 ///   continuity with the single-track harness;
@@ -624,16 +676,26 @@ pub fn all(fs: f64) -> Vec<Scenario> {
 /// # Errors
 ///
 /// Propagates simulation, pipeline-construction and metric errors.
-pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::error::Error>> {
-    let fs = scenario.scene.sample_rate;
-    let audio = Simulator::new(scenario.scene.clone())?.run()?;
-    let engine = PipelineBuilder::new(fs)
-        .array(&scenario.array)
+pub fn evaluate_scene(
+    scene: &Scene,
+    array: &MicrophoneArray,
+    mode: OperatingMode,
+    timeline: &[LabeledInterval],
+    doa_truth: &[DoaTruth],
+    options: EvalOptions,
+) -> Result<EvalScores, Box<dyn std::error::Error>> {
+    let fs = scene.sample_rate;
+    let audio = Simulator::new(scene.clone())?.run()?;
+    let mut builder = PipelineBuilder::new(fs)
+        .array(array)
         .frame_len(FRAME_LEN)
         .hop(HOP)
-        .mode(scenario.mode)
-        .search(SrpSearchConfig::hierarchical())
-        .build_engine()?;
+        .mode(mode)
+        .search(SrpSearchConfig::hierarchical());
+    if let Some(threshold) = options.confidence_threshold {
+        builder = builder.confidence_threshold(threshold);
+    }
+    let engine = builder.build_engine()?;
     let mut session = engine.open_session();
     let mut sink = VecSink::new();
     let num_frames = session.process_recording_with(&audio, &mut sink)?;
@@ -645,17 +707,30 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
             predictions[event.frame_index] = event.class;
         }
     }
-    let truth = frame_labels(&scenario.timeline, num_frames, FRAME_LEN, HOP, fs);
+    let truth = frame_labels(timeline, num_frames, FRAME_LEN, HOP, fs);
     let report = ClassificationReport::from_predictions(&truth, &predictions)?;
+    let (mut background_frames, mut false_alarms) = (0usize, 0usize);
+    for (t, p) in truth.iter().zip(&predictions) {
+        if *t == EventClass::Background {
+            background_frames += 1;
+            if *p != EventClass::Background {
+                false_alarms += 1;
+            }
+        }
+    }
+    let false_alarm_rate = if background_frames > 0 {
+        false_alarms as f64 / background_frames as f64
+    } else {
+        0.0
+    };
 
     // Bearing truths at a given moment, one slot per `doa_truth` entry in
     // stable order: a momentarily inactive source is NaN, not dropped, so the
     // identity scorer's assignments stay keyed to the same vehicle throughout
     // (the metric helpers all skip non-finite bearings).
-    let origin = scenario.array.centroid();
+    let origin = array.centroid();
     let truths_at = |time_s: f64| -> Vec<f64> {
-        scenario
-            .doa_truth
+        doa_truth
             .iter()
             .map(|t| {
                 if t.start_s <= time_s && time_s <= t.end_s {
@@ -695,13 +770,13 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
         }
     }
 
-    Ok(ScenarioReport {
-        name: scenario.name,
+    Ok(EvalScores {
         num_frames,
         num_events: sink.events().len(),
         event_f1: report.event_f1(),
         event_precision: report.event_precision(),
         event_recall: report.event_recall(),
+        false_alarm_rate,
         mean_doa_error_deg: doa.mean_error_deg(),
         doa_scored: doa.count(),
         duty_cycle: session.analysis_duty_cycle(),
@@ -711,6 +786,41 @@ pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::erro
         worst_track_error_deg: identity.worst_track_mean_error_deg(),
         mean_ospa_deg: (ospa_count > 0).then(|| ospa_sum / ospa_count as f64),
         mean_frame_latency_ms: session.latency_report().mean_frame_ms(),
+    })
+}
+
+/// Renders a scenario, runs a full perception session over the audio and scores
+/// the emitted events against the scenario's ground truth — see
+/// [`evaluate_scene`] for the scoring layers.
+///
+/// # Errors
+///
+/// Propagates simulation, pipeline-construction and metric errors.
+pub fn evaluate(scenario: &Scenario) -> Result<ScenarioReport, Box<dyn std::error::Error>> {
+    let scores = evaluate_scene(
+        &scenario.scene,
+        &scenario.array,
+        scenario.mode,
+        &scenario.timeline,
+        &scenario.doa_truth,
+        EvalOptions::default(),
+    )?;
+    Ok(ScenarioReport {
+        name: scenario.name,
+        num_frames: scores.num_frames,
+        num_events: scores.num_events,
+        event_f1: scores.event_f1,
+        event_precision: scores.event_precision,
+        event_recall: scores.event_recall,
+        mean_doa_error_deg: scores.mean_doa_error_deg,
+        doa_scored: scores.doa_scored,
+        duty_cycle: scores.duty_cycle,
+        confirmed_tracks: scores.confirmed_tracks,
+        identity_swaps: scores.identity_swaps,
+        mean_track_error_deg: scores.mean_track_error_deg,
+        worst_track_error_deg: scores.worst_track_error_deg,
+        mean_ospa_deg: scores.mean_ospa_deg,
+        mean_frame_latency_ms: scores.mean_frame_latency_ms,
     })
 }
 

@@ -69,11 +69,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ambience;
 pub mod asphalt;
 pub mod atmosphere;
 pub mod attenuation;
 pub mod doppler;
 pub mod engine;
+pub mod environment;
 pub mod error;
 pub mod geometry;
 pub mod microphone;
@@ -85,9 +87,11 @@ pub use error::RoadSimError;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::ambience::{AmbienceKind, AmbienceSynthesizer};
     pub use crate::asphalt::AsphaltModel;
     pub use crate::atmosphere::Atmosphere;
     pub use crate::engine::{MultichannelAudio, Simulator};
+    pub use crate::environment::{Occluder, StreetCanyon};
     pub use crate::error::RoadSimError;
     pub use crate::geometry::Position;
     pub use crate::microphone::MicrophoneArray;

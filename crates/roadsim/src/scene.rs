@@ -3,6 +3,7 @@
 use crate::asphalt::AsphaltModel;
 use crate::atmosphere::Atmosphere;
 use crate::attenuation::SphericalSpreading;
+use crate::environment::{Occluder, StreetCanyon};
 use crate::error::RoadSimError;
 use crate::microphone::MicrophoneArray;
 use crate::source::SoundSource;
@@ -36,6 +37,10 @@ pub struct Scene {
     pub interpolation: Interpolator,
     /// Number of taps of the air-absorption and asphalt FIR filters.
     pub filter_taps: usize,
+    /// Optional street canyon adding first-order wall reflections.
+    pub canyon: Option<StreetCanyon>,
+    /// Occluding screens attenuating blocked propagation paths.
+    pub occluders: Vec<Occluder>,
 }
 
 impl Scene {
@@ -95,6 +100,8 @@ pub struct SceneBuilder {
     include_air_absorption: bool,
     interpolation: Interpolator,
     filter_taps: usize,
+    canyon: Option<StreetCanyon>,
+    occluders: Vec<Occluder>,
 }
 
 impl SceneBuilder {
@@ -111,6 +118,8 @@ impl SceneBuilder {
             include_air_absorption: true,
             interpolation: Interpolator::Lagrange3,
             filter_taps: 65,
+            canyon: None,
+            occluders: Vec::new(),
         }
     }
 
@@ -175,6 +184,21 @@ impl SceneBuilder {
         self
     }
 
+    /// Encloses the scene in a street canyon: each façade contributes a
+    /// first-order image-source reflection per source–microphone pair
+    /// (default: free field, no canyon).
+    pub fn canyon(mut self, canyon: StreetCanyon) -> Self {
+        self.canyon = Some(canyon);
+        self
+    }
+
+    /// Adds an occluding screen; call repeatedly for multiple obstacles. The
+    /// gains of overlapping occluders multiply per propagation path.
+    pub fn occluder(mut self, occluder: Occluder) -> Self {
+        self.occluders.push(occluder);
+        self
+    }
+
     /// Validates the configuration and produces a [`Scene`].
     ///
     /// # Errors
@@ -228,6 +252,20 @@ impl SceneBuilder {
                 "filter_taps must be odd and non-zero",
             ));
         }
+        if let Some(canyon) = &self.canyon {
+            for (i, p) in array.positions().iter().enumerate() {
+                if !canyon.contains_y(p.y) {
+                    return Err(RoadSimError::invalid_scene(format!(
+                        "microphone {i} lies outside the street canyon (y = {}, width = {})",
+                        p.y,
+                        canyon.width_m()
+                    )));
+                }
+            }
+        }
+        for occluder in &self.occluders {
+            occluder.validate()?;
+        }
         Ok(Scene {
             sample_rate: self.sample_rate,
             sources: self.sources,
@@ -239,6 +277,8 @@ impl SceneBuilder {
             include_air_absorption: self.include_air_absorption,
             interpolation: self.interpolation,
             filter_taps: self.filter_taps,
+            canyon: self.canyon,
+            occluders: self.occluders,
         })
     }
 }
@@ -373,6 +413,39 @@ mod tests {
             ))
             .build();
         assert!(matches!(empty, Err(RoadSimError::InvalidScene { .. })));
+    }
+
+    #[test]
+    fn canyon_and_occluders_are_validated() {
+        use crate::environment::{Occluder, StreetCanyon};
+        // Mics at y = ±0.1 fit a 10 m canyon...
+        let ok = valid_builder()
+            .canyon(StreetCanyon::new(10.0, 0.5).unwrap())
+            .occluder(Occluder::screen(
+                Position::new(4.0, 2.0, 0.0),
+                Position::new(4.0, 20.0, 0.0),
+                6.0,
+            ))
+            .build()
+            .unwrap();
+        assert!(ok.canyon.is_some());
+        assert_eq!(ok.occluders.len(), 1);
+        // ...but a mic parked outside the walls is rejected.
+        let err = valid_builder()
+            .array(MicrophoneArray::custom(vec![Position::new(0.0, 6.0, 1.0)]).unwrap())
+            .canyon(StreetCanyon::new(10.0, 0.5).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RoadSimError::InvalidScene { .. }), "{err}");
+        // A degenerate occluder is rejected at build time.
+        let err = valid_builder()
+            .occluder(Occluder::screen(Position::ORIGIN, Position::ORIGIN, 2.0))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RoadSimError::InvalidParameter { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! 2-source scene must equal the sample-wise sum of the two single-source renders
 //! **bit for bit**, regardless of how the parallel workers were scheduled.
 
+use ispot_roadsim::ambience::{AmbienceKind, AmbienceSynthesizer};
 use ispot_roadsim::engine::Simulator;
+use ispot_roadsim::environment::{Occluder, StreetCanyon};
 use ispot_roadsim::geometry::Position;
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_roadsim::scene::SceneBuilder;
@@ -52,9 +54,10 @@ proptest! {
         traj_a in 0usize..3,
         traj_b in 0usize..3,
         gain_b in 0.1f64..2.0,
-        options in 0usize..4,
+        options in 0usize..16,
     ) {
         let (reflection, air) = (options & 1 != 0, options & 2 != 0);
+        let (canyon, occluder) = (options & 4 != 0, options & 8 != 0);
         let fs = 8000.0;
         let len = 2400; // 0.3 s keeps the per-case render cheap
         let array = MicrophoneArray::linear(3, 0.15, Position::new(0.0, 0.0, 1.0));
@@ -63,14 +66,25 @@ proptest! {
             .with_gain(gain_b);
 
         let render = |sources: Vec<SoundSource>| {
-            let scene = SceneBuilder::new(fs)
+            let mut builder = SceneBuilder::new(fs)
                 .sources(sources)
                 .array(array.clone())
                 .reflection(reflection)
                 .air_absorption(air)
-                .filter_taps(33)
-                .build()
-                .expect("valid scene");
+                .filter_taps(33);
+            if canyon {
+                // Wide enough to contain every pooled trajectory (|y| <= 8).
+                builder = builder.canyon(StreetCanyon::new(24.0, 0.6).expect("valid canyon"));
+            }
+            if occluder {
+                // A screen crossing the source-mic rays of the +y lane.
+                builder = builder.occluder(Occluder::screen(
+                    Position::new(2.0, 1.5, 0.0),
+                    Position::new(-6.0, 9.0, 0.0),
+                    4.0,
+                ));
+            }
+            let scene = builder.build().expect("valid scene");
             Simulator::new(scene)
                 .expect("valid simulator")
                 .run()
@@ -88,6 +102,55 @@ proptest! {
                 let expected = only_a.channel(m)[i] + only_b.channel(m)[i];
                 // Bit-exact: summation order is fixed (source order) and each
                 // source's render is independent of its neighbours.
+                prop_assert!(
+                    (both.channel(m)[i] - expected).abs() == 0.0,
+                    "channel {} sample {}: {} vs {}",
+                    m, i, both.channel(m)[i], expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_plus_ambience_masker_render_is_linear(
+        event_seed in 1u64..1000,
+        masker_seed in 1u64..1000,
+        masker_kind in 0usize..3,
+        masker_gain in 0.05f64..0.8,
+    ) {
+        // The scenario matrix mixes event sources over ambience maskers; the
+        // mix must stay a bit-exact superposition so per-scene SNR is exactly
+        // the configured gain ratio.
+        let fs = 8000.0;
+        let len = 2400;
+        let kind = [AmbienceKind::Wind, AmbienceKind::Rain, AmbienceKind::RoadNoise][masker_kind];
+        let array = MicrophoneArray::linear(2, 0.2, Position::new(0.0, 0.0, 1.0));
+        let event = SoundSource::new(signal(len, event_seed), trajectory(1, 4.0));
+        let bed = AmbienceSynthesizer::new(kind, fs, masker_seed)
+            .synthesize(len as f64 / fs)
+            .expect("masker synthesizes");
+        let masker = SoundSource::new(bed, Trajectory::fixed(Position::new(-6.0, -7.0, 0.5)))
+            .with_gain(masker_gain);
+
+        let render = |sources: Vec<SoundSource>| {
+            let scene = SceneBuilder::new(fs)
+                .sources(sources)
+                .array(array.clone())
+                .filter_taps(33)
+                .build()
+                .expect("valid scene");
+            Simulator::new(scene)
+                .expect("valid simulator")
+                .run()
+                .expect("render succeeds")
+        };
+
+        let both = render(vec![event.clone(), masker.clone()]);
+        let only_event = render(vec![event]);
+        let only_masker = render(vec![masker]);
+        for m in 0..both.num_channels() {
+            for i in 0..both.len() {
+                let expected = only_event.channel(m)[i] + only_masker.channel(m)[i];
                 prop_assert!(
                     (both.channel(m)[i] - expected).abs() == 0.0,
                     "channel {} sample {}: {} vs {}",

@@ -240,6 +240,13 @@ impl TrackId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an identity from its raw sequence number — the inverse of
+    /// [`raw`](Self::raw), for replaying persisted track logs and for test
+    /// harnesses that score synthetic tracks without running a tracker.
+    pub fn from_raw(raw: u64) -> Self {
+        TrackId(raw)
+    }
 }
 
 impl fmt::Display for TrackId {
