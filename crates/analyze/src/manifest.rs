@@ -101,7 +101,8 @@ impl Manifest {
                     "crates/ssl/src/tracking.rs",
                     &["update", "coast", "state", "wrap_deg"],
                 ),
-                // Stage graph: the per-frame drive loop.
+                // Stage graph: the per-frame drive loop, including the traced
+                // variant and the per-stage observation wrapper.
                 entry(
                     "crates/core/src/stages.rs",
                     &[
@@ -112,8 +113,29 @@ impl Manifest {
                         "track_peaks",
                         "track",
                         "run_frame",
+                        "run_frame_observed",
+                        "observe",
                     ],
                 ),
+                // Observability substrate: everything a traced frame touches.
+                // Registration and snapshotting are cold and allocate by
+                // design; the record/push/read paths may not.
+                entry("crates/obs/src/ring.rs", &["push", "read_at"]),
+                entry("crates/obs/src/span.rs", &["record", "read_at"]),
+                entry(
+                    "crates/obs/src/registry.rs",
+                    &[
+                        "incr",
+                        "add",
+                        "set",
+                        "get",
+                        "record",
+                        "record_us",
+                        "count",
+                        "bucket_index",
+                    ],
+                ),
+                entry("crates/obs/src/tick.rs", &["ticks", "delta"]),
                 // Roadsim render inner loop: the per-sample path update and
                 // the geometry helpers it calls for every source-mic pair.
                 // Path *construction* (`build_path`) precomputes per-sample
@@ -214,6 +236,13 @@ impl Manifest {
                     ],
                 ),
                 entry("crates/serve/src/metrics.rs", &["record", "incr", "add"]),
+                // Tracing adapters on the per-frame path: the observer hook
+                // and the live-feed publishers.
+                entry("crates/serve/src/observe.rs", &["on_span", "stage"]),
+                entry(
+                    "crates/serve/src/feed.rs",
+                    &["push_event", "push_transition", "cursor", "oldest"],
+                ),
                 entry("crates/serve/src/lib.rs", &["relock"]),
             ],
             mul_add_wrappers: vec!["crates/dsp/src/simd.rs".to_string()],

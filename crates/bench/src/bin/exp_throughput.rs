@@ -13,7 +13,11 @@
 //!
 //! * `--smoke` — two small steps, short drives, skip JSON (CI smoke run);
 //! * `--json` — additionally write `BENCH_throughput.json`, the
-//!   machine-readable scaling record consumed by CI.
+//!   machine-readable scaling record consumed by CI: schema version 2, a
+//!   `steps` array with per-step aggregates plus a per-stage latency
+//!   breakdown (`stages.trigger/detection/localization/tracking`) from the
+//!   host's tracing histograms. Quantiles are `null` until sampled; the
+//!   document carries no wall-clock or host-identity fields.
 //!
 //! [`SessionHost`]: ispot_serve::SessionHost
 
@@ -65,11 +69,14 @@ struct StepRecord {
     sessions_per_core: f64,
     frames_per_sec: f64,
     events: u64,
-    p50_ms: f64,
-    p99_ms: f64,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
     shed_rate: f64,
     busy: u64,
     shed_rejected: u64,
+    /// Per-stage latency breakdown (trigger, detection, localization,
+    /// tracking) from the host's tracing histograms.
+    stages: [(&'static str, LatencySnapshot); 4],
 }
 
 /// Runs one step: `sessions` streams driven flat-out for `drive` seconds.
@@ -89,6 +96,8 @@ fn run_step(
             workers,
             max_sessions: sessions,
             max_chunk_len: CHUNK,
+            // Tracing on: the per-stage breakdown below comes from real spans.
+            span_capacity: 128,
             ..HostConfig::default()
         },
     )
@@ -132,6 +141,7 @@ fn run_step(
     );
     let wall = started.elapsed().as_secs_f64();
     let metrics = host.metrics();
+    let stages = host.stage_latency();
     assert_eq!(metrics.errors, 0, "pipeline errors during the drive");
     for id in ids {
         host.close_stream(id).expect("close stream");
@@ -147,7 +157,18 @@ fn run_step(
         shed_rate: metrics.shed_rate(),
         busy: metrics.chunks_busy,
         shed_rejected: metrics.chunks_shed,
+        stages,
     }
+}
+
+/// A quantile for the table; `n/a` before any sample.
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |ms| format!("{ms:.2}"))
+}
+
+/// A quantile for JSON; `null` before any sample.
+fn json_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |ms| format!("{ms:.4}"))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -181,41 +202,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{sessions}-session step processed no frames"
         );
         println!(
-            "  {:>8}  {:>9.2}  {:>12.0}  {:>9.2}  {:>9.2}  {:>8.1}%  {:>8}",
+            "  {:>8}  {:>9.2}  {:>12.0}  {:>9}  {:>9}  {:>8.1}%  {:>8}",
             record.sessions,
             record.sessions_per_core,
             record.frames_per_sec,
-            record.p50_ms,
-            record.p99_ms,
+            fmt_ms(record.p50_ms),
+            fmt_ms(record.p99_ms),
             100.0 * record.shed_rate,
             record.busy
         );
         records.push(record);
+    }
+    if let Some(last) = records.last() {
+        println!();
+        println!("  per-stage latency at {} sessions:", last.sessions);
+        for (stage, snap) in &last.stages {
+            println!(
+                "  {:>12}  p50 {:>8} ms   p99 {:>8} ms   ({} spans)",
+                stage,
+                fmt_ms(snap.p50_ms),
+                fmt_ms(snap.p99_ms),
+                snap.count
+            );
+        }
     }
 
     if json {
         let entries: Vec<String> = records
             .iter()
             .map(|r| {
+                let stages: Vec<String> = r
+                    .stages
+                    .iter()
+                    .map(|(stage, snap)| {
+                        format!(
+                            "\"{stage}\": {{\"count\": {}, \"mean_ms\": {:.4}, \
+                             \"p50_ms\": {}, \"p99_ms\": {}}}",
+                            snap.count,
+                            snap.mean_ms,
+                            json_ms(snap.p50_ms),
+                            json_ms(snap.p99_ms)
+                        )
+                    })
+                    .collect();
                 format!(
-                    "  {{\"sessions\": {}, \"sessions_per_core\": {:.3}, \
+                    "    {{\"sessions\": {}, \"sessions_per_core\": {:.3}, \
                      \"frames_per_sec\": {:.1}, \"events\": {}, \
-                     \"latency_p50_ms\": {:.4}, \"latency_p99_ms\": {:.4}, \
+                     \"latency_p50_ms\": {}, \"latency_p99_ms\": {}, \
                      \"shed_rate\": {:.4}, \"busy_rejections\": {}, \
-                     \"shed_rejections\": {}}}",
+                     \"shed_rejections\": {}, \"stages\": {{{}}}}}",
                     r.sessions,
                     r.sessions_per_core,
                     r.frames_per_sec,
                     r.events,
-                    r.p50_ms,
-                    r.p99_ms,
+                    json_ms(r.p50_ms),
+                    json_ms(r.p99_ms),
                     r.shed_rate,
                     r.busy,
-                    r.shed_rejected
+                    r.shed_rejected,
+                    stages.join(", ")
                 )
             })
             .collect();
-        let body = format!("[\n{}\n]\n", entries.join(",\n"));
+        // No wall-clock or host-identity fields: rerunning on the same inputs
+        // produces a structurally identical document.
+        let body = format!(
+            "{{\n  \"schema_version\": 2,\n  \"steps\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
         let path = "BENCH_throughput.json";
         std::fs::write(path, body)?;
         println!("\nwrote {path} ({} steps)", records.len());

@@ -90,9 +90,11 @@ use crate::mode::OperatingMode;
 use crate::pipeline::PipelineConfig;
 use crate::sink::{EventSink, LatestEvent};
 use crate::stages::{
-    DetectStage, FrameOutcome, FrameParams, LocalizeStage, StageGraph, TrackStage, TriggerStage,
+    DetectStage, FrameOutcome, FrameParams, LocalizeStage, ObsCtx, StageGraph, TrackStage,
+    TriggerStage,
 };
 use ispot_dsp::framing::FrameAssembler;
+use ispot_obs::{StageObserver, TickSource};
 use ispot_roadsim::engine::MultichannelAudio;
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_sed::baseline::SpectralTemplateDetector;
@@ -119,6 +121,46 @@ pub(crate) fn with_channel_views<R>(channels: &[Vec<f64>], f: impl FnOnce(&[&[f6
     } else {
         let views: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
         f(&views)
+    }
+}
+
+/// A factory producing one fresh [`StageObserver`] per opened session.
+///
+/// An engine is shared across streams while observers are per-stream mutable
+/// state, so the builder carries a factory rather than an observer: every
+/// [`Engine::open_session`] call invokes it once and attaches the result. The
+/// factory must therefore be cheap and must hand out observers that honour the
+/// [`StageObserver`] hot-path contract (no allocation in `on_span`).
+///
+/// Hosts that need per-stream resources wired in at open time (e.g. a span
+/// ring per slot) can skip the factory and call [`Session::set_observer`]
+/// directly instead.
+#[derive(Clone)]
+pub struct ObserverFactory {
+    make: Arc<dyn Fn() -> Box<dyn StageObserver> + Send + Sync>,
+}
+
+impl ObserverFactory {
+    /// Wraps a closure that builds one observer per session.
+    pub fn new<F>(make: F) -> Self
+    where
+        F: Fn() -> Box<dyn StageObserver> + Send + Sync + 'static,
+    {
+        ObserverFactory {
+            make: Arc::new(make),
+        }
+    }
+
+    /// Builds a fresh observer (called once per [`Engine::open_session`]).
+    #[must_use]
+    pub fn make(&self) -> Box<dyn StageObserver> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for ObserverFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverFactory").finish_non_exhaustive()
     }
 }
 
@@ -159,6 +201,7 @@ pub struct PipelineBuilder {
     config: PipelineConfig,
     sample_rate: f64,
     channels: ChannelSpec,
+    observer: Option<ObserverFactory>,
 }
 
 impl PipelineBuilder {
@@ -169,6 +212,7 @@ impl PipelineBuilder {
             config: PipelineConfig::default(),
             sample_rate,
             channels: ChannelSpec::Count(1),
+            observer: None,
         }
     }
 
@@ -260,6 +304,46 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a per-session stage-observer factory: every session opened
+    /// against the built engine gets one fresh observer from `factory` and
+    /// emits a timing span per executed stage into it. The default is no
+    /// observer — the uninstrumented frame path pays a single branch per
+    /// stage and nothing else.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ispot_core::prelude::*;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), PipelineError> {
+    /// let ring = Arc::new(SpanRing::new(1024));
+    /// let sink = Arc::clone(&ring);
+    /// struct RingObserver(Arc<SpanRing>);
+    /// impl StageObserver for RingObserver {
+    ///     fn on_span(&mut self, span: Span) {
+    ///         self.0.record(span);
+    ///     }
+    /// }
+    /// let engine = PipelineBuilder::new(16_000.0)
+    ///     .observer(ObserverFactory::new(move || {
+    ///         Box::new(RingObserver(Arc::clone(&sink)))
+    ///     }))
+    ///     .build_engine()?;
+    /// let mut session = engine.open_session();
+    /// assert!(session.observer_attached());
+    ///
+    /// let frame = vec![0.1f64; 2048];
+    /// session.process_frame(&[&frame], 0)?;
+    /// assert!(ring.recorded() > 0, "stages produced no spans");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn observer(mut self, factory: ObserverFactory) -> Self {
+        self.observer = Some(factory);
+        self
+    }
+
     /// Uses a bare channel count: detection only, localization disabled.
     pub fn channels(mut self, num_channels: usize) -> Self {
         self.channels = ChannelSpec::Count(num_channels);
@@ -327,6 +411,7 @@ impl PipelineBuilder {
                 num_channels,
                 detector,
                 localizer,
+                observer: self.observer,
             }),
         })
     }
@@ -350,6 +435,7 @@ struct EngineShared {
     num_channels: usize,
     detector: Arc<SpectralTemplateDetector>,
     localizer: Option<Arc<SrpPhatFast>>,
+    observer: Option<ObserverFactory>,
 }
 
 /// The shared, immutable half of a deployment: detector weights and the
@@ -438,6 +524,8 @@ impl Engine {
             frames_processed: 0,
             frames_analyzed: 0,
             localization_shed: false,
+            observer: shared.observer.as_ref().map(ObserverFactory::make),
+            ticks: TickSource::new(),
         }
     }
 }
@@ -477,7 +565,6 @@ impl Framing {
 /// steady-state path performs no heap allocation. Thin `Vec`-returning wrappers
 /// ([`Session::push_chunk`], [`Session::process_recording`]) are kept for
 /// convenience and experiments.
-#[derive(Debug)]
 pub struct Session {
     config: PipelineConfig,
     sample_rate: f64,
@@ -488,6 +575,26 @@ pub struct Session {
     frames_processed: usize,
     frames_analyzed: usize,
     localization_shed: bool,
+    observer: Option<Box<dyn StageObserver>>,
+    ticks: TickSource,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("sample_rate", &self.sample_rate)
+            .field("num_channels", &self.num_channels)
+            .field("stages", &self.stages)
+            .field("framing", &self.framing)
+            .field("latency", &self.latency)
+            .field("frames_processed", &self.frames_processed)
+            .field("frames_analyzed", &self.frames_analyzed)
+            .field("localization_shed", &self.localization_shed)
+            .field("observer_attached", &self.observer.is_some())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
 }
 
 impl Session {
@@ -553,6 +660,35 @@ impl Session {
     /// [`Session::set_localization_shed`].
     pub fn localization_shed(&self) -> bool {
         self.localization_shed
+    }
+
+    /// Attaches a per-stream stage observer: from the next frame on, every
+    /// executed stage emits a timing span into it. Like
+    /// [`Session::set_localization_shed`], attaching (or replacing) an
+    /// observer never resets stream state — buffered input, trigger noise
+    /// floor and tracker all survive, and stage results are bit-for-bit
+    /// unaffected.
+    pub fn set_observer(&mut self, observer: Box<dyn StageObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the stage observer (if any), returning it to the caller.
+    /// Subsequent frames take the uninstrumented path.
+    pub fn clear_observer(&mut self) -> Option<Box<dyn StageObserver>> {
+        self.observer.take()
+    }
+
+    /// Returns true while a stage observer is attached.
+    pub fn observer_attached(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Re-anchors the session's span clock onto `ticks`. A host serving many
+    /// streams hands every session a copy of one source, so the
+    /// `start_ticks` of spans from different streams are directly comparable
+    /// on a single timeline.
+    pub fn set_tick_source(&mut self, ticks: TickSource) {
+        self.ticks = ticks;
     }
 
     /// Per-stage latency statistics accumulated so far.
@@ -641,7 +777,14 @@ impl Session {
                 && !self.localization_shed,
             confidence_threshold: self.config.confidence_threshold,
         };
-        let outcome = self.stages.run_frame(frame, params, &mut self.latency)?;
+        let obs = self.observer.as_mut().map(|observer| ObsCtx {
+            observer: observer.as_mut(),
+            ticks: &self.ticks,
+            frame_index: frame_index as u64,
+        });
+        let outcome = self
+            .stages
+            .run_frame_observed(frame, params, &mut self.latency, obs)?;
         self.latency.count_frame();
         match outcome {
             FrameOutcome::Gated => {}

@@ -83,7 +83,7 @@ pub use error::PipelineError;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::api::{Engine, PipelineBuilder, Session};
+    pub use crate::api::{Engine, ObserverFactory, PipelineBuilder, Session};
     pub use crate::error::PipelineError;
     pub use crate::events::{PerceptionEvent, TrackList};
     pub use crate::input::AudioInput;
@@ -91,9 +91,10 @@ pub mod prelude {
     pub use crate::mode::OperatingMode;
     pub use crate::pipeline::{AcousticPerceptionPipeline, PipelineConfig};
     pub use crate::sink::{AlertCounter, EventSink, FnSink, LatestEvent, VecSink};
-    pub use crate::stages::{FrameOutcome, Stage, StageGraph};
+    pub use crate::stages::{FrameOutcome, ObsCtx, Stage, StageGraph};
     pub use crate::stream::StreamRunner;
     pub use crate::trigger::{EnergyTrigger, TriggerConfig};
+    pub use ispot_obs::{Span, SpanRing, StageId, StageObserver, TickSource};
     pub use ispot_ssl::multitrack::{TrackId, TrackSnapshot, TrackStatus, TrackingConfig};
     pub use ispot_ssl::srp_fast::SrpSearchConfig;
 }

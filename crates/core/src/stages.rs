@@ -16,6 +16,7 @@
 use crate::error::PipelineError;
 use crate::latency::LatencyReport;
 use crate::trigger::{EnergyTrigger, TriggerConfig};
+use ispot_obs::{Span, StageId, StageObserver, TickSource};
 use ispot_roadsim::microphone::MicrophoneArray;
 use ispot_sed::baseline::{DetectorScratch, SpectralTemplateDetector};
 use ispot_sed::EventClass;
@@ -453,6 +454,51 @@ pub struct StageGraph {
     mono: Vec<f64>,
 }
 
+/// Observation context for one frame: where stage spans go, the monotonic
+/// clock they are timed against, and the frame index stamped into each span.
+///
+/// Borrowed, not owned: the observer and tick source live on the
+/// [`Session`](crate::api::Session) (or whatever is driving the graph), so
+/// building a context per frame is free.
+pub struct ObsCtx<'a> {
+    /// Destination for the frame's stage spans.
+    pub observer: &'a mut dyn StageObserver,
+    /// Monotonic clock shared by every span of this stream.
+    pub ticks: &'a TickSource,
+    /// Frame index stamped into each span.
+    pub frame_index: u64,
+}
+
+impl std::fmt::Debug for ObsCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx")
+            .field("frame_index", &self.frame_index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs one stage body, emitting a timing span when an observation context is
+/// attached. With `obs == None` this is a bare call plus one branch — the
+/// zero-overhead-when-disabled guarantee of the instrumentation. Hot path: no
+/// allocation on either arm.
+fn observe<T>(obs: &mut Option<ObsCtx<'_>>, stage: StageId, body: impl FnOnce() -> T) -> T {
+    match obs {
+        None => body(),
+        Some(ctx) => {
+            let start_ticks = ctx.ticks.ticks();
+            let out = body();
+            let duration_ticks = ctx.ticks.ticks().saturating_sub(start_ticks);
+            ctx.observer.on_span(Span {
+                stage,
+                frame_index: ctx.frame_index,
+                start_ticks,
+                duration_ticks,
+            });
+            out
+        }
+    }
+}
+
 /// Inputs controlling one [`StageGraph::run_frame`] call.
 #[derive(Debug, Clone, Copy)]
 pub struct FrameParams {
@@ -505,6 +551,29 @@ impl StageGraph {
         params: FrameParams,
         latency: &mut LatencyReport,
     ) -> Result<FrameOutcome, PipelineError> {
+        self.run_frame_observed(frame, params, latency, None)
+    }
+
+    /// Runs the graph on one multichannel frame, emitting a timing [`Span`]
+    /// per executed stage into `obs` when an observation context is attached.
+    ///
+    /// This is [`StageGraph::run_frame`] with instrumentation: `obs == None`
+    /// takes the identical code path plus one branch per stage, and an
+    /// attached observer adds only two tick reads and an `on_span` call per
+    /// stage — the instrumented path stays allocation-free (pinned by the
+    /// serve-layer counting-allocator test) and stage results are bit-for-bit
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StageGraph::run_frame`].
+    pub fn run_frame_observed(
+        &mut self,
+        frame: &[&[f64]],
+        params: FrameParams,
+        latency: &mut LatencyReport,
+        mut obs: Option<ObsCtx<'_>>,
+    ) -> Result<FrameOutcome, PipelineError> {
         // Stage 0 (mixdown): average the channels into the preallocated scratch.
         // Destructure so the scratch borrow and the stage borrows stay disjoint.
         let StageGraph {
@@ -541,11 +610,15 @@ impl StageGraph {
             *slot = frame.iter().map(|c| c[i]).sum::<f64>() * scale;
         }
         // Stage 1 (trigger): in park mode the graph sleeps until the trigger fires.
-        if params.gate_on_trigger && !trigger.gate(mono, latency) {
+        if params.gate_on_trigger
+            && !observe(&mut obs, StageId::Trigger, || trigger.gate(mono, latency))
+        {
             return Ok(FrameOutcome::Gated);
         }
         // Stage 2 (detection).
-        let (class, confidence) = detect.classify(mono, latency)?;
+        let (class, confidence) = observe(&mut obs, StageId::Detection, || {
+            detect.classify(mono, latency)
+        })?;
         if !class.is_event() || confidence < params.confidence_threshold {
             return Ok(FrameOutcome::Analyzed);
         }
@@ -557,9 +630,13 @@ impl StageGraph {
         let mut azimuth_deg = None;
         let mut tracked = None;
         if params.localization_enabled {
-            if let Some(peaks) = localize.localize_peaks(frame, latency)? {
+            if let Some(peaks) = observe(&mut obs, StageId::Localization, || {
+                localize.localize_peaks(frame, latency)
+            })? {
                 azimuth_deg = peaks.first().map(|p| p.azimuth_deg);
-                tracked = track.track_peaks(peaks, latency);
+                tracked = observe(&mut obs, StageId::Tracking, || {
+                    track.track_peaks(peaks, latency)
+                });
             }
         }
         Ok(FrameOutcome::Detection {

@@ -1,0 +1,68 @@
+//! `ispot-obs` — the observability core of the I-SPOT workspace: a tracing and
+//! metrics substrate designed to ride inside a hard-real-time audio pipeline
+//! without disturbing it.
+//!
+//! The paper's central claim is per-stage latency margins under a real-time
+//! budget; this crate is how a *running* deployment sees those margins instead
+//! of inferring them from offline benches. Three pieces, all preallocated and
+//! lock-free on their hot paths:
+//!
+//! * [`tick::TickSource`] — a monotonic nanosecond tick counter anchored at an
+//!   [`std::time::Instant`], so timing events are cheap `u64`s instead of
+//!   timestamps.
+//! * [`span::SpanRing`] (over the generic [`ring::SeqRing`]) — a fixed-capacity
+//!   seqlock ring of stage-timing records (stage id, frame index, start and
+//!   duration ticks). Writers never block, never allocate and never wait on
+//!   readers; readers (dashboards, HTTP endpoints) snapshot records and simply
+//!   skip any record a writer is mid-overwrite on.
+//! * [`registry::MetricsRegistry`] — one registration API for relaxed-atomic
+//!   [`registry::Counter`]s, [`registry::Gauge`]s and power-of-two-bucket
+//!   [`registry::Histogram`]s, renderable as Prometheus-style text exposition.
+//!
+//! The pipeline side of the contract is the [`observer::StageObserver`] trait:
+//! a per-stream hook invoked once per executed stage with a [`span::Span`].
+//! Pipelines hold `Option<Box<dyn StageObserver>>` — `None` costs one branch
+//! per stage (zero-overhead when disabled), and an attached observer must stay
+//! allocation-free (enforced by the counting-allocator tests in
+//! `crates/serve/tests/zero_alloc.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use ispot_obs::prelude::*;
+//!
+//! let registry = MetricsRegistry::new();
+//! let frames = registry.counter("ispot_frames_total", "Frames processed");
+//! let latency = registry.histogram("ispot_latency_seconds", "End-to-end latency");
+//!
+//! frames.incr();
+//! latency.record_us(250);
+//! assert_eq!(frames.get(), 1);
+//! assert_eq!(latency.snapshot().count, 1);
+//!
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("ispot_frames_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod observer;
+pub mod registry;
+pub mod ring;
+pub mod span;
+pub mod tick;
+
+pub use observer::{StageId, StageObserver};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use ring::SeqRing;
+pub use span::{Span, SpanRing};
+pub use tick::TickSource;
+
+/// Everything an instrumented pipeline or exporter needs, for glob import.
+pub mod prelude {
+    pub use crate::observer::{StageId, StageObserver};
+    pub use crate::registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+    pub use crate::ring::SeqRing;
+    pub use crate::span::{Span, SpanRing};
+    pub use crate::tick::TickSource;
+}

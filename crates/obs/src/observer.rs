@@ -1,0 +1,131 @@
+//! The pipeline-facing instrumentation contract.
+//!
+//! A [`StageObserver`] is the only thing the core pipeline knows about
+//! observability: a per-stream hook that receives one [`Span`] per executed
+//! stage. The pipeline holds `Option<Box<dyn StageObserver>>`; `None` is the
+//! default and costs a single branch per stage, so uninstrumented sessions pay
+//! nothing. What an attached observer does with the span (ring it, histogram
+//! it, both) is the host's business.
+
+use crate::span::Span;
+
+/// Identifies a pipeline stage in timing records.
+///
+/// The discriminants are stable on-the-wire values used inside span-ring
+/// records and exported metric labels; append new stages, never renumber.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Energy/onset gate deciding whether a frame is analyzed at all.
+    Trigger = 0,
+    /// Siren/horn classification of the mixdown frame.
+    Detection = 1,
+    /// SRP-PHAT localization map + peak extraction.
+    Localization = 2,
+    /// Multi-target azimuth tracking.
+    Tracking = 3,
+}
+
+impl StageId {
+    /// All stages in pipeline order.
+    pub const ALL: [StageId; 4] = [
+        StageId::Trigger,
+        StageId::Detection,
+        StageId::Localization,
+        StageId::Tracking,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = 4;
+
+    /// Dense index (0..[`StageId::COUNT`]) for per-stage tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case stage name used as a metric label value.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Trigger => "trigger",
+            StageId::Detection => "detection",
+            StageId::Localization => "localization",
+            StageId::Tracking => "tracking",
+        }
+    }
+
+    /// Inverse of the on-the-wire discriminant; `None` for unknown values
+    /// (e.g. a record from a newer writer).
+    #[must_use]
+    pub fn from_u8(value: u8) -> Option<StageId> {
+        match value {
+            0 => Some(StageId::Trigger),
+            1 => Some(StageId::Detection),
+            2 => Some(StageId::Localization),
+            3 => Some(StageId::Tracking),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-stream hook receiving one [`Span`] per executed pipeline stage.
+///
+/// # Contract
+///
+/// `on_span` runs inside the audio hot path, between stages of a frame that
+/// is racing a real-time deadline. Implementations must not allocate, block,
+/// or take locks that a non-real-time thread can hold; the serve-layer
+/// counting-allocator test pins the shipped implementation to zero
+/// steady-state allocations. Spans for gated frames only cover the trigger
+/// stage — downstream stages that did not run produce no span.
+pub trait StageObserver: Send {
+    /// Called once per executed stage with its timing span.
+    fn on_span(&mut self, span: Span);
+}
+
+/// An observer that drops every span. Useful as an explicit attachment in
+/// tests that measure the overhead of the observer plumbing itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl StageObserver for NoopObserver {
+    fn on_span(&mut self, _span: Span) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_ids_round_trip_through_wire_values() {
+        for stage in StageId::ALL {
+            assert_eq!(StageId::from_u8(stage as u8), Some(stage));
+        }
+        assert_eq!(StageId::from_u8(4), None);
+        assert_eq!(StageId::from_u8(255), None);
+    }
+
+    #[test]
+    fn names_are_stable_label_values() {
+        let names: Vec<&str> = StageId::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["trigger", "detection", "localization", "tracking"]
+        );
+        assert_eq!(StageId::Localization.to_string(), "localization");
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, stage) in StageId::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Unified metrics registry: relaxed-atomic counters, gauges and
+//! power-of-two-bucket histograms behind one registration API.
+//!
+//! Registration is cold (one mutex push, one `Arc` clone) and returns a cheap
+//! cloneable handle; every update on a handle is one or two relaxed atomic
+//! RMWs with no locks, so handles are safe to touch from the audio hot path.
+//! The registry itself only re-enters the picture when an exporter asks for
+//! [`MetricsRegistry::render_prometheus`].
+//!
+//! Histograms use 32 power-of-two microsecond buckets (bucket *i* holds
+//! values in `[2^i, 2^(i+1))` µs): recording is two `fetch_add`s and a
+//! `fetch_max`, and quantiles come back as conservative upper bucket edges.
+//! An empty histogram has no quantiles — snapshots report `None`, never a
+//! fake zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets. Bucket 31 absorbs everything
+/// from ~36 minutes up.
+pub const NUM_BUCKETS: usize = 32;
+
+/// Bucket for a microsecond value: the position of its highest set bit,
+/// clamped to the last bucket. Zero maps to bucket 0.
+fn bucket_index(us: u64) -> usize {
+    let bits = 63 - us.max(1).leading_zeros() as usize;
+    bits.min(NUM_BUCKETS - 1)
+}
+
+/// Upper edge of bucket `i` in milliseconds.
+fn bucket_upper_ms(i: usize) -> f64 {
+    ((1u128 << (i + 1)) as f64) / 1_000.0
+}
+
+/// A monotonically increasing relaxed-atomic counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates an unregistered counter (useful in tests; production counters
+    /// come from [`MetricsRegistry::counter`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one. Hot-path safe.
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`. Hot-path safe.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins relaxed-atomic gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates an unregistered gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge. Hot-path safe.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free latency histogram handle with power-of-two microsecond
+/// buckets.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Creates an unregistered histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a duration. Hot-path safe: two `fetch_add`s, one `fetch_max`,
+    /// one bucket increment, all relaxed.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_us(us);
+    }
+
+    /// Records a raw microsecond value. Hot-path safe.
+    pub fn record_us(&self, us: u64) {
+        let core = &*self.core;
+        core.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum_us.fetch_add(us, Ordering::Relaxed);
+        core.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time summary. Quantiles are conservative
+    /// upper bucket edges and `None` when no samples have been recorded.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.core;
+        let count = core.count.load(Ordering::Relaxed);
+        let sum_us = core.sum_us.load(Ordering::Relaxed);
+        let max_us = core.max_us.load(Ordering::Relaxed);
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(core.buckets.iter()) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        let quantile = |q: f64| -> Option<f64> {
+            if count == 0 {
+                return None;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return Some(bucket_upper_ms(i));
+                }
+            }
+            Some(bucket_upper_ms(NUM_BUCKETS - 1))
+        };
+        HistogramSnapshot {
+            count,
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                (sum_us as f64) / (count as f64) / 1_000.0
+            },
+            p50_ms: quantile(0.50),
+            p99_ms: quantile(0.99),
+            max_ms: (max_us as f64) / 1_000.0,
+        }
+    }
+
+    /// Per-bucket counts plus `(count, sum_us)` for exposition rendering.
+    fn exposition(&self) -> ([u64; NUM_BUCKETS], u64, u64) {
+        let core = &*self.core;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(core.buckets.iter()) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        (
+            buckets,
+            core.count.load(Ordering::Relaxed),
+            core.sum_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Point-in-time histogram summary.
+///
+/// Quantiles are `None` when the histogram is empty: an unserved host has no
+/// p50, and reporting `0.0` would read as "infinitely fast" on a dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean in milliseconds (0.0 when empty).
+    pub mean_ms: f64,
+    /// Conservative median (upper bucket edge), `None` when empty.
+    pub p50_ms: Option<f64>,
+    /// Conservative 99th percentile (upper bucket edge), `None` when empty.
+    pub p99_ms: Option<f64>,
+    /// Largest recorded value in milliseconds.
+    pub max_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    /// Pre-rendered label pairs like `stage="trigger"`, or `""` for none.
+    labels: &'static str,
+    metric: Metric,
+}
+
+/// The unified registry: owns the family list, hands out update handles,
+/// renders Prometheus-style text exposition.
+///
+/// Same-name registrations (labeled series of one family) are legal and
+/// should be made consecutively so the renderer emits `# HELP`/`# TYPE` once
+/// per family.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn push(&self, family: Family) {
+        let mut families = match self.families.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        families.push(family);
+    }
+
+    /// Registers a counter and returns its update handle.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        let handle = Counter::new();
+        self.push(Family {
+            name,
+            help,
+            labels: "",
+            metric: Metric::Counter(handle.clone()),
+        });
+        handle
+    }
+
+    /// Registers a gauge and returns its update handle.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        let handle = Gauge::new();
+        self.push(Family {
+            name,
+            help,
+            labels: "",
+            metric: Metric::Gauge(handle.clone()),
+        });
+        handle
+    }
+
+    /// Registers an unlabeled histogram and returns its update handle.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.histogram_labeled(name, help, "")
+    }
+
+    /// Registers one labeled series of a histogram family. `labels` is a
+    /// pre-rendered pair list like `stage="trigger"` (no braces).
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'static str,
+    ) -> Histogram {
+        let handle = Histogram::new();
+        self.push(Family {
+            name,
+            help,
+            labels,
+            metric: Metric::Histogram(handle.clone()),
+        });
+        handle
+    }
+
+    /// Renders every registered family as Prometheus-style text exposition.
+    /// Cold path; allocates the output string.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let families = match self.families.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = String::with_capacity(1024);
+        let mut last_name = "";
+        for family in families.iter() {
+            if family.name != last_name {
+                let kind = match family.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+                let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+                last_name = family.name;
+            }
+            match &family.metric {
+                Metric::Counter(c) => {
+                    Self::render_scalar(&mut out, family.name, family.labels, c.get());
+                }
+                Metric::Gauge(g) => {
+                    Self::render_scalar(&mut out, family.name, family.labels, g.get());
+                }
+                Metric::Histogram(h) => {
+                    Self::render_histogram(&mut out, family.name, family.labels, h);
+                }
+            }
+        }
+        out
+    }
+
+    fn render_scalar(out: &mut String, name: &str, labels: &str, value: u64) {
+        use std::fmt::Write as _;
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let _ = writeln!(out, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    fn render_histogram(out: &mut String, name: &str, labels: &str, histogram: &Histogram) {
+        use std::fmt::Write as _;
+        let (buckets, count, sum_us) = histogram.exposition();
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            cumulative += n;
+            // Upper edge in seconds, matching Prometheus convention.
+            let le = ((1u128 << (i + 1)) as f64) / 1_000_000.0;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {count}");
+        let sum_s = (sum_us as f64) / 1_000_000.0;
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {sum_s}");
+            let _ = writeln!(out, "{name}_count {count}");
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {sum_s}");
+            let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_the_magnitude() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1_000), 9);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_their_own_bucket() {
+        // A value of exactly 2^k µs starts bucket k: the half-open intervals
+        // are [2^k, 2^(k+1)), so edges must never leak into the bucket below.
+        for k in 0..NUM_BUCKETS {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge), k, "edge 2^{k} misbucketed");
+            if k > 0 {
+                assert_eq!(bucket_index(edge - 1), k - 1, "2^{k}-1 misbucketed");
+            }
+        }
+        // Past the last representable edge everything clamps to bucket 31.
+        assert_eq!(bucket_index(1u64 << 40), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn boundary_samples_quantize_to_the_next_edge_up() {
+        let h = Histogram::new();
+        // Exactly 1024 µs sits in bucket 10 => quantile reports the upper
+        // edge 2048 µs = 2.048 ms, never the lower edge it sits on.
+        h.record_us(1_024);
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_ms, Some(2.048));
+        assert_eq!(snap.p99_ms, Some(2.048));
+        // One sample just below the edge lands one bucket lower.
+        let h2 = Histogram::new();
+        h2.record_us(1_023);
+        assert_eq!(h2.snapshot().p50_ms, Some(1.024));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50_ms, None);
+        assert_eq!(snap.p99_ms, None);
+        assert_eq!(snap.mean_ms, 0.0);
+        assert_eq!(snap.max_ms, 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_edges() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // 100 µs lands in bucket 6 ([64, 128) µs) => edge 128 µs = 0.128 ms.
+        assert_eq!(snap.p50_ms, Some(0.128));
+        assert_eq!(snap.p99_ms, Some(0.128));
+        assert!((snap.mean_ms - 0.1).abs() < 1e-9);
+        assert!((snap.max_ms - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_separates_from_p50_with_a_tail() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record_us(100);
+        }
+        for _ in 0..2 {
+            h.record_us(10_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_ms, Some(0.128));
+        assert_eq!(snap.p99_ms, Some(16.384));
+    }
+
+    #[test]
+    fn counters_and_gauges_register_and_render() {
+        let registry = MetricsRegistry::new();
+        let frames = registry.counter("ispot_frames_total", "Frames processed");
+        let depth = registry.gauge("ispot_queue_depth", "Chunks queued");
+        frames.add(3);
+        depth.set(7);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# HELP ispot_frames_total Frames processed\n"));
+        assert!(text.contains("# TYPE ispot_frames_total counter\n"));
+        assert!(text.contains("ispot_frames_total 3\n"));
+        assert!(text.contains("# TYPE ispot_queue_depth gauge\n"));
+        assert!(text.contains("ispot_queue_depth 7\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_family_emits_one_header_block() {
+        let registry = MetricsRegistry::new();
+        let trig = registry.histogram_labeled(
+            "ispot_stage_seconds",
+            "Per-stage latency",
+            "stage=\"trigger\"",
+        );
+        let det = registry.histogram_labeled(
+            "ispot_stage_seconds",
+            "Per-stage latency",
+            "stage=\"detection\"",
+        );
+        trig.record_us(10);
+        det.record_us(10);
+        det.record_us(10);
+        let text = registry.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE ispot_stage_seconds histogram").count(),
+            1
+        );
+        assert!(text.contains("ispot_stage_seconds_count{stage=\"trigger\"} 1\n"));
+        assert!(text.contains("ispot_stage_seconds_count{stage=\"detection\"} 2\n"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("ispot_latency_seconds", "End-to-end latency");
+        h.record_us(1); // bucket 0
+        h.record_us(3); // bucket 1
+        let text = registry.render_prometheus();
+        // Bucket 0 upper edge 2 µs = 2e-6 s holds one sample; bucket 1 edge
+        // accumulates both.
+        assert!(text.contains("ispot_latency_seconds_bucket{le=\"0.000002\"} 1\n"));
+        assert!(text.contains("ispot_latency_seconds_bucket{le=\"0.000004\"} 2\n"));
+        assert!(text.contains("ispot_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ispot_latency_seconds_sum 0.000004\n"));
+        assert!(text.contains("ispot_latency_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn handles_are_clones_sharing_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.incr();
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+        let h = Histogram::new();
+        let h2 = h.clone();
+        h.record_us(5);
+        h2.record_us(5);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Stage-timing spans and the per-stream span ring.
+//!
+//! A [`Span`] is one stage execution: which stage, which frame, when it
+//! started (ticks from the stream's [`crate::tick::TickSource`]) and how long
+//! it took. [`SpanRing`] keeps the most recent spans of one stream in a
+//! [`crate::ring::SeqRing`] so exporters can reconstruct a per-frame timeline
+//! without ever blocking the pipeline.
+
+use crate::observer::StageId;
+use crate::ring::SeqRing;
+
+/// Words per span record in the underlying ring: stage id, frame index,
+/// start ticks, duration ticks.
+pub const SPAN_WORDS: usize = 4;
+
+/// One timed stage execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which pipeline stage ran.
+    pub stage: StageId,
+    /// Index of the frame the stage ran on.
+    pub frame_index: u64,
+    /// Start time in ticks of the stream's tick source.
+    pub start_ticks: u64,
+    /// Stage duration in ticks (nanoseconds).
+    pub duration_ticks: u64,
+}
+
+impl Span {
+    /// Stage duration in microseconds (integer, rounded down).
+    #[must_use]
+    pub fn duration_us(&self) -> u64 {
+        self.duration_ticks / 1_000
+    }
+}
+
+/// Fixed-capacity lock-free ring of the most recent [`Span`]s of one stream.
+#[derive(Debug)]
+pub struct SpanRing {
+    ring: SeqRing<SPAN_WORDS>,
+}
+
+impl SpanRing {
+    /// Creates a ring holding the latest `capacity` spans (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            ring: SeqRing::new(capacity),
+        }
+    }
+
+    /// Number of spans the ring can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Total spans recorded since construction (monotonic).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.ring.recorded()
+    }
+
+    /// Records a span. Hot path: wait-free against readers, no allocation.
+    pub fn record(&self, span: Span) {
+        self.ring.push(&[
+            span.stage as u64,
+            span.frame_index,
+            span.start_ticks,
+            span.duration_ticks,
+        ]);
+    }
+
+    /// Reads the span with global index `index` if still resident; `None` for
+    /// overwritten, unwritten, in-flight, or undecodable records.
+    #[must_use]
+    pub fn read_at(&self, index: u64) -> Option<Span> {
+        let words = self.ring.read_at(index)?;
+        Self::decode(&words)
+    }
+
+    /// Copies every still-readable span, oldest first, into `out` (cleared
+    /// first). Cold path for exporters and tests.
+    pub fn snapshot_into(&self, out: &mut Vec<Span>) {
+        out.clear();
+        let newest = self.ring.recorded();
+        let oldest = self.ring.oldest();
+        for index in oldest..newest {
+            if let Some(words) = self.ring.read_at(index) {
+                if let Some(span) = Self::decode(&words) {
+                    out.push(span);
+                }
+            }
+        }
+    }
+
+    fn decode(words: &[u64; SPAN_WORDS]) -> Option<Span> {
+        let raw = u8::try_from(words[0]).ok()?;
+        let stage = StageId::from_u8(raw)?;
+        Some(Span {
+            stage,
+            frame_index: words[1],
+            start_ticks: words[2],
+            duration_ticks: words[3],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stage: StageId, frame: u64, start: u64, dur: u64) -> Span {
+        Span {
+            stage,
+            frame_index: frame,
+            start_ticks: start,
+            duration_ticks: dur,
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_ring() {
+        let ring = SpanRing::new(8);
+        let spans = [
+            span(StageId::Trigger, 0, 10, 5),
+            span(StageId::Detection, 0, 15, 40),
+            span(StageId::Localization, 0, 55, 900),
+            span(StageId::Tracking, 0, 955, 12),
+        ];
+        for s in spans {
+            ring.record(s);
+        }
+        let mut out = Vec::new();
+        ring.snapshot_into(&mut out);
+        assert_eq!(out, spans.to_vec());
+        assert_eq!(ring.read_at(2), Some(spans[2]));
+        assert_eq!(ring.recorded(), 4);
+    }
+
+    #[test]
+    fn old_spans_fall_off_the_ring() {
+        let ring = SpanRing::new(2);
+        for frame in 0..5u64 {
+            ring.record(span(StageId::Trigger, frame, frame * 100, 1));
+        }
+        let mut out = Vec::new();
+        ring.snapshot_into(&mut out);
+        let frames: Vec<u64> = out.iter().map(|s| s.frame_index).collect();
+        assert_eq!(frames, vec![3, 4]);
+    }
+
+    #[test]
+    fn duration_us_rounds_down() {
+        let s = span(StageId::Detection, 1, 0, 2_999);
+        assert_eq!(s.duration_us(), 2);
+    }
+}

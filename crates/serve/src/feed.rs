@@ -1,0 +1,232 @@
+//! The live event feed: a lock-free ring of perception-event summaries and
+//! shed-ladder transitions, written by the data plane and polled by exporters
+//! (the SSE endpoint, `/snapshot`, tests).
+//!
+//! Records are fixed-width word tuples in a [`SeqRing`], so publishing from a
+//! worker is wait-free and allocation-free and a slow (or absent) consumer can
+//! never back-pressure the pipeline — it just misses overwritten records, the
+//! right failure mode for a monitoring feed.
+
+use crate::load::DegradeLevel;
+use ispot_core::events::PerceptionEvent;
+use ispot_obs::SeqRing;
+use ispot_sed::EventClass;
+
+/// Words per feed record: discriminant+class, stream identity, frame index,
+/// confidence, azimuth, time.
+const FEED_WORDS: usize = 6;
+
+const KIND_EVENT: u64 = 0;
+const KIND_TRANSITION: u64 = 1;
+
+/// One record read back from the feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedEvent {
+    /// A perception event delivered to some stream's sink.
+    Perception {
+        /// Slot index of the originating stream.
+        slot: u32,
+        /// Slot generation (pairs with `slot` to identify the stream).
+        generation: u32,
+        /// Frame index within the stream.
+        frame_index: u64,
+        /// Detected event class.
+        class: EventClass,
+        /// Detector confidence in [0, 1].
+        confidence: f64,
+        /// Tracked azimuth if available, else the raw SRP estimate, else
+        /// `None` (localization disabled or shed).
+        azimuth_deg: Option<f64>,
+        /// Stream time of the frame in seconds.
+        time_s: f64,
+    },
+    /// A degrade-ladder transition of the host.
+    Degrade {
+        /// Level before the transition.
+        from: DegradeLevel,
+        /// Level after the transition.
+        to: DegradeLevel,
+    },
+}
+
+/// Fixed-capacity lock-free feed of the most recent [`FeedEvent`]s.
+#[derive(Debug)]
+pub struct EventFeed {
+    ring: SeqRing<FEED_WORDS>,
+}
+
+impl EventFeed {
+    /// Creates a feed holding the latest `capacity` records (clamped to ≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        EventFeed {
+            ring: SeqRing::new(capacity),
+        }
+    }
+
+    /// Total records published since the host started (monotonic). A consumer
+    /// polls from its last cursor up to this value.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.ring.recorded()
+    }
+
+    /// Index of the oldest record that may still be readable.
+    #[must_use]
+    pub fn oldest(&self) -> u64 {
+        self.ring.oldest()
+    }
+
+    /// Publishes one perception-event summary. Hot path: wait-free, no
+    /// allocation (floats are bit-packed, `None` azimuth travels as NaN).
+    pub(crate) fn push_event(&self, slot: u32, generation: u32, event: &PerceptionEvent) {
+        let azimuth = event
+            .tracked_azimuth_deg
+            .or(event.azimuth_deg)
+            .unwrap_or(f64::NAN);
+        self.ring.push(&[
+            KIND_EVENT | ((event.class.index() as u64) << 8),
+            u64::from(slot) | (u64::from(generation) << 32),
+            event.frame_index as u64,
+            event.confidence.to_bits(),
+            azimuth.to_bits(),
+            event.time_s.to_bits(),
+        ]);
+    }
+
+    /// Publishes one shed-ladder transition.
+    pub(crate) fn push_transition(&self, from: DegradeLevel, to: DegradeLevel) {
+        self.ring.push(&[
+            KIND_TRANSITION,
+            from as u64 | ((to as u64) << 32),
+            0,
+            0,
+            0,
+            0,
+        ]);
+    }
+
+    /// Reads the record with feed index `index`, if still resident. `None`
+    /// for overwritten, unwritten, in-flight, or undecodable records —
+    /// consumers skip and advance their cursor.
+    #[must_use]
+    pub fn read_at(&self, index: u64) -> Option<FeedEvent> {
+        let words = self.ring.read_at(index)?;
+        match words[0] & 0xff {
+            KIND_EVENT => {
+                let class = EventClass::from_index((words[0] >> 8) as usize)?;
+                let azimuth = f64::from_bits(words[4]);
+                Some(FeedEvent::Perception {
+                    slot: (words[1] & 0xffff_ffff) as u32,
+                    generation: (words[1] >> 32) as u32,
+                    frame_index: words[2],
+                    class,
+                    confidence: f64::from_bits(words[3]),
+                    azimuth_deg: if azimuth.is_nan() {
+                        None
+                    } else {
+                        Some(azimuth)
+                    },
+                    time_s: f64::from_bits(words[5]),
+                })
+            }
+            KIND_TRANSITION => Some(FeedEvent::Degrade {
+                from: DegradeLevel::from_u8((words[1] & 0xff) as u8),
+                to: DegradeLevel::from_u8(((words[1] >> 32) & 0xff) as u8),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Copies every still-readable record, oldest first, into `out` (cleared
+    /// first). Cold path for exporters and tests.
+    pub fn snapshot_into(&self, out: &mut Vec<FeedEvent>) {
+        out.clear();
+        for index in self.ring.oldest()..self.ring.recorded() {
+            if let Some(event) = self.read_at(index) {
+                out.push(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_core::events::TrackList;
+
+    fn event(frame_index: usize, azimuth: Option<f64>) -> PerceptionEvent {
+        PerceptionEvent {
+            frame_index,
+            time_s: frame_index as f64 * 0.032,
+            class: EventClass::WailSiren,
+            confidence: 0.75,
+            azimuth_deg: azimuth,
+            tracked_azimuth_deg: None,
+            tracks: TrackList::default(),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_with_and_without_azimuth() {
+        let feed = EventFeed::new(8);
+        feed.push_event(3, 1, &event(42, Some(-60.5)));
+        feed.push_event(3, 1, &event(43, None));
+        match feed.read_at(0) {
+            Some(FeedEvent::Perception {
+                slot,
+                generation,
+                frame_index,
+                class,
+                confidence,
+                azimuth_deg,
+                time_s,
+            }) => {
+                assert_eq!((slot, generation, frame_index), (3, 1, 42));
+                assert_eq!(class, EventClass::WailSiren);
+                assert_eq!(confidence, 0.75);
+                assert_eq!(azimuth_deg, Some(-60.5));
+                assert!((time_s - 42.0 * 0.032).abs() < 1e-12);
+            }
+            other => panic!("expected a perception record, got {other:?}"),
+        }
+        match feed.read_at(1) {
+            Some(FeedEvent::Perception { azimuth_deg, .. }) => assert_eq!(azimuth_deg, None),
+            other => panic!("expected a perception record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitions_round_trip() {
+        let feed = EventFeed::new(4);
+        feed.push_transition(DegradeLevel::Full, DegradeLevel::ShedLocalization);
+        feed.push_transition(DegradeLevel::ShedIntake, DegradeLevel::ShedLocalization);
+        assert_eq!(
+            feed.read_at(0),
+            Some(FeedEvent::Degrade {
+                from: DegradeLevel::Full,
+                to: DegradeLevel::ShedLocalization
+            })
+        );
+        assert_eq!(
+            feed.read_at(1),
+            Some(FeedEvent::Degrade {
+                from: DegradeLevel::ShedIntake,
+                to: DegradeLevel::ShedLocalization
+            })
+        );
+    }
+
+    #[test]
+    fn old_records_fall_off_and_cursor_is_monotonic() {
+        let feed = EventFeed::new(2);
+        for i in 0..5 {
+            feed.push_event(0, 0, &event(i, None));
+        }
+        assert_eq!(feed.cursor(), 5);
+        assert_eq!(feed.oldest(), 3);
+        assert_eq!(feed.read_at(0), None);
+        let mut out = Vec::new();
+        feed.snapshot_into(&mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -32,14 +32,17 @@
 //! events carry no azimuth) and restores it with hysteresis once queues drain.
 
 use crate::error::{ServeError, SubmitError};
+use crate::feed::EventFeed;
 use crate::load::{DegradeLevel, LoadController, LoadPolicy};
 use crate::metrics::{HostMetrics, MetricsSnapshot};
+use crate::observe::{HostObserver, StageHistograms};
 use crate::relock;
 use crate::ring::{ChunkRing, MAX_CHANNELS};
 use crate::worker;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use ispot_core::api::{Engine, Session};
 use ispot_core::sink::EventSink;
+use ispot_obs::{MetricsRegistry, Span, SpanRing, TickSource};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +69,13 @@ pub struct HostConfig {
     /// until [`SessionHost::resume`] — used by tests and benches that need to
     /// build up load deterministically.
     pub start_paused: bool,
+    /// Per-stream span-ring capacity for pipeline tracing. `0` (the default)
+    /// disables tracing entirely: sessions run with no observer attached and
+    /// the per-stage cost is a single branch.
+    pub span_capacity: usize,
+    /// Capacity of the live event feed ring backing the `/events` endpoint
+    /// and [`SessionHost::feed`].
+    pub feed_capacity: usize,
 }
 
 impl Default for HostConfig {
@@ -77,6 +87,8 @@ impl Default for HostConfig {
             max_chunk_len: 512,
             policy: LoadPolicy::default(),
             start_paused: false,
+            span_capacity: 0,
+            feed_capacity: 256,
         }
     }
 }
@@ -111,6 +123,12 @@ impl HostConfig {
         if self.max_chunk_len == 0 {
             return Err(ServeError::InvalidConfig {
                 field: "max_chunk_len",
+                reason: "must be at least 1",
+            });
+        }
+        if self.feed_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "feed_capacity",
                 reason: "must be at least 1",
             });
         }
@@ -172,7 +190,7 @@ impl SlotStats {
         self.shed_applied.store(false, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, queued: usize) -> StreamStats {
+    pub(crate) fn snapshot(&self, queued: usize) -> StreamStats {
         StreamStats {
             queued,
             chunks_in: self.chunks_in.load(Ordering::Relaxed),
@@ -216,6 +234,10 @@ pub(crate) struct Slot {
     /// matches.
     pub(crate) generation: AtomicU32,
     pub(crate) stats: SlotStats,
+    /// The stream's span ring when tracing is enabled (control-plane lock:
+    /// taken only on open/close and by exporters, never on the data plane —
+    /// the attached observer holds its own `Arc`).
+    pub(crate) spans: Mutex<Option<Arc<SpanRing>>>,
 }
 
 /// Pause gate for the worker pool (tests/benches build load while paused).
@@ -236,7 +258,17 @@ pub(crate) struct HostInner {
     ready_tx: Sender<u32>,
     pub(crate) ready_rx: Receiver<u32>,
     pub(crate) load: LoadController,
+    /// The unified registry every host metric is registered in; rendered by
+    /// the `/metrics` endpoint.
+    pub(crate) registry: MetricsRegistry,
     pub(crate) metrics: HostMetrics,
+    /// Per-stage latency histograms fed by every traced session.
+    pub(crate) stage_latency: StageHistograms,
+    /// Live feed of event summaries and degrade transitions.
+    pub(crate) feed: EventFeed,
+    /// The host clock every session is aligned to, so span ticks and feed
+    /// timestamps share one origin.
+    pub(crate) ticks: TickSource,
     shutdown: AtomicBool,
     pause: PauseGate,
 }
@@ -284,15 +316,34 @@ impl HostInner {
         }
     }
 
-    /// Applies any pending degrade transition and counts it.
+    /// Applies any pending degrade transition, counts it and publishes it on
+    /// the live feed.
     pub(crate) fn note_transitions(&self) {
         if let Some((from, to)) = self.load.evaluate() {
             if to > from {
-                HostMetrics::incr(&self.metrics.sheds);
+                self.metrics.sheds.incr();
             } else {
-                HostMetrics::incr(&self.metrics.restores);
+                self.metrics.restores.incr();
             }
+            self.feed.push_transition(from, to);
         }
+    }
+
+    /// Refreshes the computed gauges from live control-plane state. Called
+    /// before every scrape so the exposition reflects the present, not the
+    /// last mutation.
+    pub(crate) fn refresh_gauges(&self) {
+        let open = self.config.max_sessions - relock(&self.free).len();
+        self.metrics.sessions_open.set(open as u64);
+        self.metrics.queue_depth.set(self.load.in_flight() as u64);
+        self.metrics.degrade_level.set(self.load.level() as u64);
+    }
+
+    /// Refreshes the gauges and renders the full Prometheus-style text
+    /// exposition.
+    pub(crate) fn render_prometheus(&self) -> String {
+        self.refresh_gauges();
+        self.registry.render_prometheus()
     }
 }
 
@@ -363,10 +414,14 @@ impl SessionHost {
                 scheduled: AtomicBool::new(false),
                 generation: AtomicU32::new(0),
                 stats: SlotStats::default(),
+                spans: Mutex::new(None),
             });
         }
         // Popping from the back hands out low indices first.
         let free: Vec<u32> = (0..config.max_sessions as u32).rev().collect();
+        let registry = MetricsRegistry::new();
+        let metrics = HostMetrics::new(&registry);
+        let stage_latency = StageHistograms::new(&registry);
         let inner = Arc::new(HostInner {
             engine,
             config,
@@ -375,7 +430,11 @@ impl SessionHost {
             ready_tx,
             ready_rx,
             load: LoadController::new(config.policy),
-            metrics: HostMetrics::default(),
+            registry,
+            metrics,
+            stage_latency,
+            feed: EventFeed::new(config.feed_capacity),
+            ticks: TickSource::new(),
             shutdown: AtomicBool::new(false),
             pause: PauseGate {
                 flag: Mutex::new(config.start_paused),
@@ -420,7 +479,18 @@ impl SessionHost {
             max_sessions: inner.config.max_sessions,
         })?;
         let slot = &inner.slots[idx as usize];
-        let session = inner.engine.open_session();
+        let mut session = inner.engine.open_session();
+        // All sessions share the host clock, so spans from different streams
+        // are directly comparable on one timeline.
+        session.set_tick_source(inner.ticks);
+        if inner.config.span_capacity > 0 {
+            let spans = Arc::new(SpanRing::new(inner.config.span_capacity));
+            session.set_observer(Box::new(HostObserver::new(
+                Arc::clone(&spans),
+                inner.stage_latency.clone(),
+            )));
+            *relock(&slot.spans) = Some(spans);
+        }
         slot.stats.reset();
         *relock(&slot.session) = Some(SessionState {
             session,
@@ -432,7 +502,7 @@ impl SessionHost {
             inner.config.max_chunk_len,
         ));
         inner.load.add_capacity(inner.config.ring_capacity);
-        HostMetrics::incr(&inner.metrics.sessions_opened);
+        inner.metrics.sessions_opened.incr();
         Ok(StreamId {
             slot: idx,
             generation: slot.generation.load(Ordering::Acquire),
@@ -476,7 +546,7 @@ impl SessionHost {
             });
         }
         if inner.load.level() == DegradeLevel::ShedIntake {
-            HostMetrics::incr(&inner.metrics.chunks_shed);
+            inner.metrics.chunks_shed.incr();
             return Err(SubmitError::Shed);
         }
         {
@@ -491,12 +561,12 @@ impl SessionHost {
                 return Err(SubmitError::UnknownStream);
             };
             if !ring.push_planar(chunk, Instant::now()) {
-                HostMetrics::incr(&inner.metrics.chunks_busy);
+                inner.metrics.chunks_busy.incr();
                 slot.stats.chunks_busy.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Busy { queued: ring.len() });
             }
         }
-        HostMetrics::incr(&inner.metrics.chunks_in);
+        inner.metrics.chunks_in.incr();
         slot.stats.chunks_in.fetch_add(1, Ordering::Relaxed);
         inner.load.on_enqueue();
         inner.note_transitions();
@@ -530,13 +600,14 @@ impl SessionHost {
         for _ in 0..discarded {
             inner.load.on_complete();
         }
-        HostMetrics::add(&inner.metrics.chunks_discarded, discarded as u64);
+        inner.metrics.chunks_discarded.add(discarded as u64);
         // Blocks until the worker currently processing this stream (if any)
         // releases the session lock — close never races a live drain.
         *relock(&slot.session) = None;
+        *relock(&slot.spans) = None;
         inner.load.remove_capacity(inner.config.ring_capacity);
         inner.note_transitions();
-        HostMetrics::incr(&inner.metrics.sessions_closed);
+        inner.metrics.sessions_closed.incr();
         let stats = slot.stats.snapshot(0);
         relock(&inner.free).push(id.slot);
         Ok(stats)
@@ -570,19 +641,19 @@ impl SessionHost {
         let m = &inner.metrics;
         MetricsSnapshot {
             sessions_open: inner.config.max_sessions - relock(&inner.free).len(),
-            sessions_opened: HostMetrics::get(&m.sessions_opened),
-            sessions_closed: HostMetrics::get(&m.sessions_closed),
-            chunks_in: HostMetrics::get(&m.chunks_in),
-            chunks_busy: HostMetrics::get(&m.chunks_busy),
-            chunks_shed: HostMetrics::get(&m.chunks_shed),
-            chunks_discarded: HostMetrics::get(&m.chunks_discarded),
+            sessions_opened: m.sessions_opened.get(),
+            sessions_closed: m.sessions_closed.get(),
+            chunks_in: m.chunks_in.get(),
+            chunks_busy: m.chunks_busy.get(),
+            chunks_shed: m.chunks_shed.get(),
+            chunks_discarded: m.chunks_discarded.get(),
             queue_depth: inner.load.in_flight(),
-            frames: HostMetrics::get(&m.frames),
-            shed_frames: HostMetrics::get(&m.shed_frames),
-            events: HostMetrics::get(&m.events),
-            sheds: HostMetrics::get(&m.sheds),
-            restores: HostMetrics::get(&m.restores),
-            errors: HostMetrics::get(&m.errors),
+            frames: m.frames.get(),
+            shed_frames: m.shed_frames.get(),
+            events: m.events.get(),
+            sheds: m.sheds.get(),
+            restores: m.restores.get(),
+            errors: m.errors.get(),
             degrade_level: inner.load.level(),
             latency: m.latency.snapshot(),
         }
@@ -591,6 +662,54 @@ impl SessionHost {
     /// Current level of the graceful-degradation ladder.
     pub fn degrade_level(&self) -> DegradeLevel {
         self.inner.load.level()
+    }
+
+    /// Renders every registered host metric as Prometheus-style text
+    /// exposition — the body the `/metrics` endpoint serves. Computed gauges
+    /// are refreshed first.
+    pub fn render_prometheus(&self) -> String {
+        self.inner.render_prometheus()
+    }
+
+    /// Resolved per-stage latency snapshots, in pipeline order
+    /// (trigger, detection, localization, tracking). All-`None` quantiles
+    /// until tracing is enabled (`span_capacity > 0`) and frames have run.
+    pub fn stage_latency(&self) -> [(&'static str, crate::metrics::LatencySnapshot); 4] {
+        self.inner.stage_latency.snapshot()
+    }
+
+    /// The live feed of perception-event summaries and degrade transitions.
+    pub fn feed(&self) -> &EventFeed {
+        &self.inner.feed
+    }
+
+    /// Copies the still-resident trace spans of one stream, oldest first.
+    /// Empty when tracing is disabled (`span_capacity == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownStream`] if `id` is stale or was never
+    /// opened.
+    pub fn stream_spans(&self, id: StreamId) -> Result<Vec<Span>, ServeError> {
+        let inner = &self.inner;
+        let slot = inner
+            .slots
+            .get(id.slot as usize)
+            .ok_or(ServeError::UnknownStream)?;
+        let guard = relock(&slot.spans);
+        if slot.generation.load(Ordering::Acquire) != id.generation {
+            return Err(ServeError::UnknownStream);
+        }
+        let mut out = Vec::new();
+        if let Some(ring) = guard.as_ref() {
+            ring.snapshot_into(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Shared host state for the HTTP exporter thread.
+    pub(crate) fn inner(&self) -> &Arc<HostInner> {
+        &self.inner
     }
 
     /// Pauses the worker pool after it finishes the chunks it is currently

@@ -23,9 +23,16 @@
 //!   drain. Shed decisions are observable per stream
 //!   ([`StreamStats::localization_shed`]) and host-wide
 //!   ([`MetricsSnapshot::degrade_level`]).
-//! * **Lock-free observability.** Counters and the event-latency histogram are
-//!   relaxed atomics ([`MetricsSnapshot`], p50/p99); snapshotting never
-//!   touches the data plane.
+//! * **Lock-free observability.** Every counter and histogram is a relaxed
+//!   atomic handle registered in one `ispot-obs` [`MetricsRegistry`]; the same
+//!   values feed the typed [`MetricsSnapshot`] API, the Prometheus-style
+//!   `/metrics` endpoint ([`SessionHost::serve_http`]), the JSON `/snapshot`
+//!   and the SSE `/events` feed. With `span_capacity > 0` every session gets a
+//!   lock-free per-stream span ring tracing the four pipeline stages
+//!   ([`SessionHost::stream_spans`]) plus per-stage latency histograms — the
+//!   instrumented path stays allocation-free (enforced in
+//!   `tests/zero_alloc.rs`) and bit-identical in output
+//!   (`tests/determinism.rs`).
 //! * **Zero allocation per chunk.** Ring slots are preallocated and recycled
 //!   by buffer swap; sessions reuse their scratch; events are delivered by
 //!   reference. The counting-allocator test in `tests/zero_alloc.rs` enforces
@@ -38,25 +45,34 @@
 //! [`Engine`]: ispot_core::api::Engine
 //! [`Session`]: ispot_core::api::Session
 //! [`Session::set_localization_shed`]: ispot_core::api::Session::set_localization_shed
+//! [`MetricsRegistry`]: ispot_obs::MetricsRegistry
 
 pub mod error;
+pub mod feed;
 pub mod host;
+pub mod http;
 pub mod load;
 pub mod metrics;
+pub mod observe;
 pub(crate) mod ring;
 pub mod sinks;
 pub(crate) mod worker;
 
 pub use error::{ServeError, SubmitError};
+pub use feed::{EventFeed, FeedEvent};
 pub use host::{HostConfig, SessionHost, StreamId, StreamStats};
+pub use http::MetricsEndpoint;
 pub use load::{DegradeLevel, LoadPolicy};
 pub use metrics::{LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use observe::HostObserver;
 pub use sinks::{CountingSink, DiscardSink, SharedVecSink};
 
 /// Everything a host embedder needs.
 pub mod prelude {
     pub use crate::error::{ServeError, SubmitError};
+    pub use crate::feed::{EventFeed, FeedEvent};
     pub use crate::host::{HostConfig, SessionHost, StreamId, StreamStats};
+    pub use crate::http::MetricsEndpoint;
     pub use crate::load::{DegradeLevel, LoadPolicy};
     pub use crate::metrics::{LatencySnapshot, MetricsSnapshot};
     pub use crate::sinks::{CountingSink, DiscardSink, SharedVecSink};

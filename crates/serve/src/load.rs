@@ -44,7 +44,7 @@ pub enum DegradeLevel {
 }
 
 impl DegradeLevel {
-    fn from_u8(v: u8) -> DegradeLevel {
+    pub(crate) fn from_u8(v: u8) -> DegradeLevel {
         match v {
             0 => DegradeLevel::Full,
             1 => DegradeLevel::ShedLocalization,

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! ispot-serve [--sessions N] [--workers N] [--seconds S] [--chunk LEN] [--smoke]
+//!             [--metrics-port P] [--linger S]
 //! ```
 //!
 //! The driver renders one multichannel siren scene with `ispot-roadsim`, opens
@@ -10,6 +11,13 @@
 //! chunk-by-chunk into every stream as fast as the host accepts, honoring
 //! backpressure (`Busy` chunks are retried on the next round, never dropped by
 //! the driver). `--smoke` runs one short fixed workload for CI.
+//!
+//! With `--metrics-port P` the host additionally serves its observability
+//! endpoint on `127.0.0.1:P` (`/metrics`, `/snapshot`, `/events`; port 0 binds
+//! ephemerally and the bound address is printed). `--linger S` keeps the
+//! process (and the endpoint) alive S extra seconds after the drive so
+//! external scrapers can read the final state — the CI smoke step curls the
+//! endpoint during this window.
 
 use ispot_core::api::PipelineBuilder;
 use ispot_roadsim::engine::Simulator;
@@ -32,6 +40,8 @@ struct Args {
     seconds: f64,
     chunk: usize,
     smoke: bool,
+    metrics_port: Option<u16>,
+    linger: f64,
 }
 
 impl Default for Args {
@@ -42,6 +52,8 @@ impl Default for Args {
             seconds: 2.0,
             chunk: 512,
             smoke: false,
+            metrics_port: None,
+            linger: 0.0,
         }
     }
 }
@@ -73,6 +85,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--chunk: {e}"))?;
             }
             "--smoke" => args.smoke = true,
+            "--metrics-port" => {
+                args.metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-port: {e}"))?,
+                );
+            }
+            "--linger" => {
+                args.linger = value("--linger")?
+                    .parse()
+                    .map_err(|e| format!("--linger: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -120,9 +144,20 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             workers: args.workers,
             max_sessions: args.sessions,
             max_chunk_len: args.chunk,
+            // The demo always traces: per-stage latency shows up in the
+            // report and on /metrics.
+            span_capacity: 256,
             ..HostConfig::default()
         },
     )?;
+    let endpoint = match args.metrics_port {
+        Some(port) => {
+            let endpoint = host.serve_http(("127.0.0.1", port))?;
+            println!("metrics endpoint on http://{}", endpoint.addr());
+            Some(endpoint)
+        }
+        None => None,
+    };
 
     let counter = CountingSink::new();
     let streams: Vec<StreamId> = (0..args.sessions)
@@ -161,9 +196,6 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     host.wait_idle(Duration::from_secs(30));
     let wall = started.elapsed().as_secs_f64();
     let metrics = host.metrics();
-    for stream in streams {
-        host.close_stream(stream)?;
-    }
 
     println!(
         "ispot-serve demo — {} sessions, {} workers, {:.1} s drive, {}-sample chunks",
@@ -185,17 +217,40 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         counter.alerts()
     );
     println!(
-        "  latency    p50 {:.2} ms   p99 {:.2} ms   max {:.2} ms",
-        metrics.latency.p50_ms, metrics.latency.p99_ms, metrics.latency.max_ms
+        "  latency    p50 {} ms   p99 {} ms   max {:.2} ms",
+        fmt_ms(metrics.latency.p50_ms),
+        fmt_ms(metrics.latency.p99_ms),
+        metrics.latency.max_ms
     );
+    for (stage, snap) in host.stage_latency() {
+        println!(
+            "  stage      {stage:<12} p50 {} ms   p99 {} ms   ({} spans)",
+            fmt_ms(snap.p50_ms),
+            fmt_ms(snap.p99_ms),
+            snap.count
+        );
+    }
     println!(
         "  degrade    level {}   ({} sheds, {} restores)",
         metrics.degrade_level, metrics.sheds, metrics.restores
     );
+    if args.linger > 0.0 && endpoint.is_some() {
+        println!("lingering {:.1} s for scrapers...", args.linger);
+        std::thread::sleep(Duration::from_secs_f64(args.linger));
+    }
+    for stream in streams {
+        host.close_stream(stream)?;
+    }
+    drop(endpoint);
     if args.smoke && metrics.frames == 0 {
         return Err("smoke run processed no frames".into());
     }
     Ok(())
+}
+
+/// A conservative latency quantile for the report; `n/a` before any sample.
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |ms| format!("{ms:.2}"))
 }
 
 fn main() {

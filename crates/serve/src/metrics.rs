@@ -1,150 +1,127 @@
-//! Host-wide counters and the event-latency histogram, recorded with relaxed
-//! atomics so the data plane never takes a lock to observe itself, and
-//! snapshotable at any time from any thread.
+//! Host-wide counters and latency histograms, unified on the `ispot-obs`
+//! [`MetricsRegistry`]: every counter and histogram the host mutates on its
+//! data plane is a registered registry handle, so the same values feed the
+//! typed [`MetricsSnapshot`] API and the Prometheus-style `/metrics` text
+//! exposition without being counted twice.
 //!
-//! The shape follows the `EngineMetrics` pattern from the real-time pipeline
-//! exemplars: one plain struct of atomic counters shared behind an `Arc`,
-//! mutated with `fetch_add` on the hot path and read with a consistent-enough
-//! `load` sweep for reporting. Latency quantiles come from a fixed power-of-two
-//! histogram ([`LatencyHistogram`]): recording is one `fetch_add` into a bucket
-//! indexed by the magnitude of the sample, so it is allocation-free and
-//! wait-free; p50/p99 are resolved at snapshot time by walking 32 buckets.
+//! The shape keeps the `EngineMetrics` pattern from the real-time pipeline
+//! exemplars: one plain struct of handles shared behind an `Arc`, mutated with
+//! relaxed `fetch_add`s on the hot path and read with a consistent-enough
+//! `load` sweep for reporting. Latency quantiles come from the registry's
+//! fixed power-of-two [`LatencyHistogram`]: recording is allocation-free and
+//! wait-free; p50/p99 resolve at snapshot time by walking 32 buckets and are
+//! `None` (never a fake zero) while the histogram is empty.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use ispot_obs::{Counter, Gauge, MetricsRegistry};
 
-/// Number of power-of-two latency buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds, so 32 buckets span 1 µs to ~72 minutes.
-const NUM_BUCKETS: usize = 32;
+/// The serve-layer latency histogram: the registry's power-of-two-bucket
+/// histogram, re-exported under its historical name.
+pub use ispot_obs::Histogram as LatencyHistogram;
 
-/// A fixed-size, lock-free latency histogram with power-of-two microsecond
-/// buckets.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-/// Bucket index for a latency of `us` microseconds: the position of its highest
-/// set bit, clamped to the top bucket.
-fn bucket_index(us: u64) -> usize {
-    let us = us.max(1);
-    ((u64::BITS - 1 - us.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample. Wait-free: two relaxed `fetch_add`s, one
-    /// `fetch_max`, no allocation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Resolves the current counts into quantiles. Quantiles are conservative:
-    /// each resolves to the *upper* edge of the bucket holding its rank, so a
-    /// reported p99 of 4.1 ms means "99% of samples finished within 4.1 ms".
-    pub fn snapshot(&self) -> LatencySnapshot {
-        let counts: [u64; NUM_BUCKETS] =
-            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
-        let count: u64 = counts.iter().sum();
-        let sum_us = self.sum_us.load(Ordering::Relaxed);
-        let quantile = |q: f64| -> f64 {
-            if count == 0 {
-                return 0.0;
-            }
-            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    // Upper edge of bucket i in ms.
-                    return (1u64 << (i + 1)) as f64 / 1000.0;
-                }
-            }
-            (self.max_us.load(Ordering::Relaxed)) as f64 / 1000.0
-        };
-        LatencySnapshot {
-            count,
-            mean_ms: if count == 0 {
-                0.0
-            } else {
-                sum_us as f64 / count as f64 / 1000.0
-            },
-            p50_ms: quantile(0.50),
-            p99_ms: quantile(0.99),
-            max_ms: self.max_us.load(Ordering::Relaxed) as f64 / 1000.0,
-        }
-    }
-}
-
-/// Resolved latency statistics at one point in time.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct LatencySnapshot {
-    /// Samples recorded.
-    pub count: u64,
-    /// Arithmetic mean in milliseconds.
-    pub mean_ms: f64,
-    /// Median (conservative bucket upper edge) in milliseconds.
-    pub p50_ms: f64,
-    /// 99th percentile (conservative bucket upper edge) in milliseconds.
-    pub p99_ms: f64,
-    /// Largest single sample in milliseconds.
-    pub max_ms: f64,
-}
+/// Resolved latency statistics at one point in time. Quantiles are
+/// conservative bucket upper edges and `None` when no samples were recorded.
+pub use ispot_obs::HistogramSnapshot as LatencySnapshot;
 
 /// Aggregate counters of one [`SessionHost`](crate::SessionHost), shared by
-/// every worker and producer. All mutation is relaxed atomics; snapshotting
+/// every worker and producer. Each field is a registered handle into the
+/// host's [`MetricsRegistry`]; mutation is relaxed atomics and snapshotting
 /// never blocks the data plane.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HostMetrics {
     /// Streams ever opened.
-    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_opened: Counter,
     /// Streams closed.
-    pub(crate) sessions_closed: AtomicU64,
+    pub(crate) sessions_closed: Counter,
     /// Chunks accepted into ingestion rings.
-    pub(crate) chunks_in: AtomicU64,
+    pub(crate) chunks_in: Counter,
     /// Chunks rejected with [`SubmitError::Busy`](crate::SubmitError::Busy).
-    pub(crate) chunks_busy: AtomicU64,
+    pub(crate) chunks_busy: Counter,
     /// Chunks rejected with [`SubmitError::Shed`](crate::SubmitError::Shed).
-    pub(crate) chunks_shed: AtomicU64,
+    pub(crate) chunks_shed: Counter,
     /// Chunks discarded undelivered when their stream closed.
-    pub(crate) chunks_discarded: AtomicU64,
+    pub(crate) chunks_discarded: Counter,
     /// Analysis frames completed across all sessions.
-    pub(crate) frames: AtomicU64,
+    pub(crate) frames: Counter,
     /// Frames processed while localization was shed.
-    pub(crate) shed_frames: AtomicU64,
+    pub(crate) shed_frames: Counter,
     /// Perception events delivered to stream sinks.
-    pub(crate) events: AtomicU64,
+    pub(crate) events: Counter,
     /// Upward degrade transitions (fidelity reduced).
-    pub(crate) sheds: AtomicU64,
+    pub(crate) sheds: Counter,
     /// Downward degrade transitions (fidelity restored).
-    pub(crate) restores: AtomicU64,
+    pub(crate) restores: Counter,
     /// Session-level pipeline errors surfaced while processing a chunk.
-    pub(crate) errors: AtomicU64,
+    pub(crate) errors: Counter,
     /// Submit-to-event-delivery latency across all streams.
     pub(crate) latency: LatencyHistogram,
+    /// Streams currently open (computed; refreshed before scrapes).
+    pub(crate) sessions_open: Gauge,
+    /// Aggregate queue depth (computed; refreshed before scrapes).
+    pub(crate) queue_depth: Gauge,
+    /// Degrade-ladder level as 0/1/2 (computed; refreshed before scrapes).
+    pub(crate) degrade_level: Gauge,
 }
 
 impl HostMetrics {
-    /// Bumps a counter by one. Relaxed: counters are monotonic and only read
-    /// for reporting.
-    pub(crate) fn incr(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Bumps a counter by `n`.
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Relaxed read of one counter.
-    pub(crate) fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// Registers every host metric family and returns the handle struct.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        HostMetrics {
+            sessions_opened: registry.counter("ispot_sessions_opened_total", "Streams ever opened"),
+            sessions_closed: registry.counter("ispot_sessions_closed_total", "Streams closed"),
+            chunks_in: registry.counter(
+                "ispot_chunks_in_total",
+                "Chunks accepted into ingestion rings",
+            ),
+            chunks_busy: registry.counter(
+                "ispot_chunks_busy_total",
+                "Chunks rejected with backpressure (Busy)",
+            ),
+            chunks_shed: registry.counter(
+                "ispot_chunks_shed_total",
+                "Chunks rejected by intake shedding (Shed)",
+            ),
+            chunks_discarded: registry.counter(
+                "ispot_chunks_discarded_total",
+                "Chunks discarded undelivered at stream close",
+            ),
+            frames: registry.counter(
+                "ispot_frames_total",
+                "Analysis frames completed across all sessions",
+            ),
+            shed_frames: registry.counter(
+                "ispot_shed_frames_total",
+                "Frames processed while localization was shed",
+            ),
+            events: registry.counter(
+                "ispot_events_total",
+                "Perception events delivered to stream sinks",
+            ),
+            sheds: registry.counter(
+                "ispot_sheds_total",
+                "Upward degrade transitions (fidelity reduced)",
+            ),
+            restores: registry.counter(
+                "ispot_restores_total",
+                "Downward degrade transitions (fidelity restored)",
+            ),
+            errors: registry.counter(
+                "ispot_errors_total",
+                "Pipeline errors surfaced while processing chunks",
+            ),
+            latency: registry.histogram(
+                "ispot_event_latency_seconds",
+                "Submit-to-event-delivery latency",
+            ),
+            sessions_open: registry.gauge("ispot_sessions_open", "Streams currently open"),
+            queue_depth: registry.gauge(
+                "ispot_queue_depth",
+                "Chunks accepted but not yet fully processed",
+            ),
+            degrade_level: registry.gauge(
+                "ispot_degrade_level",
+                "Degrade ladder level (0=full, 1=shed localization, 2=shed intake)",
+            ),
+        }
     }
 }
 
@@ -182,7 +159,8 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Current degrade level of the load controller.
     pub degrade_level: crate::load::DegradeLevel,
-    /// Submit-to-event-delivery latency.
+    /// Submit-to-event-delivery latency (quantiles `None` until the first
+    /// event is delivered).
     pub latency: LatencySnapshot,
 }
 
@@ -201,16 +179,7 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_index_is_the_magnitude() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 1);
-        assert_eq!(bucket_index(1024), 10);
-        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
-    }
+    use std::time::Duration;
 
     #[test]
     fn histogram_quantiles_are_conservative_upper_edges() {
@@ -223,20 +192,36 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 100);
         // 100 µs lands in bucket [64, 128) µs → p50 reports 0.128 ms.
-        assert!((s.p50_ms - 0.128).abs() < 1e-9, "p50 {}", s.p50_ms);
+        assert_eq!(s.p50_ms, Some(0.128));
         // Rank 99 is still a fast sample; p99 must not be dragged to 50 ms.
-        assert!(s.p50_ms <= s.p99_ms && s.p99_ms < 1.0, "p99 {}", s.p99_ms);
+        let p99 = s.p99_ms.expect("non-empty histogram has a p99");
+        assert!(s.p50_ms.unwrap() <= p99 && p99 < 1.0, "p99 {p99}");
         assert!(s.max_ms >= 50.0);
         assert!(s.mean_ms > 0.0);
     }
 
     #[test]
-    fn empty_histogram_snapshots_to_zeroes() {
+    fn empty_histogram_has_no_quantiles() {
+        // Satellite regression: an empty histogram used to report p50 = p99 =
+        // 0.0, which dashboards read as "infinitely fast".
         let s = LatencyHistogram::default().snapshot();
         assert_eq!(s.count, 0);
-        assert_eq!(s.p50_ms, 0.0);
-        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.p50_ms, None);
+        assert_eq!(s.p99_ms, None);
         assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn power_of_two_boundary_samples_bucket_upward() {
+        // Values exactly on a bucket edge (2^k µs) belong to the bucket whose
+        // lower edge they are, so the conservative quantile is the next edge
+        // up — one sample at 512 µs must report 1.024 ms, not 0.512 ms.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(512));
+        assert_eq!(h.snapshot().p50_ms, Some(1.024));
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(511));
+        assert_eq!(h.snapshot().p50_ms, Some(0.512));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Pipeline tracing adapters for the session host: per-stage latency
+//! histograms registered in the host's [`MetricsRegistry`] and the
+//! [`HostObserver`] attached to every session when span tracing is enabled.
+//!
+//! The observer hot path ([`HostObserver::on_span`]) is one seqlock ring push
+//! plus one relaxed histogram record — allocation-free and wait-free, pinned
+//! by the counting-allocator test in `tests/zero_alloc.rs` and by the
+//! `ispot-analyze` hot-path manifest.
+
+use crate::metrics::LatencySnapshot;
+use ispot_core::prelude::{Span, SpanRing, StageId, StageObserver};
+use ispot_obs::{Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// One latency histogram per pipeline stage, registered as the
+/// `ispot_stage_latency_seconds` family with a `stage` label per member.
+#[derive(Debug, Clone)]
+pub(crate) struct StageHistograms {
+    stages: [Histogram; StageId::COUNT],
+}
+
+impl StageHistograms {
+    /// Registers the four labeled members consecutively so the text
+    /// exposition emits HELP/TYPE once for the family.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        const HELP: &str = "Per-stage pipeline latency";
+        const NAME: &str = "ispot_stage_latency_seconds";
+        StageHistograms {
+            stages: [
+                registry.histogram_labeled(NAME, HELP, "stage=\"trigger\""),
+                registry.histogram_labeled(NAME, HELP, "stage=\"detection\""),
+                registry.histogram_labeled(NAME, HELP, "stage=\"localization\""),
+                registry.histogram_labeled(NAME, HELP, "stage=\"tracking\""),
+            ],
+        }
+    }
+
+    /// The histogram for `stage`.
+    pub(crate) fn stage(&self, stage: StageId) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Resolved snapshots for every stage, in [`StageId::ALL`] order.
+    pub(crate) fn snapshot(&self) -> [(&'static str, LatencySnapshot); StageId::COUNT] {
+        StageId::ALL.map(|stage| (stage.name(), self.stages[stage.index()].snapshot()))
+    }
+}
+
+/// The observer the host attaches to sessions: records every stage span into
+/// the stream's [`SpanRing`] and folds its duration into the host-wide
+/// per-stage histograms.
+#[derive(Debug)]
+pub struct HostObserver {
+    ring: Arc<SpanRing>,
+    stages: StageHistograms,
+}
+
+impl HostObserver {
+    pub(crate) fn new(ring: Arc<SpanRing>, stages: StageHistograms) -> Self {
+        HostObserver { ring, stages }
+    }
+}
+
+impl StageObserver for HostObserver {
+    fn on_span(&mut self, span: Span) {
+        self.ring.record(span);
+        self.stages.stage(span.stage).record_us(span.duration_us());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispot_obs::TickSource;
+
+    #[test]
+    fn observer_records_into_ring_and_histograms() {
+        let registry = MetricsRegistry::default();
+        let stages = StageHistograms::new(&registry);
+        let ring = Arc::new(SpanRing::new(16));
+        let mut obs = HostObserver::new(Arc::clone(&ring), stages.clone());
+        let _ = TickSource::new();
+        obs.on_span(Span {
+            stage: StageId::Detection,
+            frame_index: 7,
+            start_ticks: 1_000,
+            duration_ticks: 250_000,
+        });
+        assert_eq!(ring.recorded(), 1);
+        let span = ring.read_at(0).expect("span resident");
+        assert_eq!(span.stage, StageId::Detection);
+        assert_eq!(span.frame_index, 7);
+        assert_eq!(stages.stage(StageId::Detection).count(), 1);
+        assert_eq!(stages.stage(StageId::Trigger).count(), 0);
+    }
+
+    #[test]
+    fn stage_family_renders_once_with_labels() {
+        let registry = MetricsRegistry::default();
+        let stages = StageHistograms::new(&registry);
+        stages.stage(StageId::Trigger).record_us(100);
+        let text = registry.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE ispot_stage_latency_seconds histogram")
+                .count(),
+            1
+        );
+        assert!(
+            text.contains("ispot_stage_latency_seconds_bucket{stage=\"trigger\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("ispot_stage_latency_seconds_count{stage=\"tracking\"} 0"));
+    }
+
+    #[test]
+    fn snapshot_covers_all_stages_in_order() {
+        let registry = MetricsRegistry::default();
+        let stages = StageHistograms::new(&registry);
+        let snap = stages.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].0, "trigger");
+        assert_eq!(snap[3].0, "tracking");
+        assert_eq!(snap[0].1.p50_ms, None);
+    }
+}

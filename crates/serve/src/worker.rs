@@ -14,6 +14,7 @@
 //!
 //! [`ChunkRing::pop_swap`]: crate::ring::ChunkRing::pop_swap
 
+use crate::feed::EventFeed;
 use crate::host::{HostInner, SessionState, Slot};
 use crate::load::DegradeLevel;
 use crate::metrics::HostMetrics;
@@ -63,7 +64,7 @@ fn drain_slot(inner: &HostInner, slot_idx: usize, buf: &mut ChunkBuf) {
         if !popped {
             break;
         }
-        process_chunk(inner, slot, buf);
+        process_chunk(inner, slot, slot_idx, buf);
         inner.load.on_complete();
         inner.note_transitions();
     }
@@ -76,13 +77,13 @@ fn drain_slot(inner: &HostInner, slot_idx: usize, buf: &mut ChunkBuf) {
 
 /// Runs one chunk through the slot's session under the current degrade level,
 /// delivering events through the stream's sink via the metering wrapper.
-fn process_chunk(inner: &HostInner, slot: &Slot, buf: &ChunkBuf) {
+fn process_chunk(inner: &HostInner, slot: &Slot, slot_idx: usize, buf: &ChunkBuf) {
     let shed = inner.load.level() >= DegradeLevel::ShedLocalization;
     let mut guard = relock(&slot.session);
     let Some(state) = guard.as_mut() else {
         // The stream closed between our pop and now; the chunk is gone but was
         // popped before close cleared the ring, so count it ourselves.
-        HostMetrics::incr(&inner.metrics.chunks_discarded);
+        inner.metrics.chunks_discarded.incr();
         return;
     };
     if state.session.localization_shed() != shed {
@@ -94,40 +95,47 @@ fn process_chunk(inner: &HostInner, slot: &Slot, buf: &ChunkBuf) {
         sink: sink.as_mut(),
         enqueued: buf.enqueued(),
         host: &inner.metrics,
+        feed: &inner.feed,
         slot_events: &slot.stats.events,
+        slot: slot_idx as u32,
+        generation: slot.generation.load(Ordering::Acquire),
     };
     match buf.with_views(|views| session.push_chunk_with(views, &mut metered)) {
         Ok(frames) => {
             let frames = frames as u64;
-            HostMetrics::add(&inner.metrics.frames, frames);
+            inner.metrics.frames.add(frames);
             slot.stats.frames.fetch_add(frames, Ordering::Relaxed);
             if shed {
-                HostMetrics::add(&inner.metrics.shed_frames, frames);
+                inner.metrics.shed_frames.add(frames);
                 slot.stats.shed_frames.fetch_add(frames, Ordering::Relaxed);
             }
         }
         Err(_) => {
-            HostMetrics::incr(&inner.metrics.errors);
+            inner.metrics.errors.incr();
             slot.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
 /// Wraps a stream's sink to meter deliveries: each event bumps the host and
-/// slot counters and records submit-to-delivery latency, then is forwarded by
-/// reference — no copy, no allocation.
+/// slot counters, records submit-to-delivery latency and publishes a summary
+/// on the live feed, then is forwarded by reference — no copy, no allocation.
 struct MeteredSink<'a> {
     sink: &'a mut dyn EventSink,
     enqueued: Instant,
     host: &'a HostMetrics,
+    feed: &'a EventFeed,
     slot_events: &'a AtomicU64,
+    slot: u32,
+    generation: u32,
 }
 
 impl EventSink for MeteredSink<'_> {
     fn on_event(&mut self, event: &PerceptionEvent) {
         self.host.latency.record(self.enqueued.elapsed());
-        HostMetrics::incr(&self.host.events);
+        self.host.events.incr();
         self.slot_events.fetch_add(1, Ordering::Relaxed);
+        self.feed.push_event(self.slot, self.generation, event);
         self.sink.on_event(event);
     }
 

@@ -2,7 +2,8 @@
 //! alone. The same recording pushed through [`SessionHost`]s with 1, 2 and 8
 //! workers — and under different chunk sizes and push interleavings — must
 //! yield event sequences bit-identical to a bare [`Session`] processing the
-//! recording directly.
+//! recording directly. Runs repeat with pipeline tracing enabled
+//! (`span_capacity > 0`): observation must never change what is observed.
 //!
 //! The driver keeps each stream's ring drained below the shed watermark, so
 //! the load controller stays at full fidelity throughout: degrade decisions
@@ -80,12 +81,14 @@ fn hosted_events(
     streams: usize,
     sizes: &[usize],
     reverse_order: bool,
+    span_capacity: usize,
 ) -> Vec<Vec<PerceptionEvent>> {
     let host = SessionHost::new(
         engine.clone(),
         HostConfig {
             workers,
             max_sessions: streams,
+            span_capacity,
             ..HostConfig::default()
         },
     )
@@ -140,21 +143,25 @@ fn per_stream_events_are_bit_identical_across_worker_counts_and_interleavings() 
     );
 
     let runs = [
-        // (workers, streams, chunk sizes, reversed order)
-        (1, 3, vec![512], false),
-        (2, 3, vec![512], false),
-        (8, 3, vec![512], false),
+        // (workers, streams, chunk sizes, reversed order, span capacity)
+        (1, 3, vec![512], false, 0),
+        (2, 3, vec![512], false, 0),
+        (8, 3, vec![512], false, 0),
         // Ragged chunk sizes and flipped stream order: the interleaving
         // changes completely, the events must not.
-        (8, 3, vec![160, 512, 352], true),
+        (8, 3, vec![160, 512, 352], true, 0),
+        // Tracing enabled: the observer watches the pipeline but must not
+        // perturb it — output stays bit-identical to the untraced reference.
+        (2, 3, vec![512], false, 128),
+        (8, 3, vec![160, 512, 352], true, 128),
     ];
-    for (workers, streams, sizes, reversed) in runs {
-        let per_stream = hosted_events(&engine, &audio, workers, streams, &sizes, reversed);
+    for (workers, streams, sizes, reversed, spans) in runs {
+        let per_stream = hosted_events(&engine, &audio, workers, streams, &sizes, reversed, spans);
         for (s, events) in per_stream.iter().enumerate() {
             assert_eq!(
                 events, &reference,
                 "stream {s} diverged from the reference at {workers} workers, \
-                 chunk sizes {sizes:?}, reversed={reversed}"
+                 chunk sizes {sizes:?}, reversed={reversed}, span_capacity={spans}"
             );
         }
     }

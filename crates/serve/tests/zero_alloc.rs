@@ -3,6 +3,11 @@
 //! the worker's pop-by-swap, the session's frame analysis with localization and
 //! tracking, and metered event delivery through the stream's sink.
 //!
+//! The host runs with tracing ON (`span_capacity > 0`): the window therefore
+//! also covers the attached `StageObserver` (four spans per frame into the
+//! stream's span ring plus per-stage histogram records) and the event-feed
+//! publish — proving instrumentation adds zero steady-state allocations.
+//!
 //! The counting allocator is process-global, so the measured window also covers
 //! the worker thread — exactly the point: *no* thread of the host may allocate
 //! per chunk once warm. This file holds a single test so no concurrent test can
@@ -100,6 +105,9 @@ fn hosted_steady_state_serve_path_allocates_nothing() {
             workers: 1,
             max_sessions: 1,
             max_chunk_len: CHUNK,
+            // Tracing on: the measured window must stay allocation-free with
+            // the observer attached and spans flowing.
+            span_capacity: 128,
             ..HostConfig::default()
         },
     )
@@ -125,6 +133,10 @@ fn hosted_steady_state_serve_path_allocates_nothing() {
          ({frames} frames, {} events delivered)",
         counter.events()
     );
+
+    // The observer must have been live during the window, not silently off.
+    let spans = host.stream_spans(id).unwrap();
+    assert!(!spans.is_empty(), "tracing enabled but no spans recorded");
 
     let stats = host.close_stream(id).unwrap();
     assert_eq!(stats.errors, 0);
