@@ -102,6 +102,12 @@ impl<const WORDS: usize> SeqRing<WORDS> {
                 seq = slot.seq.load(Ordering::Acquire);
             }
         }
+        // The store side of the Acquire CAS above is relaxed, so on weakly
+        // ordered CPUs the payload stores below could become visible before
+        // the odd sequence value without this fence — a reader could then
+        // pass both sequence checks around a torn copy. The Release fence
+        // orders the odd seq store before every payload store.
+        fence(Ordering::Release);
         slot.index.store(i, Ordering::Relaxed);
         for (cell, value) in slot.words.iter().zip(words.iter()) {
             cell.store(*value, Ordering::Relaxed);

@@ -41,6 +41,16 @@ const ACCEPT_PARK: Duration = Duration::from_millis(10);
 /// exporter for longer than this per syscall.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// Overall deadline for reading one request head. The per-read timeout alone
+/// would let a client dripping one byte per read occupy the single-threaded
+/// accept loop for minutes.
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// How often the SSE feed writes a comment keepalive while idle, so a client
+/// that disconnected without new events arriving surfaces as a write error
+/// instead of parking the exporter forever.
+const SSE_KEEPALIVE: Duration = Duration::from_secs(2);
+
 /// Handle to a running metrics/event endpoint. Dropping it stops the accept
 /// loop and joins the exporter thread.
 #[derive(Debug)]
@@ -153,8 +163,10 @@ fn serve_connection(
     }
 }
 
-/// Reads the request head (start line + headers) up to a small bound.
+/// Reads the request head (start line + headers) up to a small bound, giving
+/// up once [`HEAD_DEADLINE`] has elapsed without a complete head.
 fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let deadline = std::time::Instant::now() + HEAD_DEADLINE;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -165,6 +177,12 @@ fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
         buf.extend_from_slice(&chunk[..n]);
         if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 4096 {
             break;
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "request head incomplete at deadline",
+            ));
         }
     }
     Ok(String::from_utf8_lossy(&buf).into_owned())
@@ -213,29 +231,38 @@ fn serve_events(
     let mut cursor = inner.feed.oldest();
     let mut sent = 0u64;
     let mut body = String::with_capacity(256);
+    let mut idle = Duration::ZERO;
     loop {
         if shutdown.load(Ordering::Acquire) || inner.shutting_down() {
+            return Ok(());
+        }
+        if limit.is_some_and(|n| sent >= n) {
             return Ok(());
         }
         let head = inner.feed.cursor();
         // A slow consumer may have been lapped; jump to the oldest survivor.
         cursor = cursor.max(inner.feed.oldest());
         if cursor >= head {
+            // Comment keepalive: the only way to notice a client that
+            // disconnected while no events arrive is a failed write.
+            if idle >= SSE_KEEPALIVE {
+                stream.write_all(b":\n\n")?;
+                idle = Duration::ZERO;
+            }
+            std::thread::sleep(ACCEPT_PARK);
+            idle += ACCEPT_PARK;
+            continue;
+        }
+        idle = Duration::ZERO;
+        while cursor < head {
             if limit.is_some_and(|n| sent >= n) {
                 return Ok(());
             }
-            std::thread::sleep(ACCEPT_PARK);
-            continue;
-        }
-        while cursor < head {
             if let Some(event) = inner.feed.read_at(cursor) {
                 body.clear();
                 render_sse(&mut body, cursor, &event);
                 stream.write_all(body.as_bytes())?;
                 sent += 1;
-                if limit.is_some_and(|n| sent >= n) {
-                    return Ok(());
-                }
             }
             cursor += 1;
         }

@@ -153,6 +153,16 @@ fn endpoint_serves_metrics_snapshot_and_events() {
     );
     assert!(body.contains("data: {\"slot\":0"), "{body}");
 
+    // --- /events?limit=0 returns immediately with no events. ---
+    let response = get(addr, "/events?limit=0");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    let body = body_of(&response);
+    assert_eq!(
+        body.matches("event:").count(),
+        0,
+        "limit=0 must deliver nothing: {body}"
+    );
+
     // --- Per-stream spans are exported through the typed API too. ---
     let spans = host.stream_spans(id).unwrap();
     assert!(!spans.is_empty(), "no spans despite tracing");
